@@ -1,0 +1,165 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* control-message size: the target sends 8-byte coherence control
+  messages while the LogP abstraction charges everything at the
+  32-byte ``L`` -- the pessimism the paper attributes to L.  Forcing
+  the target's control messages to 32 bytes removes most of the
+  CLogP/target latency gap, confirming the attribution;
+* coherence protocol: Berkeley vs Illinois/MESI (exp-proto) -- the
+  "fancier protocol" claim;
+* history-based g (exp-gadapt) -- the paper's Section 7 future work;
+* cache size: the paper (citing Rothberg/Singh/Gupta) uses 64 KB
+  caches because they hold the working sets; shrinking the cache must
+  increase target traffic, and CLogP (sharing the same cache model)
+  must follow it -- the locality abstraction is not an artifact of one
+  cache geometry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import PRESET, regenerate
+from repro import SystemConfig, simulate
+from repro.apps import make_app
+from repro.experiments.workloads import app_params, processor_sweep
+
+
+def _run(app, machine, nprocs, **config_overrides):
+    overrides = {"topology": "full", **config_overrides}
+    config = SystemConfig(processors=nprocs, **overrides)
+    instance = make_app(app, nprocs, **app_params(app, PRESET))
+    return simulate(instance, machine, config)
+
+
+@pytest.fixture(scope="module")
+def nprocs():
+    return processor_sweep(PRESET)[-1]
+
+
+def test_control_message_size_explains_latency_gap(benchmark, nprocs):
+    """With 32-byte control messages the target's latency overhead
+    rises toward CLogP's uniform-L estimate."""
+    small = _run("cg", "target", nprocs)
+    clogp = _run("cg", "clogp", nprocs)
+    big = benchmark.pedantic(
+        lambda: _run("cg", "target", nprocs, control_message_bytes=32),
+        rounds=1, iterations=1,
+    )
+    print(
+        f"\n  latency us: target(8B ctrl)={small.mean_latency_us:.0f} "
+        f"target(32B ctrl)={big.mean_latency_us:.0f} "
+        f"clogp={clogp.mean_latency_us:.0f}"
+    )
+    assert big.mean_latency_us > small.mean_latency_us
+    # CLogP charges every message at the 32-byte L but models no
+    # coherence traffic; a target that *also* charges full-size control
+    # messages therefore brackets the CLogP estimate from above, while
+    # the real (8-byte-control) target brackets it from below.
+    assert small.mean_latency_us < clogp.mean_latency_us
+    assert clogp.mean_latency_us < big.mean_latency_us
+
+
+def test_protocol_ablation(runner, benchmark):
+    """exp-proto: Berkeley vs Illinois traffic against the CLogP floor."""
+    data = regenerate(runner, "exp-proto")
+    index = len(data.processors) - 1
+    berkeley = data.series["target-berkeley"][index]
+    illinois = data.series["target-illinois"][index]
+    clogp = data.series["clogp"][index]
+    # CLogP is the floor; the protocols bracket each other closely.
+    assert clogp < min(berkeley, illinois)
+    assert abs(illinois - berkeley) < 0.15 * berkeley
+    benchmark.pedantic(
+        lambda: _run(
+            data.experiment.app, "target", data.processors[index],
+            protocol="illinois",
+        ),
+        rounds=1, iterations=1,
+    )
+
+
+def test_adaptive_g_ablation(runner, benchmark):
+    """exp-gadapt: history-based g lowers the contention estimate."""
+    data = regenerate(runner, "exp-gadapt")
+    index = len(data.processors) - 1
+    target = data.series["target"][index]
+    strict = data.series["clogp"][index]
+    adaptive = data.series["clogp-adaptive-g"][index]
+    assert adaptive <= strict
+    assert abs(adaptive - target) <= abs(strict - target)
+    benchmark.pedantic(
+        lambda: _run("ep", "clogp", data.processors[index],
+                     topology="mesh", adaptive_g=True),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("app", ["cg", "fft"])
+def test_cache_size_ablation(benchmark, app, nprocs):
+    """Shrinking the cache raises traffic on target and CLogP alike.
+
+    (Not universal: for IS the tiny cache *reduces* target traffic --
+    early evictions shrink the sharer sets, saving invalidation rounds
+    -- so the read-dominated applications carry this assertion.)"""
+    def traffic(machine, cache_bytes):
+        return _run(app, machine, nprocs,
+                    cache_size_bytes=cache_bytes).messages
+
+    big_target = traffic("target", 64 * 1024)
+    small_target = traffic("target", 1 * 1024)
+    big_clogp = traffic("clogp", 64 * 1024)
+    small_clogp = benchmark.pedantic(
+        lambda: traffic("clogp", 1 * 1024), rounds=1, iterations=1,
+    )
+    print(
+        f"\n  {app} messages: target 64KB={big_target} 1KB={small_target}; "
+        f"clogp 64KB={big_clogp} 1KB={small_clogp}"
+    )
+    assert small_target > big_target
+    assert small_clogp > big_clogp
+    # The abstraction follows the target's capacity behaviour.
+    assert (small_clogp / big_clogp) > 1.0
+
+
+def test_tree_barrier_ablation(benchmark, nprocs):
+    """Centralized vs combining-tree barrier on the barrier-bound app."""
+    def run_with(barrier):
+        return _run("jacobi", "target", nprocs, topology="mesh",
+                    barrier=barrier)
+
+    central = run_with("central")
+    tree = benchmark.pedantic(
+        lambda: run_with("tree"), rounds=1, iterations=1,
+    )
+    print(
+        f"\n  jacobi mesh p={nprocs}: central={central.total_us:.0f}us "
+        f"({central.messages} msgs), tree={tree.total_us:.0f}us "
+        f"({tree.messages} msgs)"
+    )
+    assert tree.messages < central.messages
+    assert tree.total_us < central.total_us
+
+
+def test_switch_delay_ablation(benchmark, nprocs):
+    """The paper ignores switching delay as 'negligible compared to the
+    transmission time'.  A realistic small delay (one cycle per hop)
+    barely moves the latency overhead; a delay comparable to the
+    transmission time makes latency topology-dependent."""
+    base = _run("fft", "target", nprocs, topology="mesh")
+    realistic = _run("fft", "target", nprocs, topology="mesh",
+                     switch_delay_ns=30)
+    huge = benchmark.pedantic(
+        lambda: _run("fft", "target", nprocs, topology="mesh",
+                     switch_delay_ns=1_600),
+        rounds=1, iterations=1,
+    )
+    print(
+        f"\n  fft mesh latency us: delay 0={base.mean_latency_us:.0f}, "
+        f"30ns={realistic.mean_latency_us:.0f}, "
+        f"1600ns={huge.mean_latency_us:.0f}"
+    )
+    # One-cycle switches change the latency overhead by ~10%.
+    assert realistic.mean_latency_us <= 1.15 * base.mean_latency_us
+    # Transmission-scale switches do not.
+    assert huge.mean_latency_us > 1.5 * base.mean_latency_us

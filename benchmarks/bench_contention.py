@@ -1,0 +1,86 @@
+"""Figures 6-11 and 19-20: contention overhead.
+
+Regenerates the contention sweeps and checks the paper's qualitative
+results: the bisection-bandwidth-derived ``g`` makes the CLogP machine
+*pessimistic* relative to the target; the pessimism grows as network
+connectivity drops (full -> cube -> mesh) and is extreme for EP, whose
+communication is local; and on the mesh the cache-less LogP machine's
+contention explodes (Figs. 19-20), which is what bends its execution
+curves in Figs. 17-18.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import PRESET, regenerate
+from repro import SystemConfig, simulate
+from repro.apps import make_app
+from repro.experiments.workloads import app_params
+
+
+def _bench_point(benchmark, app, machine, topology, nprocs):
+    def once():
+        config = SystemConfig(processors=nprocs, topology=topology)
+        instance = make_app(app, nprocs, **app_params(app, PRESET))
+        return simulate(instance, machine, config)
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    assert result.verified
+
+
+def _clogp_pessimistic(data, at_index=-1):
+    target = data.series["target"][at_index]
+    clogp = data.series["clogp"][at_index]
+    assert clogp >= target, (target, clogp)
+    return clogp - target
+
+
+@pytest.mark.parametrize(
+    "experiment_id,app,topology",
+    [
+        ("fig06", "is", "full"),
+        ("fig08", "fft", "cube"),
+        ("fig09", "cholesky", "full"),
+    ],
+)
+def test_contention_pessimism(runner, benchmark, experiment_id, app,
+                              topology):
+    data = regenerate(runner, experiment_id)
+    _clogp_pessimistic(data)
+    _bench_point(benchmark, app, "clogp", topology, data.processors[-1])
+
+
+def test_fig06_fig07_pessimism_grows_on_mesh(runner, benchmark):
+    full = regenerate(runner, "fig06")
+    mesh = regenerate(runner, "fig07")
+    assert _clogp_pessimistic(mesh) > _clogp_pessimistic(full)
+    _bench_point(benchmark, "is", "clogp", "mesh", mesh.processors[-1])
+
+
+@pytest.mark.parametrize(
+    "experiment_id,topology", [("fig10", "full"), ("fig11", "mesh")]
+)
+def test_ep_contention_disparity(runner, benchmark, experiment_id, topology):
+    """Figs. 10-11: EP's communication locality defeats the g estimate."""
+    data = regenerate(runner, experiment_id)
+    index = len(data.processors) - 1
+    target = data.series["target"][index]
+    clogp = data.series["clogp"][index]
+    assert clogp > 2.0 * max(target, 0.5), (target, clogp)
+    _bench_point(benchmark, "ep", "clogp", topology, data.processors[-1])
+
+
+@pytest.mark.parametrize(
+    "experiment_id,app", [("fig19", "cg"), ("fig20", "cholesky")]
+)
+def test_logp_mesh_contention_explosion(runner, benchmark, experiment_id,
+                                        app):
+    """Figs. 19-20: the LogP machine's mesh contention dwarfs both
+    cached machines (it is what deforms Figs. 17-18)."""
+    data = regenerate(runner, experiment_id)
+    index = len(data.processors) - 1
+    target = data.series["target"][index]
+    logp = data.series["logp"][index]
+    assert logp > 3.0 * max(target, 1.0), (target, logp)
+    _bench_point(benchmark, app, "logp", "mesh", data.processors[-1])

@@ -1,0 +1,81 @@
+"""Figures 12-18: execution time.
+
+The locality result: on every application except compute-dominated EP,
+the cache-less LogP machine's execution time diverges from the target,
+while CLogP (the ideal coherent cache) stays close; on the mesh the
+divergence is so large that LogP's curves change shape (Figs. 17-18).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import PRESET, regenerate
+from repro import SystemConfig, simulate
+from repro.apps import make_app
+from repro.experiments.workloads import app_params
+
+
+def _bench_point(benchmark, app, machine, topology, nprocs):
+    def once():
+        config = SystemConfig(processors=nprocs, topology=topology)
+        instance = make_app(app, nprocs, **app_params(app, PRESET))
+        return simulate(instance, machine, config)
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    assert result.verified
+
+
+def test_fig12_ep_execution_agreement(runner, benchmark):
+    """EP: computation dominates; all three machines agree."""
+    data = regenerate(runner, "fig12")
+    for index, nprocs in enumerate(data.processors):
+        target = data.series["target"][index]
+        clogp = data.series["clogp"][index]
+        logp = data.series["logp"][index]
+        assert clogp <= 1.30 * target, (nprocs, target, clogp)
+        assert logp <= 1.60 * target, (nprocs, target, logp)
+    _bench_point(benchmark, "ep", "target", "full", data.processors[-1])
+
+
+@pytest.mark.parametrize(
+    "experiment_id,app,topology,min_logp_gap",
+    [
+        ("fig13", "fft", "mesh", 1.15),
+        ("fig14", "is", "full", 1.5),
+        ("fig15", "cg", "full", 1.5),
+        ("fig16", "cholesky", "full", 1.5),
+    ],
+)
+def test_logp_execution_divergence(runner, benchmark, experiment_id, app,
+                                   topology, min_logp_gap):
+    data = regenerate(runner, experiment_id)
+    index = len(data.processors) - 1
+    target = data.series["target"][index]
+    clogp = data.series["clogp"][index]
+    logp = data.series["logp"][index]
+    # CLogP stays in the target's neighbourhood; LogP does not.  (On
+    # the mesh the g-induced pessimism is visible in CLogP too -- the
+    # paper's Section 6.1 caveat -- so the allowed band is wider than
+    # on the full network; our scaled-down workloads communicate more,
+    # relatively, than the paper's full-size inputs.)
+    clogp_band = 4.0 if topology == "mesh" else 2.5
+    assert clogp <= clogp_band * target, (target, clogp)
+    assert logp >= min_logp_gap * target, (target, logp)
+    assert logp > clogp
+    _bench_point(benchmark, app, "logp", topology, data.processors[-1])
+
+
+@pytest.mark.parametrize(
+    "experiment_id,app", [("fig17", "cg"), ("fig18", "cholesky")]
+)
+def test_mesh_execution_divergence(runner, benchmark, experiment_id, app):
+    """Figs. 17-18: on the mesh LogP's divergence is amplified further."""
+    mesh = regenerate(runner, experiment_id)
+    full_id = {"fig17": "fig15", "fig18": "fig16"}[experiment_id]
+    full = regenerate(runner, full_id)
+    index = len(mesh.processors) - 1
+    gap_mesh = mesh.series["logp"][index] / mesh.series["target"][index]
+    gap_full = full.series["logp"][index] / full.series["target"][index]
+    assert gap_mesh > gap_full, (gap_full, gap_mesh)
+    _bench_point(benchmark, app, "target", "mesh", mesh.processors[-1])

@@ -1,0 +1,71 @@
+"""Figures 1-5: latency overhead on the fully connected network.
+
+Regenerates the five latency-overhead sweeps (one per application) and
+checks the paper's qualitative result: the CLogP curve tracks the
+target while the cache-less LogP machine sits far above (about 4x for
+FFT, whose 8-byte items pack 4 to a cache block).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import PRESET, regenerate
+from repro import SystemConfig, simulate
+from repro.apps import make_app
+from repro.experiments.workloads import app_params
+
+
+def _bench_point(benchmark, app: str, machine: str, topology: str,
+                 nprocs: int):
+    """Time one representative simulation of the figure's sweep."""
+
+    def once():
+        config = SystemConfig(processors=nprocs, topology=topology)
+        instance = make_app(app, nprocs, **app_params(app, PRESET))
+        return simulate(instance, machine, config)
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    assert result.verified
+
+
+def _assert_latency_shape(data, logp_factor=2.0):
+    """CLogP ~ target; LogP well above, at every multi-processor point."""
+    for index, nprocs in enumerate(data.processors):
+        if nprocs == 1:
+            continue
+        target = data.series["target"][index]
+        clogp = data.series["clogp"][index]
+        logp = data.series["logp"][index]
+        if target < 1.0:
+            continue
+        assert 0.3 * target <= clogp <= 3.0 * target, (nprocs, target, clogp)
+        assert logp >= logp_factor * max(clogp, 1.0), (nprocs, logp, clogp)
+
+
+@pytest.mark.parametrize(
+    "experiment_id,app",
+    [
+        ("fig01", "fft"),
+        ("fig02", "cg"),
+        ("fig03", "ep"),
+        ("fig04", "is"),
+        ("fig05", "cholesky"),
+    ],
+)
+def test_latency_figures(runner, benchmark, experiment_id, app):
+    data = regenerate(runner, experiment_id)
+    _assert_latency_shape(data)
+    _bench_point(benchmark, app, "target", "full",
+                 data.processors[len(data.processors) // 2])
+
+
+def test_fig01_fft_logp_is_roughly_4x(runner, benchmark):
+    """The spatial-locality factor: 4 items per 32-byte block."""
+    data = regenerate(runner, "fig01")
+    index = len(data.processors) - 1
+    clogp = data.series["clogp"][index]
+    logp = data.series["logp"][index]
+    assert 2.5 * clogp <= logp <= 8.0 * clogp
+    _bench_point(benchmark, "fft", "logp", "full",
+                 data.processors[index])

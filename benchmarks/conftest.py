@@ -1,0 +1,54 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*`` file regenerates one group of the paper's figures: it
+runs the processor sweeps behind the figures, prints the same series the
+paper plots (machine curves vs processor count), and uses
+pytest-benchmark to time one representative simulation per figure so
+simulator performance regressions are visible too.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_PRESET=default`` for the full EXPERIMENTS.md workloads
+(minutes); the default ``bench`` preset uses mid-sized workloads and a
+reduced sweep so the whole harness completes in tens of seconds.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import SweepRunner, get_experiment, render_figure
+from repro.experiments.workloads import APP_PARAMS, PROCESSOR_SWEEPS
+
+# A mid-sized preset used only by the benchmark harness.
+APP_PARAMS.setdefault(
+    "bench",
+    {
+        "ep": {"pairs": 16_384},
+        "is": {"keys": 2_048, "buckets": 256, "iterations": 2},
+        "cg": {"n": 256, "nnz_per_row": 6, "iterations": 3},
+        "fft": {"points": 1_024},
+        "cholesky": {"n": 128, "density": 0.10},
+    },
+)
+PROCESSOR_SWEEPS.setdefault("bench", (1, 2, 4, 8, 16))
+
+PRESET = os.environ.get("REPRO_BENCH_PRESET", "bench")
+
+
+@pytest.fixture(scope="session")
+def runner() -> SweepRunner:
+    """One memoizing sweep runner shared by every benchmark."""
+    return SweepRunner(preset=PRESET)
+
+
+def regenerate(runner: SweepRunner, experiment_id: str):
+    """Run one experiment's sweep and print its series."""
+    data = runner.run_experiment(get_experiment(experiment_id))
+    print()
+    print(render_figure(data))
+    return data

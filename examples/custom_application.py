@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Writing your own application for the simulator.
+
+The five paper benchmarks are not special: any program written against
+the :class:`repro.Application` interface can run on all four machine
+models.  This example implements a 1-D Jacobi relaxation (the classic
+nearest-neighbour stencil) from scratch:
+
+* the grid is block-distributed; interior updates touch only local
+  data,
+* each sweep reads the two *halo* elements owned by the neighbouring
+  processors -- a tiny, perfectly local communication pattern,
+* sweeps are separated by barriers,
+* ``verify()`` checks the relaxation against a sequential numpy run.
+
+Because Jacobi's communication is nearest-neighbour, it is exactly the
+kind of workload for which the paper predicts the bisection-derived g
+to be most pessimistic: the CLogP contention estimate overshoots the
+target badly while the latency estimate stays accurate.  Run it and
+see.
+
+Usage::
+
+    python examples/custom_application.py [processors] [topology]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Application, SystemConfig, simulate
+from repro.apps.base import block_partition
+from repro.core import ops
+
+ELEM_BYTES = 8
+
+
+class Jacobi1D(Application):
+    """1-D Jacobi relaxation with halo exchange through shared memory."""
+
+    name = "jacobi1d"
+
+    def __init__(self, nprocs: int, n: int = 4_096, sweeps: int = 4):
+        super().__init__(nprocs)
+        self.n = n
+        self.sweeps = sweeps
+
+    def _setup(self, space, streams) -> None:
+        rng = streams.fresh("jacobi")
+        self.initial = rng.standard_normal(self.n)
+        self.values = self.initial.copy()
+        self._snapshots = {}
+        self.grid = space.alloc(
+            "jacobi_grid", self.n, ELEM_BYTES, "blocked",
+            align_blocks_per_proc=True,
+        )
+
+    def proc_main(self, pid: int):
+        lo, hi = block_partition(self.n, self.nprocs, pid)
+        for sweep in range(self.sweeps):
+            yield ops.Barrier(0)
+            if sweep not in self._snapshots:
+                self._snapshots[sweep] = self.values.copy()
+                self._snapshots.pop(sweep - 2, None)
+            # Halo reads: the neighbours' boundary elements.
+            if lo > 0:
+                yield ops.Read(self.grid.addr(lo - 1))
+            if hi < self.n:
+                yield ops.Read(self.grid.addr(hi))
+            # Interior: all local.
+            yield ops.ReadRange(self.grid.addr(lo), hi - lo, ELEM_BYTES)
+            yield self.flops(3 * (hi - lo))
+            previous = self._snapshots[sweep]
+            padded = np.concatenate(([previous[0]], previous,
+                                     [previous[-1]]))
+            self.values[lo:hi] = (
+                padded[lo:hi] + padded[lo + 1:hi + 1] + padded[lo + 2:hi + 2]
+            ) / 3.0
+            yield ops.WriteRange(self.grid.addr(lo), hi - lo, ELEM_BYTES)
+        yield ops.Barrier(0)
+
+    def verify(self) -> bool:
+        expected = self.initial.copy()
+        for _ in range(self.sweeps):
+            padded = np.concatenate(([expected[0]], expected,
+                                     [expected[-1]]))
+            expected = (padded[:-2] + padded[1:-1] + padded[2:]) / 3.0
+        return bool(np.allclose(self.values, expected))
+
+
+def main() -> None:
+    nprocs = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    topology = sys.argv[2] if len(sys.argv) > 2 else "mesh"
+    config = SystemConfig(processors=nprocs, topology=topology)
+    print(f"Jacobi 1-D, {nprocs} processors, {topology} network\n")
+    for machine in ("target", "clogp", "logp", "ideal"):
+        result = simulate(Jacobi1D(nprocs), machine, config)
+        print(result.summary())
+    print(
+        "\nNearest-neighbour communication: watch CLogP's contention "
+        "column overshoot the target while its latency column agrees -- "
+        "the bisection-derived g cannot see communication locality."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Protocol sensitivity: Berkeley vs Illinois vs the ideal cache.
+
+The paper models an ideal coherent cache (CLogP) and argues its traffic
+is "the minimum number of network messages that any coherence protocol
+may hope to achieve", so "a fancier invalidation-based cache coherence
+protocol ... would only enhance the agreement".  This study makes that
+concrete by running the target machine under both implemented
+protocols:
+
+* **Berkeley** (the paper's): ownership-passing, no exclusive-clean
+  state -- every first store to a clean block is a directory
+  transaction;
+* **Illinois/MESI** (the "fancier" one): an unshared fill arrives
+  EXCLUSIVE and the first store upgrades it silently.
+
+Usage::
+
+    python examples/protocol_study.py [app] [processors]
+"""
+
+import sys
+
+from repro import SystemConfig, make_app, simulate, simulate_full
+from repro.experiments.workloads import app_params
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "cg"
+    nprocs = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    topology = "full"
+
+    rows = []
+    for machine, protocol in (
+        ("target", "berkeley"),
+        ("target", "illinois"),
+        ("clogp", "berkeley"),
+    ):
+        config = SystemConfig(
+            processors=nprocs, topology=topology, protocol=protocol
+        )
+        app = make_app(app_name, nprocs, **app_params(app_name))
+        result, machine_obj = simulate_full(app, machine, config)
+        upgrades = getattr(
+            getattr(machine_obj, "memory", None), "silent_upgrades", 0
+        )
+        label = f"{machine}-{protocol}" if machine == "target" else "clogp"
+        rows.append((label, result, upgrades))
+
+    print(f"{app_name.upper()}, {nprocs} processors, {topology} network\n")
+    print(f"{'machine':18s} {'messages':>10s} {'latency_us':>11s} "
+          f"{'exec_us':>10s} {'silent upgrades':>16s}")
+    for label, result, upgrades in rows:
+        print(
+            f"{label:18s} {result.messages:>10d} "
+            f"{result.mean_latency_us:>11.1f} {result.total_us:>10.1f} "
+            f"{upgrades:>16d}"
+        )
+    berkeley, illinois = rows[0][1], rows[1][1]
+    print()
+    print("CLogP's message count is the floor.  Illinois trades upgrade")
+    print("transactions (saved by silent E->M upgrades) for sharing")
+    print("writebacks; at this size the two protocols land within "
+          f"{abs(illinois.messages - berkeley.messages) / berkeley.messages:.1%}")
+    print("of each other in traffic and both track the CLogP curves --")
+    print("the Wood et al. protocol-insensitivity the paper leans on,")
+    print("which is what lets it abstract coherence out of the")
+    print("simulation.  (Run `repro figure exp-proto` for the sweep.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one application on the three machine models.
+
+Runs the FFT benchmark on an 8-processor 2-D mesh under
+
+* the detailed CC-NUMA **target** (Berkeley directory coherence over a
+  circuit-switched network),
+* the **LogP** abstraction (no caches, network = L and g parameters),
+* **CLogP** (LogP plus an ideal coherent cache),
+
+and prints the SPASM-style overhead separation for each -- execution
+time broken into computation, memory, network latency, network
+contention, and synchronization.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import SystemConfig, derive_logp, make_app, simulate
+from repro.units import ns_to_us
+
+PROCESSORS = 8
+TOPOLOGY = "mesh"
+
+
+def main() -> None:
+    config = SystemConfig(processors=PROCESSORS, topology=TOPOLOGY)
+    params = derive_logp(config)
+    print(
+        f"machine: {PROCESSORS} processors, {TOPOLOGY} interconnect, "
+        f"LogP parameters L={ns_to_us(params.L_ns):.1f}us "
+        f"g={ns_to_us(params.g_ns):.1f}us"
+    )
+    print()
+
+    for machine in ("target", "clogp", "logp"):
+        # A fresh application instance per run: the workload replays
+        # identically because both draw from the same master seed.
+        app = make_app("fft", PROCESSORS, points=2_048)
+        result = simulate(app, machine, config)
+        print(result.summary())
+        print(
+            f"          breakdown (mean/proc): "
+            f"compute={result.mean_compute_us:9.1f}us  "
+            f"memory={result.mean_memory_us:8.1f}us  "
+            f"latency={result.mean_latency_us:8.1f}us  "
+            f"contention={result.mean_contention_us:8.1f}us  "
+            f"sync={result.mean_sync_us:8.1f}us"
+        )
+        print()
+
+    print(
+        "Things to notice (the paper's headline results):\n"
+        "  * CLogP's latency overhead tracks the target's -- the LogP\n"
+        "    L parameter abstracts the network latency well.\n"
+        "  * CLogP's contention overhead exceeds the target's -- the\n"
+        "    bisection-derived g parameter is pessimistic.\n"
+        "  * LogP's latency is ~4x the others: without a cache, all 4\n"
+        "    items of every 32-byte block are separate network trips."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Execution-driven vs trace-driven simulation.
+
+The reproduction-feasibility notes for this paper flag Python as "too
+slow for execution-driven fidelity; trace-driven approximation only".
+This package is execution-driven anyway (application logic interleaves
+with simulated time), but it also implements the trace-driven mode so
+the approximation can be *measured* instead of assumed:
+
+1. record CHOLESKY -- the suite's dynamic application -- on the CLogP
+   machine (execution-driven, including its dynamic task schedule),
+2. replay the frozen trace on every machine model,
+3. compare against honest execution-driven runs of the same workload.
+
+For the static applications the two modes agree closely; for CHOLESKY
+the frozen schedule was made by CLogP timing, so replaying it on other
+machines inherits CLogP's scheduling decisions -- the classic
+trace-driven distortion.
+
+Usage::
+
+    python examples/trace_driven_study.py [app] [processors]
+"""
+
+import sys
+
+from repro import DeadlockError, SystemConfig, make_app, simulate
+from repro.experiments.workloads import app_params
+from repro.trace import TraceApplication, record_trace
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "cholesky"
+    nprocs = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    topology = "cube"
+
+    def fresh_app():
+        return make_app(app_name, nprocs, **app_params(app_name))
+
+    config = SystemConfig(processors=nprocs, topology=topology)
+    recorded_result, trace = record_trace(fresh_app(), "clogp", config)
+    print(
+        f"recorded {app_name} on clogp: {trace.total_operations} operations, "
+        f"{recorded_result.total_us:.0f} us simulated"
+    )
+    print()
+    print(f"{'machine':8s} {'execution-driven':>18s} {'trace-driven':>14s} "
+          f"{'distortion':>11s}")
+    for machine in ("clogp", "target", "logp"):
+        executed = simulate(
+            fresh_app(), machine,
+            SystemConfig(processors=nprocs, topology=topology),
+        )
+        try:
+            replayed = simulate(
+                TraceApplication(trace), machine,
+                SystemConfig(processors=nprocs, topology=topology),
+            )
+        except DeadlockError:
+            # The starkest trace-driven failure: a *dynamic* program's
+            # frozen schedule need not even be executable under another
+            # machine's timing (CHOLESKY's queue-version flag is set by
+            # different processors in a different order, so a recorded
+            # wait can end up waiting for a version nobody will set
+            # again).  Execution-driven simulation has no such problem.
+            print(
+                f"{machine:8s} {executed.total_us:>16.0f}us "
+                f"{'DEADLOCK':>14s} {'--':>11s}"
+            )
+            continue
+        distortion = replayed.total_us / executed.total_us - 1.0
+        print(
+            f"{machine:8s} {executed.total_us:>16.0f}us "
+            f"{replayed.total_us:>12.0f}us {distortion:>10.1%}"
+        )
+    print()
+    print("The clogp row replays its own recording: distortion 0% by")
+    print("construction (the engine is deterministic).  Where the replay")
+    print("completes, total-time distortion is small -- CHOLESKY's")
+    print("makespan is dominated by total work over p -- but the frozen")
+    print("schedule inherits CLogP's task-to-processor assignment, and a")
+    print("DEADLOCK row shows the approximation at its starkest: under")
+    print("another machine's timing the recorded synchronization isn't")
+    print("even executable.  Execution-driven simulation (this package's")
+    print("default mode) has neither problem.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro -- reproduction of "Abstracting Network Characteristics and
+Locality Properties of Parallel Systems" (HPCA 1995).
+
+An execution-driven simulator of shared-memory parallel systems with
+three machine models -- a detailed CC-NUMA **target**, the **LogP**
+network abstraction, and **CLogP** (LogP plus an ideal coherent cache)
+-- five scientific applications (EP, IS, CG, FFT, CHOLESKY), three
+interconnect topologies (full, hypercube, 2-D mesh), and SPASM-style
+separation of latency and contention overheads.
+
+Quick start::
+
+    from repro import SystemConfig, make_app, simulate
+
+    config = SystemConfig(processors=8, topology="mesh")
+    result = simulate(make_app("fft", 8), "target", config)
+    print(result.summary())
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+the paper-figure reproductions.
+"""
+
+from .config import MACHINES, PAPER_CONFIG, TOPOLOGIES, SystemConfig, paper_config
+from .core import (
+    LogPParams,
+    OverheadBuckets,
+    RunResult,
+    derive_logp,
+    machine_names,
+    make_machine,
+    simulate,
+)
+from .core.runner import simulate_full
+from .apps import APPLICATIONS, Application, make_app
+from .errors import (
+    ApplicationError,
+    ConfigError,
+    DeadlockError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+from .network import make_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "paper_config",
+    "PAPER_CONFIG",
+    "TOPOLOGIES",
+    "MACHINES",
+    "LogPParams",
+    "derive_logp",
+    "OverheadBuckets",
+    "RunResult",
+    "simulate",
+    "simulate_full",
+    "make_machine",
+    "machine_names",
+    "make_topology",
+    "Application",
+    "APPLICATIONS",
+    "make_app",
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "DeadlockError",
+    "ProtocolError",
+    "TopologyError",
+    "ApplicationError",
+    "__version__",
+]

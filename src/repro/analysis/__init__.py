@@ -1,0 +1,32 @@
+"""Scalability and overhead analysis on top of simulation results.
+
+The SPASM simulator this paper builds on was introduced in the authors'
+companion scalability work ("An Approach to Scalability Study of Shared
+Memory Parallel Systems", SIGMETRICS 1994); its value was turning
+overhead-separated runs into scalability statements.  This subpackage
+provides the same post-processing over :class:`~repro.core.RunResult`
+objects: speedup/efficiency curves, overhead fractions and growth
+rates, and a quantitative "abstraction error" measure for comparing a
+machine model against the target.
+"""
+
+from .scalability import (
+    abstraction_error,
+    efficiency_curve,
+    overhead_fractions,
+    overhead_growth,
+    scalability_table,
+    speedup_curve,
+)
+from .profile import processor_profile, profile_table
+
+__all__ = [
+    "speedup_curve",
+    "efficiency_curve",
+    "overhead_fractions",
+    "overhead_growth",
+    "abstraction_error",
+    "scalability_table",
+    "processor_profile",
+    "profile_table",
+]

@@ -1,0 +1,52 @@
+"""Per-processor execution profiles.
+
+SPASM's profiling "provides a novel isolation and quantification of
+different overheads"; these helpers render that view for one run --
+useful for spotting imbalance (one processor's sync bucket dwarfing the
+others') or a hot home node (one processor's contention out of line).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.accounting import RunResult
+from ..units import ns_to_us
+
+
+def processor_profile(result: RunResult) -> List[Dict[str, float]]:
+    """Per-processor bucket values in microseconds."""
+    out = []
+    for pid, buckets in enumerate(result.buckets):
+        row = {"pid": pid}
+        for name, value in buckets.as_dict().items():
+            row[name.replace("_ns", "_us")] = ns_to_us(value)
+        row["total_us"] = ns_to_us(buckets.total_ns)
+        out.append(row)
+    return out
+
+
+def profile_table(result: RunResult) -> str:
+    """Text table of the per-processor profile."""
+    lines = [
+        f"{result.app} on {result.machine}/{result.topology} "
+        f"p={result.nprocs}: total {result.total_us:.1f} us",
+        "{:>5s} {:>12s} {:>10s} {:>10s} {:>12s} {:>10s} {:>12s}".format(
+            "pid", "compute_us", "memory_us", "latency_us",
+            "contention_us", "sync_us", "total_us",
+        ),
+    ]
+    for row in processor_profile(result):
+        lines.append(
+            "{:>5d} {:>12.1f} {:>10.1f} {:>10.1f} {:>12.1f} {:>10.1f} "
+            "{:>12.1f}".format(
+                row["pid"],
+                row["compute_us"],
+                row["memory_us"],
+                row["latency_us"],
+                row["contention_us"],
+                row["sync_us"],
+                row["total_us"],
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Scalability metrics over processor sweeps.
+
+All functions take :class:`~repro.core.accounting.RunResult` objects
+from a fixed-problem-size processor sweep (the paper's figures are such
+sweeps) and return plain Python data, so they compose with any plotting
+or tabulation the caller prefers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.accounting import RunResult
+from ..errors import ReproError
+
+#: Overhead bucket names in reporting order.
+BUCKETS = ("compute_ns", "memory_ns", "latency_ns", "contention_ns",
+           "sync_ns")
+
+
+def _sorted_by_procs(results: Sequence[RunResult]) -> List[RunResult]:
+    if not results:
+        raise ReproError("no results supplied")
+    ordered = sorted(results, key=lambda r: r.nprocs)
+    seen = [r.nprocs for r in ordered]
+    if len(set(seen)) != len(seen):
+        raise ReproError(f"duplicate processor counts in sweep: {seen}")
+    return ordered
+
+
+def speedup_curve(results: Sequence[RunResult]) -> List[Tuple[int, float]]:
+    """Speedup relative to the smallest machine in the sweep.
+
+    If a 1-processor run is present it is the natural base; otherwise
+    speedups are relative to the smallest processor count supplied
+    (scaled so that point's speedup equals its processor count is *not*
+    assumed -- the base gets speedup 1.0 times its own size factor of 1).
+    """
+    ordered = _sorted_by_procs(results)
+    base = ordered[0]
+    if base.total_ns <= 0:
+        raise ReproError("base run has zero execution time")
+    return [
+        (r.nprocs, base.total_ns / r.total_ns * base.nprocs)
+        for r in ordered
+    ]
+
+
+def efficiency_curve(results: Sequence[RunResult]) -> List[Tuple[int, float]]:
+    """Parallel efficiency: speedup divided by processor count."""
+    return [
+        (nprocs, speed / nprocs)
+        for nprocs, speed in speedup_curve(results)
+    ]
+
+
+def overhead_fractions(result: RunResult) -> Dict[str, float]:
+    """Mean fraction of processor time in each overhead bucket."""
+    totals = {name: 0 for name in BUCKETS}
+    grand = 0
+    for buckets in result.buckets:
+        data = buckets.as_dict()
+        for name in BUCKETS:
+            totals[name] += data[name]
+        grand += buckets.total_ns
+    if grand == 0:
+        return {name: 0.0 for name in BUCKETS}
+    return {name: totals[name] / grand for name in BUCKETS}
+
+
+def overhead_growth(
+    results: Sequence[RunResult], bucket: str
+) -> List[Tuple[int, float]]:
+    """Mean per-processor overhead (us) of one bucket across the sweep.
+
+    The SIGMETRICS'94 methodology reads scalability limits off these
+    curves: a bucket that grows with p while useful work shrinks is the
+    bottleneck.
+    """
+    if bucket not in BUCKETS:
+        raise ReproError(f"unknown bucket {bucket!r}; known: {BUCKETS}")
+    out = []
+    for result in _sorted_by_procs(results):
+        if result.buckets:
+            mean = sum(
+                getattr(b, bucket) for b in result.buckets
+            ) / len(result.buckets)
+        else:
+            mean = 0.0
+        out.append((result.nprocs, mean / 1_000.0))
+    return out
+
+
+def abstraction_error(
+    reference: Sequence[RunResult],
+    model: Sequence[RunResult],
+    metric: str = "execution",
+) -> float:
+    """Mean relative error of a machine model against the target.
+
+    This quantifies the paper's visual "the curves agree" judgments:
+    ``abstraction_error(target_runs, clogp_runs, "latency")`` is small,
+    ``abstraction_error(target_runs, logp_runs, "execution")`` is not.
+    Points where the reference metric is ~0 (e.g. p=1 overheads) are
+    skipped.
+    """
+    ref = _sorted_by_procs(reference)
+    mod = _sorted_by_procs(model)
+    if [r.nprocs for r in ref] != [m.nprocs for m in mod]:
+        raise ReproError("sweeps cover different processor counts")
+    errors = []
+    for r, m in zip(ref, mod):
+        ref_value = r.metric(metric)
+        if ref_value < 1e-9:
+            continue
+        errors.append(abs(m.metric(metric) - ref_value) / ref_value)
+    if not errors:
+        return 0.0
+    return sum(errors) / len(errors)
+
+
+def scalability_table(results: Sequence[RunResult]) -> str:
+    """Text table: time, speedup, efficiency, overhead fractions."""
+    ordered = _sorted_by_procs(results)
+    speedups = dict(speedup_curve(ordered))
+    lines = [
+        "{:>5s} {:>12s} {:>8s} {:>6s} {:>8s} {:>8s} {:>8s} {:>8s} {:>8s}".format(
+            "p", "time_us", "speedup", "eff", "compute", "memory",
+            "latency", "content", "sync",
+        )
+    ]
+    for result in ordered:
+        fractions = overhead_fractions(result)
+        lines.append(
+            "{:>5d} {:>12.1f} {:>8.2f} {:>6.2f} {:>8.1%} {:>8.1%} "
+            "{:>8.1%} {:>8.1%} {:>8.1%}".format(
+                result.nprocs,
+                result.total_us,
+                speedups[result.nprocs],
+                speedups[result.nprocs] / result.nprocs,
+                fractions["compute_ns"],
+                fractions["memory_ns"],
+                fractions["latency_ns"],
+                fractions["contention_ns"],
+                fractions["sync_ns"],
+            )
+        )
+    return "\n".join(lines)

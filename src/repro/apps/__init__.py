@@ -1,0 +1,67 @@
+"""The application suite.
+
+Faithful, scaled-down reimplementations of the paper's five parallel
+programs (Section 4):
+
+* :class:`~repro.apps.ep.EP` -- NAS Embarrassingly Parallel: huge
+  compute/communication ratio, condition-variable chain at the end,
+* :class:`~repro.apps.integer_sort.IntegerSort` -- NAS IS: bucket/rank
+  sort with a lock-protected global histogram,
+* :class:`~repro.apps.cg.CG` -- NAS Conjugate Gradient: static row
+  blocks, irregular sparse reads,
+* :class:`~repro.apps.fft.FFT` -- radix-2 FFT with a remote-read
+  communication phase exhibiting spatial locality,
+* :class:`~repro.apps.cholesky.Cholesky` -- SPLASH sparse Cholesky:
+  dynamically scheduled column tasks off a lock-protected queue.
+
+Every application computes a real answer and self-checks it in
+``verify()``; they are execution-driven in the sense that dynamic
+scheduling and lock-grant order are resolved in simulated time.
+"""
+
+from .base import Application, block_partition
+from .ep import EP
+from .integer_sort import IntegerSort
+from .cg import CG
+from .fft import FFT
+from .cholesky import Cholesky
+from .jacobi import Jacobi
+from .mg import MG
+
+#: Application registry by paper name (plus the "jacobi" and "mg"
+#: extensions: stencil kernels used as communication-locality probes).
+APPLICATIONS = {
+    "ep": EP,
+    "is": IntegerSort,
+    "cg": CG,
+    "fft": FFT,
+    "cholesky": Cholesky,
+    "jacobi": Jacobi,
+    "mg": MG,
+}
+
+
+def make_app(name: str, nprocs: int, **params) -> Application:
+    """Instantiate an application by registry name."""
+    try:
+        cls = APPLICATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; known: {sorted(APPLICATIONS)}"
+        ) from None
+    return cls(nprocs, **params)
+
+
+__all__ = [
+    "Application",
+    "block_partition",
+    "EP",
+    "IntegerSort",
+    "CG",
+    "FFT",
+    "Cholesky",
+    "Jacobi",
+    "MG",
+    "APPLICATIONS",
+    "make_app",
+]

@@ -1,0 +1,104 @@
+"""Application base class and partitioning helpers.
+
+An application is constructed with a processor count and problem
+parameters, allocates its shared data in :meth:`Application.setup`, and
+exposes one generator per processor from :meth:`Application.proc_main`.
+The generator yields :mod:`repro.core.ops` operations; any *functional*
+computation happens in plain Python against the application's own numpy
+arrays, while the yielded operations tell the machine model which
+shared addresses the computation touched.
+
+Cost model
+----------
+The applications charge explicit :class:`~repro.core.ops.Compute`
+cycles for their arithmetic.  The constants below are a coarse model of
+the paper's 33 MHz SPARC: a handful of cycles per floating-point
+operation, fewer for integer work.  Only *ratios* between computation
+and communication matter for the figures, so precision beyond that is
+not needed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Tuple
+
+from ..core import ops
+from ..engine.rng import RandomStreams
+from ..errors import ApplicationError
+from ..memory.address import AddressSpace
+
+#: Cycles charged per floating-point operation.
+FLOP_CYCLES = 6
+
+#: Cycles charged per integer/bookkeeping operation.
+INT_CYCLES = 2
+
+
+def block_partition(count: int, nprocs: int, pid: int) -> Tuple[int, int]:
+    """Contiguous ``[start, end)`` slice of ``count`` items for ``pid``.
+
+    The first ``count % nprocs`` processors get one extra item, matching
+    how the NAS benchmarks block-distribute work.
+    """
+    base = count // nprocs
+    extra = count % nprocs
+    start = pid * base + min(pid, extra)
+    size = base + (1 if pid < extra else 0)
+    return start, start + size
+
+
+class Application(ABC):
+    """Base class for simulated parallel applications."""
+
+    #: Registry name (e.g. ``"fft"``); also used in figure labels.
+    name: str = "abstract"
+
+    #: When True, :func:`~repro.core.runner.simulate` raises if
+    #: verification fails instead of just recording it.
+    strict_verify: bool = True
+
+    def __init__(self, nprocs: int):
+        if nprocs < 1:
+            raise ApplicationError("nprocs must be >= 1")
+        self.nprocs = nprocs
+        self._setup_done = False
+
+    # -- life cycle ------------------------------------------------------------
+
+    def setup(self, space: AddressSpace, streams: RandomStreams) -> None:
+        """Allocate shared arrays and generate input data."""
+        if self._setup_done:
+            raise ApplicationError(
+                f"application {self.name!r} reused across runs; construct "
+                "a fresh instance per simulation"
+            )
+        self._setup_done = True
+        self._setup(space, streams)
+
+    @abstractmethod
+    def _setup(self, space: AddressSpace, streams: RandomStreams) -> None:
+        """Subclass hook for :meth:`setup`."""
+
+    @abstractmethod
+    def proc_main(self, pid: int) -> Iterator[ops.Op]:
+        """The operation stream of processor ``pid``."""
+
+    def verify(self) -> bool:
+        """Functional self-check after the simulation completes."""
+        return True
+
+    # -- yield helpers -----------------------------------------------------------
+
+    @staticmethod
+    def flops(n: int) -> ops.Compute:
+        """Compute operation charging ``n`` floating-point operations."""
+        return ops.Compute(n * FLOP_CYCLES)
+
+    @staticmethod
+    def int_ops(n: int) -> ops.Compute:
+        """Compute operation charging ``n`` integer operations."""
+        return ops.Compute(n * INT_CYCLES)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} nprocs={self.nprocs}>"

@@ -1,0 +1,191 @@
+"""CG -- the NAS Conjugate Gradient kernel.
+
+Solves ``A x = b`` for a random sparse symmetric positive-definite
+matrix with the unpreconditioned conjugate-gradient method.  Rows (and
+the corresponding slices of every vector) are block-assigned to
+processors at "compile time" (static scheduling, as the paper notes),
+but the *columns* touched by the sparse matrix-vector product are
+data-dependent: computing ``q = A p`` gathers irregular, unpredictable
+elements of the shared direction vector ``p`` -- the communication that
+makes CG's locality impossible to exploit statically.
+
+Dot products are reduced through a lock-protected shared accumulator.
+Verification checks that the CG residual actually decreased the way the
+numerically identical sequential recurrence says it should.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from ..core import ops
+from ..engine.rng import RandomStreams
+from ..memory.address import AddressSpace
+from .base import Application, block_partition
+
+#: Stored size of a vector element, bytes.
+ELEM_BYTES = 8
+
+#: Lock id for the dot-product accumulator.
+DOT_LOCK = 0
+
+
+class CG(Application):
+    """Unpreconditioned conjugate gradient on a random sparse SPD matrix."""
+
+    name = "cg"
+
+    def __init__(self, nprocs: int, n: int = 512, nnz_per_row: int = 6,
+                 iterations: int = 4):
+        super().__init__(nprocs)
+        if n < nprocs or nnz_per_row < 1 or iterations < 1:
+            raise ValueError("bad CG parameters")
+        self.n = n
+        self.nnz_per_row = nnz_per_row
+        self.iterations = iterations
+        self.residuals: List[float] = []
+        self._dot_value = 0.0
+        self._dot_result = 0.0
+        self._dot_contributions = 0
+
+    # -- setup -----------------------------------------------------------------
+
+    def _setup(self, space: AddressSpace, streams: RandomStreams) -> None:
+        rng = streams.fresh("cg_matrix")
+        n = self.n
+        # Random symmetric sparsity with a dominant diagonal => SPD.
+        dense = np.zeros((n, n))
+        for i in range(n):
+            cols = rng.choice(n, size=self.nnz_per_row, replace=False)
+            vals = rng.uniform(-1.0, 1.0, size=self.nnz_per_row)
+            dense[i, cols] += vals
+        dense = (dense + dense.T) / 2.0
+        dense[np.arange(n), np.arange(n)] = np.abs(dense).sum(axis=1) + 1.0
+        self.A = dense
+        #: Per-row column indices of structural nonzeros.
+        self.row_cols = [np.nonzero(dense[i])[0] for i in range(n)]
+        self.b = rng.standard_normal(n)
+
+        # Run state (functional).
+        self.x = np.zeros(n)
+        self.r = self.b.copy()
+        self.p = self.r.copy()
+        self.q = np.zeros(n)
+        self._rho = float(self.r @ self.r)
+        self.residuals = [float(np.sqrt(self._rho))]
+
+        # Shared arrays: all vectors blocked by rows.
+        self.p_array = space.alloc("cg_p", n, ELEM_BYTES, "blocked",
+                                   align_blocks_per_proc=True)
+        self.q_array = space.alloc("cg_q", n, ELEM_BYTES, "blocked",
+                                   align_blocks_per_proc=True)
+        self.x_array = space.alloc("cg_x", n, ELEM_BYTES, "blocked",
+                                   align_blocks_per_proc=True)
+        self.r_array = space.alloc("cg_r", n, ELEM_BYTES, "blocked",
+                                   align_blocks_per_proc=True)
+        # The dot-product accumulator lives on node 0.
+        self.dot_array = space.alloc("cg_dot", 1, ELEM_BYTES, ("node", 0))
+
+    # -- reduction helper -----------------------------------------------------------
+
+    def _reduce(self, pid: int, contribution: float):
+        """Lock-protected accumulation into the shared scalar.
+
+        Returns (via generator return) the fully reduced value.  The
+        result is latched by the last contributor, and every processor
+        reads it right after the closing barrier -- before anyone can
+        start the next reduction -- so the latch is race-free.
+        """
+        yield ops.Lock(DOT_LOCK)
+        yield ops.Read(self.dot_array.addr(0))
+        yield self.flops(1)
+        yield ops.Write(self.dot_array.addr(0))
+        self._dot_value += contribution
+        self._dot_contributions += 1
+        if self._dot_contributions == self.nprocs:
+            self._dot_result = self._dot_value
+            self._dot_value = 0.0
+            self._dot_contributions = 0
+        yield ops.Unlock(DOT_LOCK)
+        yield ops.Barrier(0)
+        # Everybody reads the reduced value.
+        yield ops.Read(self.dot_array.addr(0))
+        return self._dot_result
+
+    # -- the parallel program ----------------------------------------------------------
+
+    def proc_main(self, pid: int) -> Iterator[ops.Op]:
+        lo, hi = block_partition(self.n, self.nprocs, pid)
+        rows = range(lo, hi)
+        my_len = hi - lo
+        for iteration in range(self.iterations):
+            # q = A p over my rows: the irregular gather of p.
+            for i in rows:
+                cols = self.row_cols[i]
+                yield ops.ReadMany(self.p_array.addrs(cols))
+                yield self.flops(2 * len(cols))
+            self.q[lo:hi] = self.A[lo:hi] @ self.p
+            yield ops.WriteRange(self.q_array.addr(lo), my_len, ELEM_BYTES)
+            # alpha = rho / (p . q): local partial then global reduce.
+            yield ops.ReadRange(self.p_array.addr(lo), my_len, ELEM_BYTES)
+            yield ops.ReadRange(self.q_array.addr(lo), my_len, ELEM_BYTES)
+            yield self.flops(2 * my_len)
+            partial_pq = float(self.p[lo:hi] @ self.q[lo:hi])
+            pq = yield from self._reduce(pid, partial_pq)
+            alpha = self._rho / pq
+            # x += alpha p ; r -= alpha q  (all local rows).
+            yield ops.ReadRange(self.x_array.addr(lo), my_len, ELEM_BYTES)
+            yield ops.WriteRange(self.x_array.addr(lo), my_len, ELEM_BYTES)
+            yield ops.ReadRange(self.r_array.addr(lo), my_len, ELEM_BYTES)
+            yield ops.WriteRange(self.r_array.addr(lo), my_len, ELEM_BYTES)
+            yield self.flops(4 * my_len)
+            self.x[lo:hi] += alpha * self.p[lo:hi]
+            self.r[lo:hi] -= alpha * self.q[lo:hi]
+            # rho' = r . r: second reduction.
+            yield self.flops(2 * my_len)
+            partial_rr = float(self.r[lo:hi] @ self.r[lo:hi])
+            rho_new = yield from self._reduce(pid, partial_rr)
+            beta = rho_new / self._rho
+            # p = r + beta p (writes p, which everyone gathers next
+            # iteration -- the coherence hot spot).
+            yield ops.ReadRange(self.r_array.addr(lo), my_len, ELEM_BYTES)
+            yield ops.WriteRange(self.p_array.addr(lo), my_len, ELEM_BYTES)
+            yield self.flops(2 * my_len)
+            self.p[lo:hi] = self.r[lo:hi] + beta * self.p[lo:hi]
+            yield ops.Barrier(0)
+            if pid == 0:
+                self._rho = rho_new
+                self.residuals.append(float(np.sqrt(rho_new)))
+            yield ops.Barrier(0)
+
+    # -- verification ------------------------------------------------------------------
+
+    def verify(self) -> bool:
+        # The run must have recorded one residual per iteration...
+        if len(self.residuals) != self.iterations + 1:
+            return False
+        # ... the simulated recurrence must match a sequential CG ...
+        expected = self._sequential_residuals()
+        if not np.allclose(self.residuals, expected, rtol=1e-6):
+            return False
+        # ... and CG must actually be converging.
+        return self.residuals[-1] < 0.9 * self.residuals[0]
+
+    def _sequential_residuals(self) -> List[float]:
+        x = np.zeros(self.n)
+        r = self.b.copy()
+        p = r.copy()
+        rho = float(r @ r)
+        out = [float(np.sqrt(rho))]
+        for _ in range(self.iterations):
+            q = self.A @ p
+            alpha = rho / float(p @ q)
+            x += alpha * p
+            r -= alpha * q
+            rho_new = float(r @ r)
+            out.append(float(np.sqrt(rho_new)))
+            p = r + (rho_new / rho) * p
+            rho = rho_new
+        return out

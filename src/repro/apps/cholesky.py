@@ -1,0 +1,231 @@
+"""CHOLESKY -- sparse Cholesky factorization with dynamic scheduling.
+
+Modeled on the SPLASH CHOLESKY benchmark: a left-looking sparse column
+factorization in which *columns are tasks* handed out from a shared,
+lock-protected work queue.  A column ``j`` becomes ready once every
+column ``k < j`` with ``L[j,k] != 0`` has completed; completing a column
+decrements its dependents' counters and pushes newly ready columns.
+
+Which processor factors which column -- and therefore the entire
+communication pattern -- is decided *in simulated time* by the order in
+which processors win the queue lock.  This is the dynamic behaviour the
+paper contrasts with the static applications: "CHOLESKY uses a
+dynamically maintained queue of runnable tasks", so its locality cannot
+be exploited by static placement.
+
+The input is constructed as ``A = L0 @ L0.T`` for a random sparse
+lower-triangular ``L0`` with positive diagonal; by uniqueness of the
+Cholesky factorization the exact factor *is* ``L0``, there is no
+numerical fill outside ``pattern(L0)``, and verification can demand the
+simulated factorization reproduce ``L0`` to machine precision -- which
+only happens if the dynamic schedule respected every dependence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ..core import ops
+from ..engine.rng import RandomStreams
+from ..memory.address import AddressSpace
+from .base import Application
+
+#: Lock id guarding the task queue.
+SCHED_LOCK = 0
+
+#: Base lock id for the per-column dependence counters (fine-grained,
+#: as in SPLASH; counter for column j uses lock COUNTER_LOCK_BASE + j).
+COUNTER_LOCK_BASE = 16
+
+#: Stored size of one matrix value / queue slot, bytes.
+ELEM_BYTES = 8
+
+#: Bookkeeping cycles charged per scheduler interaction.
+SCHED_OPS = 20
+
+
+class Cholesky(Application):
+    """SPLASH-style sparse Cholesky with a dynamic task queue."""
+
+    name = "cholesky"
+
+    def __init__(self, nprocs: int, n: int = 192, density: float = 0.10):
+        super().__init__(nprocs)
+        if n < 2 or not 0.0 < density <= 1.0:
+            raise ValueError("bad Cholesky parameters")
+        self.n = n
+        self.density = density
+        #: Which processor factored each column (filled during the run).
+        self.column_owner = [-1] * n
+        self._completed = 0
+        self._version = 0
+        self._head = 0
+        self._queue: List[int] = []
+
+    # -- setup -----------------------------------------------------------------
+
+    def _setup(self, space: AddressSpace, streams: RandomStreams) -> None:
+        rng = streams.fresh("cholesky")
+        n = self.n
+        # Random sparse lower-triangular factor with positive diagonal.
+        lower = np.tril(
+            (rng.random((n, n)) < self.density).astype(float)
+            * rng.uniform(-0.5, 0.5, (n, n)),
+            k=-1,
+        )
+        diag = rng.uniform(1.0, 2.0, n)
+        self.L0 = lower + np.diag(diag)
+        A = self.L0 @ self.L0.T
+
+        #: Row indices of each column's structural nonzeros (>= j).
+        self.col_rows: List[np.ndarray] = [
+            np.nonzero(self.L0[:, j])[0] for j in range(n)
+        ]
+        #: Current numeric values of each column (restricted to pattern).
+        self.col_values: List[np.ndarray] = [
+            A[self.col_rows[j], j].copy() for j in range(n)
+        ]
+        #: deps[j]: columns k < j whose completion column j awaits.
+        self.deps: List[np.ndarray] = [
+            np.nonzero(self.L0[j, :j])[0] for j in range(n)
+        ]
+        #: dependents[k]: columns j > k unlocked (partially) by k.
+        self.dependents: List[List[int]] = [[] for _ in range(n)]
+        for j in range(n):
+            for k in self.deps[j]:
+                self.dependents[int(k)].append(j)
+        self.dep_count = np.array([len(d) for d in self.deps])
+
+        # cmod(j, k) index maps: positions updated in col j, the matching
+        # positions in col k, and where row j sits in col k.
+        self._cmod_maps: Dict[Tuple[int, int], Tuple] = {}
+        row_pos = [
+            {int(r): i for i, r in enumerate(self.col_rows[j])}
+            for j in range(n)
+        ]
+        for j in range(n):
+            for k in self.deps[j]:
+                k = int(k)
+                pos_k = row_pos[k]
+                idx_j, idx_k = [], []
+                for i, row in enumerate(self.col_rows[j]):
+                    pk = pos_k.get(int(row))
+                    if pk is not None:
+                        idx_j.append(i)
+                        idx_k.append(pk)
+                self._cmod_maps[(j, k)] = (
+                    np.array(idx_j, dtype=int),
+                    np.array(idx_k, dtype=int),
+                    pos_k[j],
+                )
+
+        # Shared data: one region per column, homes round-robin -- but a
+        # column is factored by whoever pops it, so home != writer in
+        # general (dynamic scheduling defeats placement).
+        self.col_arrays = [
+            space.alloc(
+                f"chol_col{j}", len(self.col_rows[j]), ELEM_BYTES,
+                ("node", j % self.nprocs),
+            )
+            for j in range(n)
+        ]
+        self.queue_array = space.alloc("chol_queue", n, ELEM_BYTES, ("node", 0))
+        self.dep_count_array = space.alloc(
+            "chol_depcnt", n, ELEM_BYTES, "interleaved"
+        )
+        # head, tail words.
+        self.ht_array = space.alloc("chol_ht", 2, ELEM_BYTES, ("node", 0))
+        self.flag_array = space.alloc("chol_flag", 1, ELEM_BYTES, ("node", 0))
+
+        # Seed the queue with leaf columns (no dependences).
+        self._queue = [j for j in range(n) if self.dep_count[j] == 0]
+
+    # -- the parallel program -----------------------------------------------------------
+
+    def proc_main(self, pid: int) -> Iterator[ops.Op]:
+        head_addr = self.ht_array.addr(0)
+        tail_addr = self.ht_array.addr(1)
+        flag_addr = self.flag_array.addr(0)
+        n = self.n
+        while True:
+            yield ops.Lock(SCHED_LOCK)
+            yield ops.Read(head_addr)
+            yield ops.Read(tail_addr)
+            yield self.int_ops(SCHED_OPS)
+            if self._head < len(self._queue):
+                column = self._queue[self._head]
+                yield ops.Read(self.queue_array.addr(self._head))
+                self._head += 1
+                yield ops.Write(head_addr)
+                yield ops.Unlock(SCHED_LOCK)
+                self.column_owner[column] = pid
+                yield from self._factor_column(pid, column)
+            else:
+                done = self._completed == n
+                version = self._version
+                yield ops.Unlock(SCHED_LOCK)
+                if done:
+                    return
+                yield ops.WaitFlag(flag_addr, version + 1, cmp="ge")
+
+    def _factor_column(self, pid: int, j: int) -> Iterator[ops.Op]:
+        """cmod(j, k) for every completed source k, then cdiv(j)."""
+        own = self.col_arrays[j]
+        own_len = len(self.col_rows[j])
+        values_j = self.col_values[j]
+        for k in self.deps[j]:
+            k = int(k)
+            source = self.col_arrays[k]
+            source_len = len(self.col_rows[k])
+            # Read the source column (produced -- and cached dirty -- by
+            # whichever processor factored it).
+            yield ops.ReadRange(source.addr(0), source_len, ELEM_BYTES)
+            idx_j, idx_k, pos_jk = self._cmod_maps[(j, k)]
+            multiplier = self.col_values[k][pos_jk]
+            yield self.flops(2 * len(idx_j) + 2)
+            values_j[idx_j] -= multiplier * self.col_values[k][idx_k]
+            yield ops.ReadMany(own.addrs(idx_j))
+            yield ops.WriteMany(own.addrs(idx_j))
+        # cdiv(j): scale by the square root of the diagonal.
+        yield ops.ReadRange(own.addr(0), own_len, ELEM_BYTES)
+        yield self.flops(own_len + 2)
+        pivot = float(np.sqrt(values_j[0]))
+        values_j[0] = pivot
+        values_j[1:] /= pivot
+        yield ops.WriteRange(own.addr(0), own_len, ELEM_BYTES)
+        # Completion: decrement dependents under fine-grained counter
+        # locks (SPLASH-style), then push any newly ready columns.
+        ready: List[int] = []
+        for dependent in self.dependents[j]:
+            yield ops.Lock(COUNTER_LOCK_BASE + dependent)
+            yield ops.Read(self.dep_count_array.addr(dependent))
+            yield ops.Write(self.dep_count_array.addr(dependent))
+            self.dep_count[dependent] -= 1
+            if self.dep_count[dependent] == 0:
+                ready.append(dependent)
+            yield ops.Unlock(COUNTER_LOCK_BASE + dependent)
+        yield ops.Lock(SCHED_LOCK)
+        for column in ready:
+            yield ops.Write(self.queue_array.addr(len(self._queue)))
+            yield ops.Write(self.ht_array.addr(1))
+            self._queue.append(column)
+        yield self.int_ops(SCHED_OPS)
+        self._completed += 1
+        if ready or self._completed == self.n:
+            self._version += 1
+            yield ops.SetFlag(self.flag_array.addr(0), self._version)
+        yield ops.Unlock(SCHED_LOCK)
+
+    # -- verification ------------------------------------------------------------------
+
+    def verify(self) -> bool:
+        if self._completed != self.n:
+            return False
+        if self._head != self.n or len(self._queue) != self.n:
+            return False
+        factor = np.zeros((self.n, self.n))
+        for j in range(self.n):
+            factor[self.col_rows[j], j] = self.col_values[j]
+        return bool(np.allclose(factor, self.L0, atol=1e-9))

@@ -1,0 +1,136 @@
+"""EP -- the NAS Embarrassingly Parallel kernel.
+
+Each processor generates its share of pseudorandom (x, y) pairs,
+transforms the accepted ones into Gaussian deviates with the Marsaglia
+polar method, and accumulates the sums of the deviates plus counts of
+their concentric square annuli.  Communication happens only at the end:
+the partial sums are combined along a *condition-variable chain* --
+processor ``i`` waits for a flag set by processor ``i+1``, adds its
+partials to the global sums, and signals processor ``i-1``.
+
+This matches the paper's description (appendix): "In EP, a processor
+waits on a condition variable to be signaled by another", and EP's
+defining characteristic -- the highest computation-to-communication
+ratio of the suite -- which is why all three machine models agree on its
+execution time (Fig. 12) while LogP's latency overhead still explodes
+with spin polls (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..core import ops
+from ..engine.rng import RandomStreams
+from ..memory.address import AddressSpace
+from .base import Application, block_partition
+
+#: Cycles charged per generated pair (two LCG draws, squares, compare,
+#: and -- for accepted pairs -- log/sqrt on a 33 MHz SPARC).
+CYCLES_PER_PAIR = 80
+
+#: Number of annulus counters (NAS EP tabulates |X|,|Y| into 10 bins).
+NUM_BINS = 10
+
+#: Pairs processed per Compute operation (simulation batching only).
+BATCH_PAIRS = 2_048
+
+
+class EP(Application):
+    """NAS EP: embarrassingly parallel Gaussian-deviate tabulation."""
+
+    name = "ep"
+
+    def __init__(self, nprocs: int, pairs: int = 32_768):
+        super().__init__(nprocs)
+        if pairs < nprocs:
+            raise ValueError("pairs must be >= nprocs")
+        self.pairs = pairs
+        #: Per-processor partial results, filled during the run.
+        self._partials = [None] * nprocs
+        #: The shared global-sum state (12 numbers: sx, sy, q[0..9]).
+        self.global_sums = np.zeros(NUM_BINS + 2)
+        #: How many processors have folded in their partials.
+        self._folded = 0
+
+    # -- setup -----------------------------------------------------------------
+
+    def _setup(self, space: AddressSpace, streams: RandomStreams) -> None:
+        self._streams = streams
+        # The 12 global sums share a few blocks homed on node 0 --
+        # the classic "global accumulator" structure.
+        self.sums = space.alloc("ep_sums", NUM_BINS + 2, 8, ("node", 0))
+        # One condition flag per processor, one block each (no false
+        # sharing), homed on its own node.
+        self.flags = space.alloc(
+            "ep_flags",
+            self.nprocs,
+            space.block_bytes,
+            "blocked",
+            align_blocks_per_proc=True,
+        )
+
+    def _generate(self, pid: int) -> np.ndarray:
+        """Compute processor ``pid``'s partial sums (sx, sy, q[10])."""
+        start, end = block_partition(self.pairs, self.nprocs, pid)
+        rng = self._streams.stream("ep", pid)
+        xy = rng.uniform(-1.0, 1.0, size=(end - start, 2))
+        t = xy[:, 0] ** 2 + xy[:, 1] ** 2
+        accepted = (t > 0.0) & (t <= 1.0)
+        xa, ya, ta = xy[accepted, 0], xy[accepted, 1], t[accepted]
+        scale = np.sqrt(-2.0 * np.log(ta) / ta)
+        gx, gy = xa * scale, ya * scale
+        partial = np.zeros(NUM_BINS + 2)
+        partial[0] = gx.sum()
+        partial[1] = gy.sum()
+        bins = np.maximum(np.abs(gx), np.abs(gy)).astype(int)
+        bins = np.clip(bins, 0, NUM_BINS - 1)
+        partial[2:] = np.bincount(bins, minlength=NUM_BINS)
+        return partial
+
+    # -- the parallel program ------------------------------------------------------
+
+    def proc_main(self, pid: int) -> Iterator[ops.Op]:
+        start, end = block_partition(self.pairs, self.nprocs, pid)
+        remaining = end - start
+        # Generation phase: purely local computation.
+        while remaining > 0:
+            batch = min(BATCH_PAIRS, remaining)
+            yield ops.Compute(batch * CYCLES_PER_PAIR)
+            remaining -= batch
+        self._partials[pid] = self._generate(pid)
+        # Reduction chain: p-1 folds first, 0 folds last.
+        if pid != self.nprocs - 1:
+            yield ops.WaitFlag(self.flags.addr(pid + 1), 1, cmp="ge")
+        # Read-modify-write each global sum.
+        for index in range(NUM_BINS + 2):
+            yield ops.Read(self.sums.addr(index))
+            yield ops.Write(self.sums.addr(index))
+        yield self.flops(NUM_BINS + 2)
+        self.global_sums += self._partials[pid]
+        self._folded += 1
+        if pid != 0:
+            yield ops.SetFlag(self.flags.addr(pid), 1)
+        # Everyone picks up the final totals.
+        yield ops.Barrier(0)
+        yield ops.ReadRange(self.sums.addr(0), NUM_BINS + 2, 8)
+
+    # -- verification ------------------------------------------------------------------
+
+    def verify(self) -> bool:
+        if self._folded != self.nprocs:
+            return False
+        expected = np.zeros(NUM_BINS + 2)
+        for pid in range(self.nprocs):
+            partial = self._partials[pid]
+            if partial is None:
+                return False
+            expected += partial
+        if not np.allclose(self.global_sums, expected):
+            return False
+        # Sanity: acceptance rate of the polar method is pi/4.
+        total_accepted = self.global_sums[2:].sum()
+        rate = total_accepted / self.pairs
+        return 0.7 < rate < 0.87

@@ -1,0 +1,168 @@
+"""IS -- the NAS Integer Sort kernel.
+
+Keys uniform in ``[0, buckets)`` are block-distributed.  Each ranking
+iteration:
+
+1. every processor histograms its local keys (local work),
+2. the local histograms are merged into a *shared global histogram*
+   under mutual-exclusion locks (the paper: "it uses locks for mutual
+   exclusion during the execution") -- the histogram is split into a few
+   lock-guarded chunks, and only buckets the processor actually touched
+   are read-modify-written,
+3. processor 0 prefix-sums the global histogram,
+4. every processor ranks its own keys by gathering the bucket offsets
+   it needs (irregular but statically determined reads).
+
+Barriers separate the phases.  The final ranks are verified to be a
+permutation that sorts the keys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from ..core import ops
+from ..engine.rng import RandomStreams
+from ..memory.address import AddressSpace
+from .base import Application, block_partition
+
+#: Number of lock-guarded chunks of the global histogram.
+HISTOGRAM_LOCKS = 8
+
+#: Integer ops charged per key during local histogramming / ranking.
+KEY_COST_OPS = 6
+
+#: Stored size of a key / bucket counter, bytes.
+INT_BYTES = 4
+
+
+class IntegerSort(Application):
+    """NAS IS: parallel bucket/counting rank of random integer keys."""
+
+    name = "is"
+
+    def __init__(self, nprocs: int, keys: int = 4_096, buckets: int = 512,
+                 iterations: int = 2):
+        super().__init__(nprocs)
+        if keys < nprocs or buckets < 2 or iterations < 1:
+            raise ValueError("bad IS parameters")
+        self.nkeys = keys
+        self.nbuckets = buckets
+        self.iterations = iterations
+        #: Shared global histogram values (functional state).
+        self.hist_values = np.zeros(buckets, dtype=np.int64)
+        #: Final key ranks (functional result).
+        self.rank_values = np.zeros(keys, dtype=np.int64)
+        self._prefix = np.zeros(buckets, dtype=np.int64)
+        self._local_hists: List[np.ndarray] = [None] * nprocs
+
+    # -- setup -----------------------------------------------------------------
+
+    def _setup(self, space: AddressSpace, streams: RandomStreams) -> None:
+        rng = streams.fresh("is_keys")
+        self.keys = rng.integers(0, self.nbuckets, size=self.nkeys)
+        self.key_array = space.alloc(
+            "is_keys", self.nkeys, INT_BYTES, "blocked",
+            align_blocks_per_proc=True,
+        )
+        # The shared histogram is the hot structure: interleave its
+        # blocks round-robin so no single home node melts.
+        self.hist_array = space.alloc(
+            "is_hist", self.nbuckets, INT_BYTES, "interleaved"
+        )
+        self.rank_array = space.alloc(
+            "is_ranks", self.nkeys, INT_BYTES, "blocked",
+            align_blocks_per_proc=True,
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _chunk_of(self, bucket: int) -> int:
+        """Which lock guards this bucket."""
+        per_chunk = -(-self.nbuckets // HISTOGRAM_LOCKS)
+        return bucket // per_chunk
+
+    # -- the parallel program -------------------------------------------------------
+
+    def proc_main(self, pid: int) -> Iterator[ops.Op]:
+        lo, hi = block_partition(self.nkeys, self.nprocs, pid)
+        my_keys = self.keys[lo:hi]
+        for _iteration in range(self.iterations):
+            # Phase 1: local histogram (local reads + integer work).
+            yield ops.ReadRange(
+                self.key_array.addr(lo), hi - lo, INT_BYTES
+            )
+            yield self.int_ops(len(my_keys) * KEY_COST_OPS)
+            local = np.bincount(my_keys, minlength=self.nbuckets).astype(np.int64)
+            self._local_hists[pid] = local
+            touched = np.nonzero(local)[0]
+            # Phase 2: merge into the global histogram under chunk locks.
+            per_chunk = -(-self.nbuckets // HISTOGRAM_LOCKS)
+            for chunk in range(HISTOGRAM_LOCKS):
+                chunk_buckets = touched[
+                    (touched >= chunk * per_chunk)
+                    & (touched < (chunk + 1) * per_chunk)
+                ]
+                if len(chunk_buckets) == 0:
+                    continue
+                addrs = self.hist_array.addrs(chunk_buckets)
+                yield ops.Lock(chunk)
+                yield ops.ReadMany(addrs)
+                yield self.int_ops(len(chunk_buckets))
+                yield ops.WriteMany(addrs)
+                self.hist_values[chunk_buckets] += local[chunk_buckets]
+                yield ops.Unlock(chunk)
+            yield ops.Barrier(0)
+            # Phase 3: processor 0 prefix-sums the histogram.
+            if pid == 0:
+                yield ops.ReadRange(
+                    self.hist_array.addr(0), self.nbuckets, INT_BYTES
+                )
+                yield self.int_ops(self.nbuckets)
+                self._prefix = np.concatenate(
+                    ([0], np.cumsum(self.hist_values)[:-1])
+                )
+                yield ops.WriteRange(
+                    self.hist_array.addr(0), self.nbuckets, INT_BYTES
+                )
+                # Reset counts for the next iteration.
+                self.hist_values[:] = 0
+            yield ops.Barrier(0)
+            # Phase 4: rank local keys -- gather the offsets we need.
+            yield ops.ReadMany(self.hist_array.addrs(np.unique(my_keys)))
+            yield self.int_ops(len(my_keys) * KEY_COST_OPS)
+            self.rank_values[lo:hi] = self._compute_ranks(pid, my_keys)
+            yield ops.WriteRange(
+                self.rank_array.addr(lo), hi - lo, INT_BYTES
+            )
+            yield ops.Barrier(0)
+
+    def _compute_ranks(self, pid: int, my_keys: np.ndarray) -> np.ndarray:
+        """Stable global ranks of this processor's keys."""
+        # Keys equal to k in lower-numbered processors rank first.
+        earlier = np.zeros(self.nbuckets, dtype=np.int64)
+        for other in range(pid):
+            other_hist = self._local_hists[other]
+            if other_hist is not None:
+                earlier += other_hist
+        base = self._prefix[my_keys] + earlier[my_keys]
+        # ... then stable order within the processor.
+        within = np.zeros(len(my_keys), dtype=np.int64)
+        seen = {}
+        for position, key in enumerate(my_keys):
+            occurrence = seen.get(key, 0)
+            within[position] = occurrence
+            seen[key] = occurrence + 1
+        return base + within
+
+    # -- verification ------------------------------------------------------------------
+
+    def verify(self) -> bool:
+        ranks = self.rank_values
+        if sorted(ranks) != list(range(self.nkeys)):
+            return False
+        ordered = np.empty(self.nkeys, dtype=np.int64)
+        ordered[ranks] = self.keys
+        return bool(np.all(np.diff(ordered) >= 0))

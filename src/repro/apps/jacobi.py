@@ -1,0 +1,87 @@
+"""JACOBI -- 1-D Jacobi relaxation (extension to the paper's suite).
+
+Not one of the paper's five applications, but included because it is
+the cleanest probe of *communication locality*: a block-distributed
+grid where each sweep communicates exactly two halo elements with the
+neighbouring processors.  Mapped onto the mesh or hypercube, almost no
+message crosses the bisection, making the bisection-bandwidth-derived
+``g`` maximally pessimistic -- the stress case for the paper's
+contention discussion and the showcase for the history-based adaptive
+``g`` (Section 7 future work, implemented in
+:class:`~repro.core.logp_net.LogPNetwork`).
+
+The relaxation is computed for real (against a snapshot per sweep, the
+same technique as :class:`~repro.apps.fft.FFT`) and verified against a
+sequential numpy run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..core import ops
+from ..engine.rng import RandomStreams
+from ..memory.address import AddressSpace
+from .base import Application, block_partition
+
+#: Stored size of one grid element, bytes.
+ELEM_BYTES = 8
+
+#: Floating-point operations per updated grid point.
+FLOPS_PER_POINT = 3
+
+
+def relax(values: np.ndarray) -> np.ndarray:
+    """One sequential sweep with replicated-boundary conditions."""
+    padded = np.concatenate(([values[0]], values, [values[-1]]))
+    return (padded[:-2] + padded[1:-1] + padded[2:]) / 3.0
+
+
+class Jacobi(Application):
+    """1-D Jacobi relaxation with halo exchange through shared memory."""
+
+    name = "jacobi"
+
+    def __init__(self, nprocs: int, n: int = 4_096, sweeps: int = 4):
+        super().__init__(nprocs)
+        if n < nprocs or sweeps < 1:
+            raise ValueError("bad Jacobi parameters")
+        self.n = n
+        self.sweeps = sweeps
+        self.values: np.ndarray = np.empty(0)
+        self._snapshots: Dict[int, np.ndarray] = {}
+
+    def _setup(self, space: AddressSpace, streams: RandomStreams) -> None:
+        rng = streams.fresh("jacobi")
+        self.initial = rng.standard_normal(self.n)
+        self.values = self.initial.copy()
+        self.grid = space.alloc(
+            "jacobi_grid", self.n, ELEM_BYTES, "blocked",
+            align_blocks_per_proc=True,
+        )
+
+    def proc_main(self, pid: int) -> Iterator[ops.Op]:
+        lo, hi = block_partition(self.n, self.nprocs, pid)
+        for sweep in range(self.sweeps):
+            yield ops.Barrier(0)
+            if sweep not in self._snapshots:
+                self._snapshots[sweep] = self.values.copy()
+                self._snapshots.pop(sweep - 2, None)
+            # Halo reads: the neighbours' boundary elements only.
+            if lo > 0:
+                yield ops.Read(self.grid.addr(lo - 1))
+            if hi < self.n:
+                yield ops.Read(self.grid.addr(hi))
+            yield ops.ReadRange(self.grid.addr(lo), hi - lo, ELEM_BYTES)
+            yield self.flops(FLOPS_PER_POINT * (hi - lo))
+            self.values[lo:hi] = relax(self._snapshots[sweep])[lo:hi]
+            yield ops.WriteRange(self.grid.addr(lo), hi - lo, ELEM_BYTES)
+        yield ops.Barrier(0)
+
+    def verify(self) -> bool:
+        expected = self.initial.copy()
+        for _ in range(self.sweeps):
+            expected = relax(expected)
+        return bool(np.allclose(self.values, expected))

@@ -1,0 +1,278 @@
+"""Command-line interface.
+
+::
+
+    repro list                              # apps, machines, topologies, figures
+    repro params --topology mesh -p 32      # derived LogP parameters
+    repro run --app fft --machine target --topology mesh -p 8
+    repro figure fig13 [--preset quick]     # regenerate one paper figure
+    repro all [--preset quick]              # regenerate every figure
+    repro scalability --app cg --machine target   # speedup/overhead table
+    repro profile --app is -p 8             # per-processor overhead profile
+    repro trace record --app fft -p 4 --out fft.trace.json
+    repro trace replay fft.trace.json --machine target
+
+(Equivalently: ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .apps import APPLICATIONS, make_app
+from .config import MACHINES, TOPOLOGIES, SystemConfig
+from .core.params import derive_logp
+from .core.runner import simulate
+from .experiments import SweepRunner, experiment_ids, get_experiment, render_figure
+from .experiments.workloads import app_params
+from .units import ns_to_us
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=12345,
+                        help="master random seed (default 12345)")
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("applications :", ", ".join(sorted(APPLICATIONS)))
+    print("machines     :", ", ".join(MACHINES))
+    print("topologies   :", ", ".join(TOPOLOGIES))
+    print("experiments  :", ", ".join(experiment_ids()))
+    return 0
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    config = SystemConfig(processors=args.processors, topology=args.topology)
+    params = derive_logp(config)
+    print(f"topology={args.topology} P={params.P}")
+    print(f"L = {ns_to_us(params.L_ns):.2f} us")
+    print(f"g = {ns_to_us(params.g_ns):.2f} us")
+    print(f"o = {ns_to_us(params.o_ns):.2f} us")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = SystemConfig(
+        processors=args.processors,
+        topology=args.topology,
+        seed=args.seed,
+        protocol=args.protocol,
+        barrier=args.barrier,
+        adaptive_g=args.adaptive_g,
+        g_per_event_type=args.g_per_event_type,
+    )
+    app = make_app(
+        args.app, args.processors, **app_params(args.app, args.preset)
+    )
+    result = simulate(app, args.machine, config)
+    print(result.summary())
+    for pid, buckets in enumerate(result.buckets):
+        print(
+            f"  cpu{pid:<3d} compute={ns_to_us(buckets.compute_ns):10.1f}us "
+            f"memory={ns_to_us(buckets.memory_ns):10.1f}us "
+            f"latency={ns_to_us(buckets.latency_ns):10.1f}us "
+            f"contention={ns_to_us(buckets.contention_ns):10.1f}us "
+            f"sync={ns_to_us(buckets.sync_ns):10.1f}us"
+        )
+    return 0 if result.verified else 1
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    runner = SweepRunner(preset=args.preset, seed=args.seed)
+    for experiment_id in args.ids:
+        experiment = get_experiment(experiment_id)
+        print(render_figure(runner.run_experiment(experiment)))
+        print()
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    runner = SweepRunner(preset=args.preset, seed=args.seed)
+    for experiment_id in experiment_ids():
+        experiment = get_experiment(experiment_id)
+        print(render_figure(runner.run_experiment(experiment)))
+        print()
+    return 0
+
+
+def _cmd_scalability(args: argparse.Namespace) -> int:
+    from .analysis import scalability_table
+
+    results = []
+    for nprocs in args.sweep:
+        config = SystemConfig(
+            processors=nprocs, topology=args.topology, seed=args.seed
+        )
+        app = make_app(args.app, nprocs, **app_params(args.app, args.preset))
+        results.append(simulate(app, args.machine, config))
+    print(
+        f"{args.app} on {args.machine}/{args.topology} "
+        f"({args.preset} workload)"
+    )
+    print(scalability_table(results))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .analysis import profile_table
+
+    config = SystemConfig(
+        processors=args.processors, topology=args.topology, seed=args.seed
+    )
+    app = make_app(
+        args.app, args.processors, **app_params(args.app, args.preset)
+    )
+    result = simulate(app, args.machine, config)
+    print(profile_table(result))
+    return 0 if result.verified else 1
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from .trace import record_trace, save_trace
+
+    config = SystemConfig(
+        processors=args.processors, topology=args.topology, seed=args.seed
+    )
+    app = make_app(
+        args.app, args.processors, **app_params(args.app, args.preset)
+    )
+    result, trace = record_trace(app, args.machine, config)
+    save_trace(trace, args.out)
+    print(result.summary())
+    print(
+        f"recorded {trace.total_operations} operations from "
+        f"{trace.nprocs} processors to {args.out}"
+    )
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    from .trace import TraceApplication, load_trace
+
+    trace = load_trace(args.trace_file)
+    config = SystemConfig(
+        processors=trace.nprocs, topology=args.topology, seed=args.seed
+    )
+    result = simulate(TraceApplication(trace), args.machine, config)
+    print(result.summary())
+    if args.machine != trace.recorded_on:
+        print(
+            f"note: trace was recorded on {trace.recorded_on!r}; replaying "
+            f"on {args.machine!r} is the trace-driven approximation"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Abstracting Network Characteristics and "
+            "Locality Properties of Parallel Systems' (HPCA 1995)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list apps/machines/experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_params = sub.add_parser("params", help="show derived LogP parameters")
+    p_params.add_argument("--topology", choices=TOPOLOGIES, default="full")
+    p_params.add_argument("-p", "--processors", type=int, default=8)
+    p_params.set_defaults(func=_cmd_params)
+
+    p_run = sub.add_parser("run", help="one simulation")
+    p_run.add_argument("--app", choices=sorted(APPLICATIONS), required=True)
+    p_run.add_argument("--machine", choices=MACHINES, default="target")
+    p_run.add_argument("--topology", choices=TOPOLOGIES, default="full")
+    p_run.add_argument("-p", "--processors", type=int, default=8)
+    p_run.add_argument("--preset", choices=("default", "quick"),
+                       default="default")
+    p_run.add_argument("--protocol", choices=("berkeley", "illinois"),
+                       default="berkeley",
+                       help="coherence protocol of the cached machines")
+    p_run.add_argument("--barrier", choices=("central", "tree"),
+                       default="central", help="barrier implementation")
+    p_run.add_argument("--adaptive-g", action="store_true",
+                       help="history-based g estimation (Section 7)")
+    p_run.add_argument("--g-per-event-type", action="store_true",
+                       help="apply g only between identical event types")
+    _add_common(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_figure = sub.add_parser("figure", help="regenerate paper figures")
+    p_figure.add_argument("ids", nargs="+", metavar="FIG",
+                          help=f"one of {', '.join(experiment_ids())}")
+    p_figure.add_argument("--preset", choices=("default", "quick"),
+                          default="default")
+    _add_common(p_figure)
+    p_figure.set_defaults(func=_cmd_figure)
+
+    p_all = sub.add_parser("all", help="regenerate every figure")
+    p_all.add_argument("--preset", choices=("default", "quick"),
+                       default="default")
+    _add_common(p_all)
+    p_all.set_defaults(func=_cmd_all)
+
+    p_scal = sub.add_parser(
+        "scalability", help="speedup/efficiency/overhead sweep"
+    )
+    p_scal.add_argument("--app", choices=sorted(APPLICATIONS), required=True)
+    p_scal.add_argument("--machine", choices=MACHINES, default="target")
+    p_scal.add_argument("--topology", choices=TOPOLOGIES, default="full")
+    p_scal.add_argument(
+        "--sweep", type=lambda s: [int(x) for x in s.split(",")],
+        default=[1, 2, 4, 8, 16],
+        help="comma-separated processor counts (default 1,2,4,8,16)",
+    )
+    p_scal.add_argument("--preset", choices=("default", "quick"),
+                        default="default")
+    _add_common(p_scal)
+    p_scal.set_defaults(func=_cmd_scalability)
+
+    p_prof = sub.add_parser(
+        "profile", help="per-processor overhead profile of one run"
+    )
+    p_prof.add_argument("--app", choices=sorted(APPLICATIONS), required=True)
+    p_prof.add_argument("--machine", choices=MACHINES, default="target")
+    p_prof.add_argument("--topology", choices=TOPOLOGIES, default="full")
+    p_prof.add_argument("-p", "--processors", type=int, default=8)
+    p_prof.add_argument("--preset", choices=("default", "quick"),
+                        default="default")
+    _add_common(p_prof)
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_trace = sub.add_parser("trace", help="record / replay traces")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    p_record = trace_sub.add_parser("record", help="record a trace")
+    p_record.add_argument("--app", choices=sorted(APPLICATIONS),
+                          required=True)
+    p_record.add_argument("--machine", choices=MACHINES, default="clogp")
+    p_record.add_argument("--topology", choices=TOPOLOGIES, default="full")
+    p_record.add_argument("-p", "--processors", type=int, default=4)
+    p_record.add_argument("--preset", choices=("default", "quick"),
+                          default="quick")
+    p_record.add_argument("--out", required=True, help="output JSON path")
+    _add_common(p_record)
+    p_record.set_defaults(func=_cmd_trace_record)
+
+    p_replay = trace_sub.add_parser("replay", help="replay a trace")
+    p_replay.add_argument("trace_file", help="trace JSON path")
+    p_replay.add_argument("--machine", choices=MACHINES, default="target")
+    p_replay.add_argument("--topology", choices=TOPOLOGIES, default="full")
+    _add_common(p_replay)
+    p_replay.set_defaults(func=_cmd_trace_replay)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,221 @@
+"""Simulated-machine configuration.
+
+A single frozen dataclass, :class:`SystemConfig`, carries every hardware
+parameter used by the three machine models.  The defaults reproduce the
+hardware of the HPCA'95 paper:
+
+* 33 MHz SPARC processors (30 ns cycle),
+* serial unidirectional links at 20 MB/s (50 ns per byte),
+* data messages of 32 bytes (so the LogP ``L`` parameter is 1.6 us),
+* coherence control messages of 8 bytes on the detailed network,
+* 64 KB 2-way set-associative caches with 32-byte blocks,
+* fully-connected / binary-hypercube / 2-D-mesh topologies.
+
+The paper restricts the processor count to powers of two; we enforce the
+same restriction because the hypercube requires it and the mesh shape
+rule ("columns = 2x rows for odd powers of two") assumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from .errors import ConfigError
+from .units import KB
+
+#: Topology identifiers accepted by :class:`SystemConfig`.
+TOPOLOGIES: Tuple[str, ...] = ("full", "cube", "mesh")
+
+#: Machine-model identifiers used across the package.
+MACHINES: Tuple[str, ...] = ("target", "logp", "clogp", "ideal")
+
+#: Coherence protocols the cached machines can run.
+PROTOCOLS: Tuple[str, ...] = ("berkeley", "illinois")
+
+#: Barrier implementations.
+BARRIERS: Tuple[str, ...] = ("central", "tree")
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Hardware parameters shared by all machine models.
+
+    Attributes mirror the paper's architectural characteristics
+    (Section 5).  All times are integer nanoseconds.
+    """
+
+    #: Number of processing nodes (must be a power of two).
+    processors: int = 8
+
+    #: Interconnect topology: ``"full"``, ``"cube"`` or ``"mesh"``.
+    topology: str = "full"
+
+    #: Processor cycle time.  33 MHz SPARC => 30 ns.
+    cpu_cycle_ns: int = 30
+
+    #: Serial-link byte time.  20 MB/s => 50 ns per byte.
+    link_ns_per_byte: int = 50
+
+    #: Payload size of a data-carrying message (one cache block).
+    data_message_bytes: int = 32
+
+    #: Size of a coherence control message (request / inv / ack) on the
+    #: detailed target network.  The LogP machines charge every message
+    #: at the full ``L`` regardless (that pessimism is one of the
+    #: paper's observations).
+    control_message_bytes: int = 8
+
+    #: Per-hop switching delay on the detailed network.  The paper
+    #: assumes it "negligible compared to the transmission time" and
+    #: ignores it (0 here); setting it non-zero tests that assumption
+    #: (see ``bench_ablations``).
+    switch_delay_ns: int = 0
+
+    #: Private cache capacity in bytes.
+    cache_size_bytes: int = 64 * KB
+
+    #: Cache associativity (ways per set).
+    cache_assoc: int = 2
+
+    #: Cache block (line) size in bytes; also the coherence unit.
+    block_bytes: int = 32
+
+    #: Cache hit time in processor cycles.
+    cache_hit_cycles: int = 1
+
+    #: Local (home) memory access time in processor cycles.
+    memory_cycles: int = 10
+
+    #: Interval between successive spin polls of a remote location on
+    #: the cache-less LogP machine.  Each poll is a network round trip,
+    #: which is exactly why EP's latency overhead explodes on LogP.
+    poll_interval_ns: int = 4_000
+
+    #: When True, the LogP ``g`` gap is enforced only between network
+    #: events of the *same* kind (send-send or receive-receive) at a
+    #: node, instead of between any two events.  This is the relaxation
+    #: experimented with in Section 7 of the paper.
+    g_per_event_type: bool = False
+
+    #: Coherence protocol run by the cached machines: ``"berkeley"``
+    #: (the paper's target) or ``"illinois"`` (MESI -- the "fancier"
+    #: protocol the paper predicts would agree even closer with the
+    #: CLogP abstraction; see Sections 3.2 and 7).
+    protocol: str = "berkeley"
+
+    #: When True, the LogP ``g`` is scaled by the observed communication
+    #: locality (running mean of route hop counts relative to uniform
+    #: traffic) -- the history-based g estimation the paper suggests as
+    #: future work in Section 7.
+    adaptive_g: bool = False
+
+    #: Barrier implementation: ``"central"`` (lock-protected counter +
+    #: release flag, the classic 1994 construct and the default) or
+    #: ``"tree"`` (binary combining tree over per-node flags, which
+    #: keeps synchronization traffic local -- see the network-stats
+    #: tooling for why that matters).
+    barrier: str = "central"
+
+    #: Master seed for all deterministic random streams.
+    seed: int = 12345
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.processors):
+            raise ConfigError(
+                f"processors must be a power of two, got {self.processors}"
+            )
+        if self.topology not in TOPOLOGIES:
+            raise ConfigError(
+                f"unknown topology {self.topology!r}; expected one of {TOPOLOGIES}"
+            )
+        if self.block_bytes <= 0 or not _is_power_of_two(self.block_bytes):
+            raise ConfigError(
+                f"block_bytes must be a positive power of two, got {self.block_bytes}"
+            )
+        if self.cache_assoc <= 0:
+            raise ConfigError(f"cache_assoc must be positive, got {self.cache_assoc}")
+        if self.cache_size_bytes % (self.block_bytes * self.cache_assoc):
+            raise ConfigError(
+                "cache_size_bytes must be a multiple of block_bytes * cache_assoc "
+                f"({self.cache_size_bytes} % "
+                f"{self.block_bytes * self.cache_assoc} != 0)"
+            )
+        for name in (
+            "cpu_cycle_ns",
+            "link_ns_per_byte",
+            "data_message_bytes",
+            "control_message_bytes",
+            "cache_hit_cycles",
+            "memory_cycles",
+            "poll_interval_ns",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.data_message_bytes < self.block_bytes:
+            raise ConfigError(
+                "data_message_bytes must hold a full cache block "
+                f"({self.data_message_bytes} < {self.block_bytes})"
+            )
+        if self.protocol not in PROTOCOLS:
+            raise ConfigError(
+                f"unknown protocol {self.protocol!r}; expected one of "
+                f"{PROTOCOLS}"
+            )
+        if self.barrier not in BARRIERS:
+            raise ConfigError(
+                f"unknown barrier kind {self.barrier!r}; expected one of "
+                f"{BARRIERS}"
+            )
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def sets(self) -> int:
+        """Number of cache sets."""
+        return self.cache_size_bytes // (self.block_bytes * self.cache_assoc)
+
+    @property
+    def cache_hit_ns(self) -> int:
+        """Cache hit time in nanoseconds."""
+        return self.cache_hit_cycles * self.cpu_cycle_ns
+
+    @property
+    def memory_ns(self) -> int:
+        """Local memory access time in nanoseconds."""
+        return self.memory_cycles * self.cpu_cycle_ns
+
+    @property
+    def data_message_ns(self) -> int:
+        """Contention-free transmission time of a data message.
+
+        With 32-byte messages on 20 MB/s serial links this is 1600 ns:
+        the paper's ``L`` parameter.
+        """
+        return self.data_message_bytes * self.link_ns_per_byte
+
+    @property
+    def control_message_ns(self) -> int:
+        """Contention-free transmission time of a control message."""
+        return self.control_message_bytes * self.link_ns_per_byte
+
+    def cycles(self, n: int) -> int:
+        """Convert ``n`` processor cycles to nanoseconds."""
+        return n * self.cpu_cycle_ns
+
+    def with_(self, **changes) -> "SystemConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: A ready-made configuration matching the paper's hardware with 8 nodes.
+PAPER_CONFIG = SystemConfig()
+
+
+def paper_config(processors: int, topology: str = "full", **overrides) -> SystemConfig:
+    """Build the paper's hardware configuration for a given machine size."""
+    return SystemConfig(processors=processors, topology=topology, **overrides)

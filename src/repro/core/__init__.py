@@ -1,0 +1,64 @@
+"""The paper's primary contribution: three machine models under one
+execution-driven simulator, with SPASM-style overhead separation.
+
+* :class:`~repro.core.target.TargetMachine` -- detailed CC-NUMA:
+  Berkeley directory coherence over a circuit-switched network,
+* :class:`~repro.core.logp.LogPMachine` -- no caches, network abstracted
+  by the LogP ``L`` and ``g`` parameters,
+* :class:`~repro.core.clogp.CLogPMachine` -- LogP plus an *ideal
+  coherent cache* (coherence maintained, overhead unmodeled),
+* :class:`~repro.core.ideal_machine.IdealMachine` -- the PRAM-like
+  machine providing SPASM's "ideal time".
+
+Use :func:`~repro.core.runner.simulate` to run an application on a
+machine and obtain a :class:`~repro.core.accounting.RunResult`.
+"""
+
+from .accounting import OverheadBuckets, RunResult
+from .machine import Machine, Processor, make_machine, machine_names
+from .ops import (
+    Barrier,
+    Compute,
+    Lock,
+    Read,
+    ReadMany,
+    ReadRange,
+    SetFlag,
+    Unlock,
+    WaitFlag,
+    Write,
+    WriteMany,
+    WriteRange,
+)
+from .params import LogPParams, derive_logp
+from .runner import simulate
+
+# Machine registrations happen at import time.
+from . import target as _target  # noqa: F401
+from . import logp as _logp  # noqa: F401
+from . import clogp as _clogp  # noqa: F401
+from . import ideal_machine as _ideal  # noqa: F401
+
+__all__ = [
+    "OverheadBuckets",
+    "RunResult",
+    "Machine",
+    "Processor",
+    "make_machine",
+    "machine_names",
+    "LogPParams",
+    "derive_logp",
+    "simulate",
+    "Compute",
+    "Read",
+    "Write",
+    "ReadRange",
+    "WriteRange",
+    "ReadMany",
+    "WriteMany",
+    "Lock",
+    "Unlock",
+    "Barrier",
+    "SetFlag",
+    "WaitFlag",
+]

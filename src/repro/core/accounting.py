@@ -1,0 +1,155 @@
+"""SPASM-style overhead separation.
+
+SPASM's profiling novelty -- the thing the whole paper leans on -- is
+splitting a parallel execution into an *algorithmic* component and an
+*interaction* component, and splitting the interaction component into
+network **latency** (time messages would take on a contention-free
+network) and network **contention** (the rest of the time spent in, or
+waiting for, the network).  We keep per-processor buckets:
+
+``compute_ns``
+    cycles the application explicitly executes,
+``memory_ns``
+    cache-hit and local-memory time (present on the ideal machine too),
+``latency_ns``
+    contention-free transmission time of network messages the processor
+    waited on (plus, on LogP, the cost of spin polls),
+``contention_ns``
+    everything network-induced beyond that: link waiting (target),
+    ``g``-gap stalls (LogP/CLogP), directory serialization,
+``sync_ns``
+    time blocked on locks/barriers/flags that was *not* network time.
+
+``compute + memory`` over the critical path is what SPASM calls ideal
+time; we obtain it directly by running the application on
+:class:`~repro.core.ideal_machine.IdealMachine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..units import ns_to_us
+
+
+@dataclass
+class OverheadBuckets:
+    """Per-processor accumulated overhead components (nanoseconds)."""
+
+    compute_ns: int = 0
+    memory_ns: int = 0
+    latency_ns: int = 0
+    contention_ns: int = 0
+    sync_ns: int = 0
+
+    @property
+    def total_ns(self) -> int:
+        """Sum of all buckets (≈ the processor's busy+blocked time)."""
+        return (
+            self.compute_ns
+            + self.memory_ns
+            + self.latency_ns
+            + self.contention_ns
+            + self.sync_ns
+        )
+
+    def add(self, other: "OverheadBuckets") -> None:
+        """Accumulate another bucket set into this one."""
+        self.compute_ns += other.compute_ns
+        self.memory_ns += other.memory_ns
+        self.latency_ns += other.latency_ns
+        self.contention_ns += other.contention_ns
+        self.sync_ns += other.sync_ns
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "compute_ns": self.compute_ns,
+            "memory_ns": self.memory_ns,
+            "latency_ns": self.latency_ns,
+            "contention_ns": self.contention_ns,
+            "sync_ns": self.sync_ns,
+        }
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one (application, machine) simulation."""
+
+    app: str
+    machine: str
+    topology: str
+    nprocs: int
+
+    #: Simulated execution time: max over processors of finish time.
+    total_ns: int = 0
+
+    #: Per-processor overhead buckets, index = processor id.
+    buckets: List[OverheadBuckets] = field(default_factory=list)
+
+    #: Network messages transported (protocol messages on the target;
+    #: round-trip halves and spin polls on the LogP machines).
+    messages: int = 0
+
+    #: Scheduler steps executed by the discrete-event engine -- the
+    #: paper's "speed of simulation" argument is about event counts.
+    sim_events: int = 0
+
+    #: Host wall-clock seconds the simulation took.
+    wall_seconds: float = 0.0
+
+    #: Did the application's functional self-check pass?
+    verified: bool = False
+
+    # -- aggregates used by the paper's figures --------------------------------
+
+    def _mean(self, attribute: str) -> float:
+        if not self.buckets:
+            return 0.0
+        return sum(getattr(b, attribute) for b in self.buckets) / len(self.buckets)
+
+    @property
+    def total_us(self) -> float:
+        """Execution time in microseconds (figures 12-18)."""
+        return ns_to_us(self.total_ns)
+
+    @property
+    def mean_latency_us(self) -> float:
+        """Mean per-processor latency overhead, us (figures 1-5)."""
+        return ns_to_us(self._mean("latency_ns"))
+
+    @property
+    def mean_contention_us(self) -> float:
+        """Mean per-processor contention overhead, us (figures 6-11, 19-20)."""
+        return ns_to_us(self._mean("contention_ns"))
+
+    @property
+    def mean_compute_us(self) -> float:
+        return ns_to_us(self._mean("compute_ns"))
+
+    @property
+    def mean_memory_us(self) -> float:
+        return ns_to_us(self._mean("memory_ns"))
+
+    @property
+    def mean_sync_us(self) -> float:
+        return ns_to_us(self._mean("sync_ns"))
+
+    def metric(self, name: str) -> float:
+        """Figure metrics by name: ``execution|latency|contention``."""
+        if name == "execution":
+            return self.total_us
+        if name == "latency":
+            return self.mean_latency_us
+        if name == "contention":
+            return self.mean_contention_us
+        raise KeyError(f"unknown metric {name!r}")
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.app:9s} {self.machine:6s} {self.topology:4s} p={self.nprocs:<3d} "
+            f"time={self.total_us:12.1f}us latency={self.mean_latency_us:10.1f}us "
+            f"contention={self.mean_contention_us:10.1f}us msgs={self.messages:<8d} "
+            f"{'ok' if self.verified else 'FAILED'}"
+        )

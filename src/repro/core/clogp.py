@@ -1,0 +1,134 @@
+"""The CLogP machine: LogP plus an ideal coherent cache.
+
+This is the paper's proposed locality abstraction.  Each node has the
+target machine's cache running the *same* Berkeley state machine
+(:class:`~repro.core.coherence.CoherentMemory` is shared code), but the
+*overheads* of coherence maintenance are not modeled:
+
+* invalidations, acks, ownership grants and writebacks are free and
+  instantaneous -- state still changes, so a subsequent read by an
+  invalidated sharer misses on both machines;
+* the network is touched only when a reference "cannot be satisfied by
+  the cache or local memory": a miss whose data lives at a remote node
+  (remote home memory, or a remote dirty owner), costing one LogP round
+  trip of two full-``L`` messages.
+
+The network traffic this machine generates is therefore the minimum any
+invalidation-based protocol could hope to achieve -- the property the
+paper validates by comparing its latency curves against the target's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SystemConfig
+from ..errors import ProtocolError
+from .coherence import CoherentMemory
+from .logp_net import LogPNetwork
+from .machine import Machine, register_machine
+from .params import derive_logp
+
+
+@register_machine
+class CLogPMachine(Machine):
+    """LogP network + ideal (overhead-free) coherent caches."""
+
+    name = "clogp"
+
+    def __init__(self, config: SystemConfig):
+        super().__init__(config)
+        self.params = derive_logp(config, self.topology)
+        self.net = LogPNetwork(
+            self.sim,
+            self.params,
+            per_event_type=config.g_per_event_type,
+            topology=self.topology,
+            adaptive=config.adaptive_g,
+        )
+        self.memory = CoherentMemory(config, self.space)
+
+    # -- memory interface ---------------------------------------------------------
+
+    def try_fast(self, pid: int, addr: int, is_write: bool) -> Optional[int]:
+        config = self.config
+        block = addr // config.block_bytes
+        memory = self.memory
+        cache = memory.caches[pid]
+        state = cache.state_of(block)
+        if not is_write:
+            if state.is_valid:
+                cache.lookup(block)
+                return config.cache_hit_ns
+            if memory.read_source(pid, block) is not None:
+                return None  # remote data: needs a round trip
+            # Local fill from home memory: free of network, pays memory.
+            memory.plan_read(pid, block)
+            return config.cache_hit_ns + config.memory_ns
+        if state.is_writable:
+            cache.lookup(block)
+            return config.cache_hit_ns
+        if memory.try_silent_upgrade(pid, block):
+            cache.lookup(block)
+            return config.cache_hit_ns
+        if state.is_valid:
+            # Ownership upgrade: data already present, invalidations are
+            # coherence overhead and cost nothing here.
+            memory.plan_write(pid, block)
+            return config.cache_hit_ns
+        if memory.write_source(pid, block) is not None:
+            return None
+        memory.plan_write(pid, block)
+        return config.cache_hit_ns + config.memory_ns
+
+    def transact(self, pid: int, addr: int, is_write: bool):
+        config = self.config
+        block = addr // config.block_bytes
+        memory = self.memory
+        if is_write:
+            plan = memory.plan_write(pid, block)
+            if plan.fast:
+                raise ProtocolError("CLogP write transact on a writable line")
+            source = plan.source
+            from_memory = plan.from_memory
+        else:
+            plan = memory.plan_read(pid, block)
+            if plan.hit:
+                raise ProtocolError("CLogP read transact on a valid line")
+            source = plan.source
+            from_memory = plan.from_memory
+        if source is None or source == pid:
+            # The source moved local while we flushed pending time.
+            service = config.memory_ns
+            yield self.sim.timeout(service)
+            return 0, service
+        service = config.memory_ns if from_memory else config.cache_hit_ns
+        trip = self.net.round_trip(pid, source, service_ns=service)
+        yield self.sim.timeout(trip.total_ns)
+        return trip.latency_ns, service
+
+
+    def mp_transmit(self, pid: int, dst: int, nbytes: int):
+        """Explicit message through the LogP network, packetized.
+
+        Each packet is one LogP message: full ``L`` latency plus the
+        per-node ``g`` gating (and ``o``, were it non-zero) -- the
+        model's home turf, since LogP was formulated for message
+        passing.
+        """
+        if pid == dst:
+            return 0, 0
+        latency = 0
+        total = 0
+        remaining = nbytes
+        packet = self.config.data_message_bytes
+        while remaining > 0:
+            trip = self.net.one_way(pid, dst)
+            latency += trip.latency_ns
+            total = max(total, trip.total_ns)
+            remaining -= packet
+        yield self.sim.timeout(total)
+        return latency, 0
+
+    def message_count(self) -> int:
+        return self.net.messages

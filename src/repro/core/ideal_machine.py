@@ -1,0 +1,38 @@
+"""The ideal (PRAM-like) machine supplying SPASM's "ideal time".
+
+Every memory reference costs one cache-hit time, there is no network,
+and synchronization generates no traffic (waiting still takes simulated
+time -- work imbalance and serialization are *algorithmic* overheads and
+belong in ideal time).  The difference between an application's
+execution time on a real machine model and on this one is SPASM's
+"interaction component"; the ideal time itself captures the serial
+fraction and load imbalance of the algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from .machine import Machine, register_machine
+
+
+@register_machine
+class IdealMachine(Machine):
+    """PRAM-like machine: unit-cost conflict-free memory, free sync."""
+
+    name = "ideal"
+
+    def __init__(self, config: SystemConfig):
+        super().__init__(config)
+
+    def try_fast(self, pid: int, addr: int, is_write: bool) -> Optional[int]:
+        return self.config.cache_hit_ns
+
+    def transact(self, pid: int, addr: int, is_write: bool):
+        raise SimulationError(
+            "IdealMachine.transact should be unreachable: try_fast always "
+            "satisfies the access"
+        )
+        yield  # pragma: no cover - makes this a generator

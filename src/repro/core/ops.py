@@ -1,0 +1,230 @@
+"""Operations an application yields to its simulated processor.
+
+Applications are generators: each ``yield`` hands one of these
+operations to the :class:`~repro.core.machine.Processor`, which charges
+time and (for shared references) drives the machine model.  Memory
+operations carry plain integer addresses obtained from
+:class:`~repro.memory.address.SharedArray`.
+
+The range/many variants exist for simulation efficiency: a strided scan
+or an index gather is handed to the machine as one operation, which
+processes each element reference internally (per-element cache
+semantics are preserved) without a generator round trip per element.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+class Op:
+    """Base class for all operations (dispatch tag only)."""
+
+    __slots__ = ()
+
+
+class Compute(Op):
+    """Execute ``cycles`` of purely local computation."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int):
+        if cycles < 0:
+            raise ValueError(f"negative compute cycles {cycles}")
+        self.cycles = cycles
+
+    def __repr__(self) -> str:
+        return f"Compute({self.cycles})"
+
+
+class Read(Op):
+    """Load one shared element."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int):
+        self.addr = addr
+
+    def __repr__(self) -> str:
+        return f"Read({self.addr:#x})"
+
+
+class Write(Op):
+    """Store one shared element."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int):
+        self.addr = addr
+
+    def __repr__(self) -> str:
+        return f"Write({self.addr:#x})"
+
+
+class ReadRange(Op):
+    """Load ``count`` elements starting at ``addr`` with byte ``stride``."""
+
+    __slots__ = ("addr", "count", "stride")
+
+    def __init__(self, addr: int, count: int, stride: int):
+        if count < 0 or stride <= 0:
+            raise ValueError("count must be >= 0 and stride positive")
+        self.addr = addr
+        self.count = count
+        self.stride = stride
+
+    def __repr__(self) -> str:
+        return f"ReadRange({self.addr:#x}, n={self.count}, stride={self.stride})"
+
+
+class WriteRange(Op):
+    """Store ``count`` elements starting at ``addr`` with byte ``stride``."""
+
+    __slots__ = ("addr", "count", "stride")
+
+    def __init__(self, addr: int, count: int, stride: int):
+        if count < 0 or stride <= 0:
+            raise ValueError("count must be >= 0 and stride positive")
+        self.addr = addr
+        self.count = count
+        self.stride = stride
+
+    def __repr__(self) -> str:
+        return f"WriteRange({self.addr:#x}, n={self.count}, stride={self.stride})"
+
+
+class ReadMany(Op):
+    """Load an arbitrary list of addresses (index gather)."""
+
+    __slots__ = ("addrs",)
+
+    def __init__(self, addrs: Sequence[int]):
+        self.addrs: Tuple[int, ...] = tuple(addrs)
+
+    def __repr__(self) -> str:
+        return f"ReadMany(n={len(self.addrs)})"
+
+
+class WriteMany(Op):
+    """Store an arbitrary list of addresses (index scatter)."""
+
+    __slots__ = ("addrs",)
+
+    def __init__(self, addrs: Sequence[int]):
+        self.addrs: Tuple[int, ...] = tuple(addrs)
+
+    def __repr__(self) -> str:
+        return f"WriteMany(n={len(self.addrs)})"
+
+
+class Send(Op):
+    """Send ``nbytes`` to processor ``dst`` (message-passing paradigm).
+
+    SPASM simulated message-passing platforms alongside shared memory
+    ("SENDs and RECEIVEs ... that may potentially involve a network
+    access"); these operations expose the same capability.  Sends are
+    eager: the sender completes once its data has left for the
+    destination, where it is buffered until received.
+    """
+
+    __slots__ = ("dst", "nbytes", "tag")
+
+    def __init__(self, dst: int, nbytes: int, tag: int = 0):
+        if nbytes <= 0:
+            raise ValueError("message size must be positive")
+        self.dst = dst
+        self.nbytes = nbytes
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return f"Send(dst={self.dst}, {self.nbytes}B, tag={self.tag})"
+
+
+class Recv(Op):
+    """Block until a message from ``src`` with ``tag`` has arrived."""
+
+    __slots__ = ("src", "tag")
+
+    def __init__(self, src: int, tag: int = 0):
+        self.src = src
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return f"Recv(src={self.src}, tag={self.tag})"
+
+
+class Lock(Op):
+    """Acquire mutual-exclusion lock ``lock_id`` (test-test&set)."""
+
+    __slots__ = ("lock_id",)
+
+    def __init__(self, lock_id: int):
+        self.lock_id = lock_id
+
+    def __repr__(self) -> str:
+        return f"Lock({self.lock_id})"
+
+
+class Unlock(Op):
+    """Release lock ``lock_id``."""
+
+    __slots__ = ("lock_id",)
+
+    def __init__(self, lock_id: int):
+        self.lock_id = lock_id
+
+    def __repr__(self) -> str:
+        return f"Unlock({self.lock_id})"
+
+
+class Barrier(Op):
+    """Join global barrier ``barrier_id`` (all processors participate)."""
+
+    __slots__ = ("barrier_id",)
+
+    def __init__(self, barrier_id: int):
+        self.barrier_id = barrier_id
+
+    def __repr__(self) -> str:
+        return f"Barrier({self.barrier_id})"
+
+
+class SetFlag(Op):
+    """Write ``value`` to the condition variable at ``addr`` and wake waiters."""
+
+    __slots__ = ("addr", "value")
+
+    def __init__(self, addr: int, value: int):
+        self.addr = addr
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"SetFlag({self.addr:#x}, {self.value})"
+
+
+class WaitFlag(Op):
+    """Spin until the condition variable at ``addr`` satisfies the test.
+
+    ``cmp`` is ``"eq"`` (value equals) or ``"ge"`` (value at least).
+    On cached machines the spin sits in the cache (two network accesses:
+    the initial read and the re-read after the setter's invalidation);
+    on the cache-less LogP machine every poll is a network round trip.
+    """
+
+    __slots__ = ("addr", "value", "cmp")
+
+    def __init__(self, addr: int, value: int, cmp: str = "ge"):
+        if cmp not in ("eq", "ge"):
+            raise ValueError(f"cmp must be 'eq' or 'ge', got {cmp!r}")
+        self.addr = addr
+        self.value = value
+        self.cmp = cmp
+
+    def satisfied_by(self, current: int) -> bool:
+        """Does ``current`` satisfy the wait condition?"""
+        if self.cmp == "eq":
+            return current == self.value
+        return current >= self.value
+
+    def __repr__(self) -> str:
+        return f"WaitFlag({self.addr:#x}, {self.cmp} {self.value})"

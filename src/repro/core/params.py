@@ -1,0 +1,74 @@
+"""Deriving the LogP parameters from machine configuration.
+
+Following the paper (Section 5), which follows Culler et al.:
+
+* ``L`` is the contention-free network time of the largest (32-byte)
+  message: ``32 B x 50 ns/B = 1.6 us``, *independent of topology* --
+  with negligible switching delay the serial-link transmission dominates
+  the hop count.
+* ``g`` is derived from the cross-section (bisection) bandwidth
+  available per processor: in the worst case all ``P`` processors send
+  across the bisection, and ``P/2`` messages must share each direction's
+  ``bisection_links`` links, so a processor may inject at most one
+  message every ``g = L * (P/2) / bisection_links`` nanoseconds.
+
+For the paper's three networks this yields exactly the values quoted in
+Section 5 (with L = 1.6 us):
+
+* full:  ``g = 2L/P``          = 3.2/P us,
+* cube:  ``g = L``             = 1.6 us,
+* mesh:  ``g = L * cols / 2``  = 0.8 * cols us.
+
+The ``o`` (send/receive overhead) parameter is carried for completeness
+but is zero: on a shared-memory machine the message handling happens in
+hardware, and the paper explicitly drops ``o`` as insignificant next to
+``L`` and ``g``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from ..network.topology import Topology, make_topology
+
+
+@dataclass(frozen=True)
+class LogPParams:
+    """The LogP parameter vector for one machine configuration."""
+
+    #: Contention-free message latency, ns.
+    L_ns: int
+
+    #: Minimum gap between consecutive network events at a node, ns.
+    g_ns: int
+
+    #: Per-message processor overhead, ns (zero on shared memory).
+    o_ns: int
+
+    #: Number of processors.
+    P: int
+
+    @property
+    def round_trip_ns(self) -> int:
+        """Contention-free request/reply time: 2L + 2o."""
+        return 2 * self.L_ns + 2 * self.o_ns
+
+
+def derive_logp(config: SystemConfig, topology: Topology = None) -> LogPParams:
+    """Compute the LogP parameters for a configuration.
+
+    :param topology: pass an existing topology object to avoid
+        rebuilding one; it must match ``config``.
+    """
+    if topology is None:
+        topology = make_topology(config.topology, config.processors)
+    L = config.data_message_ns
+    nprocs = config.processors
+    if nprocs == 1:
+        g = 0
+    else:
+        bisection = topology.bisection_links()
+        # Messages from P/2 processors share the bisection's links.
+        g = round(L * (nprocs / 2) / bisection)
+    return LogPParams(L_ns=L, g_ns=g, o_ns=0, P=nprocs)

@@ -1,0 +1,82 @@
+"""Running an application on a machine model.
+
+:func:`simulate` is the package's main entry point: build the machine,
+let the application allocate its shared data and generate its input,
+spawn one simulated processor per node, run the event loop to
+completion, and collect a :class:`~repro.core.accounting.RunResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+from ..config import SystemConfig
+from ..errors import ApplicationError
+from .accounting import RunResult
+from .machine import Machine, Processor, make_machine
+
+
+def simulate(
+    app,
+    machine_name: str,
+    config: SystemConfig,
+    check_invariants: bool = False,
+) -> RunResult:
+    """Simulate ``app`` on the named machine model.
+
+    :param app: a fresh :class:`~repro.apps.base.Application` instance
+        (applications hold run state and must not be reused across runs).
+    :param machine_name: ``"target"``, ``"logp"``, ``"clogp"`` or ``"ideal"``.
+    :param config: hardware configuration; ``config.processors`` decides
+        how many application processes run.
+    :param check_invariants: verify coherence invariants after the run
+        (cached machines only; used by tests).
+    """
+    result, _machine = simulate_full(
+        app, machine_name, config, check_invariants=check_invariants
+    )
+    return result
+
+
+def simulate_full(
+    app,
+    machine_name: str,
+    config: SystemConfig,
+    check_invariants: bool = False,
+) -> Tuple[RunResult, Machine]:
+    """Like :func:`simulate` but also returns the machine for inspection."""
+    machine = make_machine(machine_name, config)
+    app.setup(machine.space, machine.streams)
+    processors = [Processor(machine, pid) for pid in range(config.processors)]
+    machine.processors = processors
+    for pid, processor in enumerate(processors):
+        machine.sim.spawn(processor.run(app.proc_main(pid)), name=f"cpu{pid}")
+    wall_start = time.perf_counter()
+    machine.sim.run()
+    wall = time.perf_counter() - wall_start
+    if check_invariants:
+        memory = getattr(machine, "memory", None)
+        if memory is not None:
+            memory.check_invariants()
+    verified = app.verify()
+    if not verified and app.strict_verify:
+        raise ApplicationError(
+            f"application {app.name!r} failed verification on "
+            f"{machine_name}/{config.topology}/p={config.processors}"
+        )
+    return (
+        RunResult(
+            app=app.name,
+            machine=machine_name,
+            topology=config.topology,
+            nprocs=config.processors,
+            total_ns=max(p.finish_ns for p in processors),
+            buckets=[p.buckets for p in processors],
+            messages=machine.message_count(),
+            sim_events=machine.sim.events_executed,
+            wall_seconds=wall,
+            verified=verified,
+        ),
+        machine,
+    )

@@ -1,0 +1,259 @@
+"""The target machine: detailed CC-NUMA simulation.
+
+This is the paper's reference point -- the machine whose "pertinent
+hardware features" are simulated in full:
+
+* per-node Berkeley caches kept sequentially consistent by a
+  fully-mapped directory at each block's home node,
+* every protocol message (request, forward, data, invalidation, ack,
+  writeback) individually transported over the circuit-switched
+  network, paying real link contention,
+* directory requests serialized per block at the home (a FIFO resource,
+  which doubles as the protocol's race-freedom mechanism),
+* NUMA local memory (``memory_cycles``) at the home node.
+
+Message sizes follow Section 5: data messages carry a 32-byte block;
+control messages are 8 bytes.  The LogP abstraction charges everything
+at the 32-byte ``L`` -- the paper calls out both that pessimism and the
+opposing optimism of CLogP not modeling this machine's coherence
+traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..config import SystemConfig
+from ..engine.core import all_of
+from ..engine.resource import Resource
+from ..network.fabric import Fabric
+from ..network.message import Message
+from .coherence import CoherentMemory
+from .machine import Machine, register_machine
+
+
+@register_machine
+class TargetMachine(Machine):
+    """Detailed CC-NUMA machine (caches + directory + real network)."""
+
+    name = "target"
+
+    def __init__(self, config: SystemConfig):
+        super().__init__(config)
+        self.fabric = Fabric(
+            self.sim, self.topology, config.link_ns_per_byte,
+            switch_delay_ns=config.switch_delay_ns,
+        )
+        self.memory = CoherentMemory(config, self.space)
+        self._home_locks: Dict[int, Resource] = {}
+        self._ctrl = config.control_message_bytes
+        self._data = config.data_message_bytes
+        #: Contention-free time of one invalidation+ack round.
+        self._inv_round_latency = 2 * config.control_message_ns
+
+    # -- memory interface ---------------------------------------------------------
+
+    def try_fast(self, pid: int, addr: int, is_write: bool) -> Optional[int]:
+        block = addr // self.config.block_bytes
+        cache = self.memory.caches[pid]
+        state = cache.state_of(block)
+        if (state.is_writable if is_write else state.is_valid):
+            cache.lookup(block)  # count the hit, touch LRU
+            return self.config.cache_hit_ns
+        if is_write and self.memory.try_silent_upgrade(pid, block):
+            # Illinois: EXCLUSIVE -> DIRTY without a directory
+            # transaction -- the "fancier protocol" saving.
+            cache.lookup(block)
+            return self.config.cache_hit_ns
+        return None
+
+    def transact(self, pid: int, addr: int, is_write: bool):
+        """One directory transaction.
+
+        The per-block home lock models *directory occupancy*: it is held
+        from the request's arrival at the home until the home has
+        updated state, read memory, collected invalidation acks, and
+        launched the forward/reply -- but not through the reply's flight
+        back to the requester, which real directories pipeline with the
+        next request.
+        """
+        config = self.config
+        block = addr // config.block_bytes
+        if is_write:
+            latency, service, writeback = yield from self._write_transaction(
+                pid, block
+            )
+        else:
+            latency, service, writeback = yield from self._read_transaction(
+                pid, block
+            )
+        if writeback is not None:
+            victim_block, victim_home = writeback
+            if victim_home != pid:
+                # Off the critical path, but it occupies real links.
+                self.fabric.post(
+                    Message(pid, victim_home, self._data, "wb"),
+                    name=f"wb{victim_block}",
+                )
+        return latency, service
+
+    # -- transactions ------------------------------------------------------------------
+
+    def _read_transaction(self, pid: int, block: int):
+        """Directory read-miss: request, (forward,) data reply."""
+        config = self.config
+        latency = 0
+        service = 0
+        home = self.space.home_of_block(block)
+        if pid != home:
+            result = yield from self.fabric.transmit(
+                Message(pid, home, self._ctrl, "read_req")
+            )
+            latency += result.latency_ns
+        home_lock = self._home_lock(block)
+        yield home_lock.request()
+        plan = self.memory.plan_read(pid, block)
+        if plan.hit:  # raced with ourselves; cannot normally happen
+            home_lock.release()
+            return 0, config.cache_hit_ns, None
+        if plan.from_memory:
+            service += config.memory_ns
+            yield self.sim.timeout(config.memory_ns)
+            home_lock.release()
+            if home != pid:
+                result = yield from self.fabric.transmit(
+                    Message(home, pid, self._data, "data")
+                )
+                latency += result.latency_ns
+        else:
+            # Owned by a remote cache: home forwards, owner supplies.
+            source = plan.source
+            if home != source:
+                result = yield from self.fabric.transmit(
+                    Message(home, source, self._ctrl, "fwd")
+                )
+                latency += result.latency_ns
+            home_lock.release()
+            service += config.cache_hit_ns
+            yield self.sim.timeout(config.cache_hit_ns)
+            result = yield from self.fabric.transmit(
+                Message(source, pid, self._data, "data")
+            )
+            latency += result.latency_ns
+            if plan.sharing_writeback and source != home:
+                # Illinois: the dirty owner's data also returns to the
+                # home -- real traffic, off the requester's critical path.
+                self.fabric.post(
+                    Message(source, home, self._data, "shwb"),
+                    name=f"shwb{block}",
+                )
+        return latency, service, plan.writeback
+
+    def _write_transaction(self, pid: int, block: int):
+        """Directory write/ownership miss with parallel invalidations."""
+        config = self.config
+        sim = self.sim
+        latency = 0
+        service = 0
+        home = self.space.home_of_block(block)
+        if pid != home:
+            result = yield from self.fabric.transmit(
+                Message(pid, home, self._ctrl, "write_req")
+            )
+            latency += result.latency_ns
+        home_lock = self._home_lock(block)
+        yield home_lock.request()
+        plan = self.memory.plan_write(pid, block)
+        if plan.fast:  # raced with ourselves; cannot normally happen
+            home_lock.release()
+            return 0, config.cache_hit_ns, None
+        # Invalidations go out in parallel with the home-side work.  The
+        # previous owner (when it supplies the data) is invalidated by
+        # the forwarded request itself, not a separate message.
+        inv_targets = [s for s in plan.invalidated if s != plan.source]
+        inv_rounds = [
+            sim.spawn(self._invalidation_round(home, node), name=f"inv{node}")
+            for node in inv_targets
+        ]
+        if not plan.had_data and plan.from_memory:
+            service += config.memory_ns
+            yield sim.timeout(config.memory_ns)
+        elif not plan.had_data:
+            source = plan.source
+            if home != source:
+                result = yield from self.fabric.transmit(
+                    Message(home, source, self._ctrl, "fwd")
+                )
+                latency += result.latency_ns
+        if inv_rounds:
+            # Sequential consistency: the home releases the block only
+            # after every stale copy is gone.
+            yield all_of(sim, inv_rounds)
+            # Contention-free the rounds overlap, so one round's worth
+            # of transmission time is genuine latency; queuing beyond
+            # that surfaces as contention.
+            if any(node != home for node in inv_targets):
+                latency += self._inv_round_latency
+        home_lock.release()
+        if plan.had_data:
+            # Ownership upgrade: permission only, granted by the home.
+            if pid != home:
+                result = yield from self.fabric.transmit(
+                    Message(home, pid, self._ctrl, "grant")
+                )
+                latency += result.latency_ns
+        elif plan.from_memory:
+            if home != pid:
+                result = yield from self.fabric.transmit(
+                    Message(home, pid, self._data, "data")
+                )
+                latency += result.latency_ns
+        else:
+            source = plan.source
+            service += config.cache_hit_ns
+            yield sim.timeout(config.cache_hit_ns)
+            result = yield from self.fabric.transmit(
+                Message(source, pid, self._data, "data")
+            )
+            latency += result.latency_ns
+        return latency, service, plan.writeback
+
+    def _invalidation_round(self, home: int, node: int):
+        """Home -> sharer invalidation plus the returning ack."""
+        if home == node:
+            # The home invalidates its local cache without a message.
+            return
+        yield from self.fabric.transmit(Message(home, node, self._ctrl, "inv"))
+        yield from self.fabric.transmit(Message(node, home, self._ctrl, "ack"))
+
+    # -- plumbing -----------------------------------------------------------------------
+
+    def mp_transmit(self, pid: int, dst: int, nbytes: int):
+        """Explicit message over the real network, packetized.
+
+        Messages larger than the 32-byte maximum (Section 5) travel as
+        a train of packets over the same circuit-switched links.
+        """
+        if pid == dst:
+            return 0, 0
+        latency = 0
+        remaining = nbytes
+        packet = self.config.data_message_bytes
+        while remaining > 0:
+            size = min(packet, remaining)
+            result = yield from self.fabric.transmit(
+                Message(pid, dst, size, "mp")
+            )
+            latency += result.latency_ns
+            remaining -= size
+        return latency, 0
+
+    def _home_lock(self, block: int) -> Resource:
+        lock = self._home_locks.get(block)
+        if lock is None:
+            lock = Resource(self.sim, capacity=1, name=f"dir{block}")
+            self._home_locks[block] = lock
+        return lock
+
+    def message_count(self) -> int:
+        return self.fabric.messages

@@ -1,0 +1,29 @@
+"""Process-oriented discrete-event simulation engine.
+
+This subpackage is the stand-in for CSIM, the sequential simulation
+library the paper's SPASM simulator was built on.  It provides:
+
+* :class:`~repro.engine.core.Simulator` -- the event loop with an
+  integer-nanosecond clock,
+* :class:`~repro.engine.core.Process` -- simulated processes written as
+  Python generators that ``yield`` events,
+* :class:`~repro.engine.core.Event` / timeouts / :func:`all_of`,
+* :class:`~repro.engine.resource.Resource` -- FIFO resources with
+  capacity (used for network links and directory serialization),
+* :class:`~repro.engine.rng.RandomStreams` -- deterministic, named
+  random streams so every machine model replays identical workloads.
+"""
+
+from .core import Event, Process, Simulator, Timeout, all_of
+from .resource import Resource
+from .rng import RandomStreams
+
+__all__ = [
+    "Event",
+    "Process",
+    "Simulator",
+    "Timeout",
+    "all_of",
+    "Resource",
+    "RandomStreams",
+]

@@ -1,0 +1,289 @@
+"""Core discrete-event machinery: clock, events, processes.
+
+Simulated processes are plain Python generators.  A process advances by
+``yield``-ing :class:`Event` objects; the engine resumes it (with the
+event's value sent into the generator) once the event triggers.  A
+generator may also delegate with ``yield from`` to compose behaviour,
+which the machine models use heavily: an application generator delegates
+to a processor generator which delegates to cache/network generators.
+
+Design notes
+------------
+* Time is an integer nanosecond count (see :mod:`repro.units`).
+* The event queue is a binary heap keyed by ``(time, sequence)`` so
+  same-time events fire in schedule order -- this makes every run
+  deterministic, which the tests rely on.
+* Events trigger *immediately* (callbacks run synchronously from
+  ``succeed``) only if the engine is not mid-callback for that event;
+  to keep semantics simple we always defer callbacks through the queue
+  at the current time.  ``succeed`` is therefore safe to call from any
+  context, including from inside another callback.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+from ..errors import DeadlockError, SimulationError
+
+#: Type alias for simulated-process generators.
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    triggers it exactly once.  Processes waiting on the event resume at
+    the simulated time of the trigger with ``value`` sent into their
+    generator (or the exception thrown into it).
+    """
+
+    __slots__ = ("sim", "_callbacks", "triggered", "value", "_exception")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: Optional[List[Callable[[Event], None]]] = []
+        self.triggered = False
+        self.value: Any = None
+        self._exception: Optional[BaseException] = None
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional value."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self.triggered = True
+        self.value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes get the exception thrown into their generator.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self.triggered = True
+        self._exception = exception
+        self.sim._schedule_event(self)
+        return self
+
+    # -- waiting ------------------------------------------------------------
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run when the event triggers.
+
+        If the event already ran its callbacks, the callback fires on the
+        next queue step at the current time (never synchronously).
+        """
+        if self._callbacks is None:
+            # Already dispatched: schedule a late joiner.
+            self.sim._schedule(self.sim.now, lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.sim.now}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(sim)
+        self.triggered = True  # nobody may succeed() it again
+        self.value = value
+        sim._schedule(sim.now + delay, self._dispatch)
+
+
+class Process(Event):
+    """A simulated process driving a generator.
+
+    The process is itself an :class:`Event` that triggers when the
+    generator returns; its ``value`` is the generator's return value.
+    Other processes can therefore ``yield`` a process to join it.
+    """
+
+    __slots__ = ("_generator", "name")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: str = "process"):
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name
+        sim._blocked += 1
+        sim._schedule(sim.now, lambda: self._step(None, None))
+
+    def _on_wait_done(self, event: Event) -> None:
+        if event._exception is not None:
+            self._step(None, event._exception)
+        else:
+            self._step(event.value, None)
+
+    def _step(self, value: Any, exception: Optional[BaseException]) -> None:
+        sim = self.sim
+        try:
+            if exception is not None:
+                target = self._generator.throw(exception)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            sim._blocked -= 1
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            sim._blocked -= 1
+            if sim.fail_fast:
+                raise SimulationError(
+                    f"process {self.name!r} raised {exc!r} at t={sim.now}"
+                ) from exc
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            sim._blocked -= 1
+            error = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event objects"
+            )
+            raise error
+        target.add_callback(self._on_wait_done)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "running"
+        return f"<Process {self.name} {state}>"
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.spawn(my_generator())
+        sim.run()
+
+    ``run`` executes events until the queue drains (or an optional time
+    horizon).  If the queue drains while spawned processes are still
+    blocked, a :class:`DeadlockError` is raised -- that always indicates
+    a bug in a machine model or application (e.g. a barrier nobody
+    releases).
+    """
+
+    def __init__(self, fail_fast: bool = True):
+        self._now = 0
+        self._queue: List = []
+        self._sequence = 0
+        self._blocked = 0
+        #: When True (default) an exception escaping a process aborts the
+        #: whole simulation immediately instead of failing the process
+        #: event silently.
+        self.fail_fast = fail_fast
+        #: Count of low-level scheduler steps; exposed because the paper's
+        #: "speed of simulation" comparison is about event counts.
+        self.events_executed = 0
+
+    # -- clock --------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- scheduling primitives ----------------------------------------------
+
+    def _schedule(self, at: int, action: Callable[[], None]) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (at, self._sequence, action))
+
+    def _schedule_event(self, event: Event) -> None:
+        self._schedule(self._now, event._dispatch)
+
+    # -- public API ----------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: ProcessGenerator, name: str = "process") -> Process:
+        """Start a new simulated process."""
+        return Process(self, generator, name)
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Execute events; return the final simulated time.
+
+        :param until: optional horizon; events at times strictly greater
+            than ``until`` are left in the queue and the clock stops at
+            ``until``.
+        :raises DeadlockError: the queue drained with blocked processes.
+        """
+        queue = self._queue
+        while queue:
+            at, _seq, action = queue[0]
+            if until is not None and at > until:
+                self._now = until
+                return self._now
+            heapq.heappop(queue)
+            if at < self._now:
+                raise SimulationError(
+                    f"time went backwards: {at} < {self._now}"
+                )
+            self._now = at
+            self.events_executed += 1
+            action()
+        if until is None and self._blocked > 0:
+            raise DeadlockError(self._blocked, self._now)
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+
+def all_of(sim: Simulator, events: List[Event]) -> Event:
+    """Return an event that triggers once every listed event has.
+
+    The composite's value is the list of individual event values in the
+    order given.  An empty list yields an event that triggers at the
+    current time.
+    """
+    done = Event(sim)
+    remaining = len(events)
+    if remaining == 0:
+        done.succeed([])
+        return done
+    values: List[Any] = [None] * remaining
+    state = {"left": remaining}
+
+    def make_callback(index: int) -> Callable[[Event], None]:
+        def callback(event: Event) -> None:
+            if event._exception is not None:
+                if not done.triggered:
+                    done.fail(event._exception)
+                return
+            values[index] = event.value
+            state["left"] -= 1
+            if state["left"] == 0 and not done.triggered:
+                done.succeed(values)
+
+        return callback
+
+    for i, event in enumerate(events):
+        event.add_callback(make_callback(i))
+    return done

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro package.
+
+Every error deliberately raised by the simulator derives from
+:class:`ReproError` so callers can catch simulator problems without
+swallowing genuine programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while simulated processes were still blocked."""
+
+    def __init__(self, blocked: int, now: int):
+        self.blocked = blocked
+        self.now = now
+        super().__init__(
+            f"simulation deadlocked at t={now} ns with {blocked} blocked process(es)"
+        )
+
+
+class ProtocolError(ReproError):
+    """A cache-coherence protocol invariant was violated."""
+
+
+class TopologyError(ReproError):
+    """An interconnection-network topology was used incorrectly."""
+
+
+class AddressError(ReproError):
+    """A simulated memory address is outside any allocated region."""
+
+
+class ApplicationError(ReproError):
+    """An application produced an invalid operation or failed verification."""

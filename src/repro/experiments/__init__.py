@@ -1,0 +1,30 @@
+"""Experiment harness: the paper's figures as runnable definitions.
+
+Every figure of the evaluation section (Figs. 1-20), the Section 7
+"speed of simulation" comparison, and the Section 7 g-gap relaxation
+experiment are registered here with the workload, topology, metric and
+machine set they need.  :class:`~repro.experiments.runner.SweepRunner`
+executes the processor sweeps (sharing runs between figures that plot
+different metrics of the same simulations) and
+:mod:`~repro.experiments.report` renders the series the paper plots.
+"""
+
+from .registry import (
+    EXPERIMENTS,
+    Experiment,
+    experiment_ids,
+    get_experiment,
+)
+from .runner import FigureData, SweepRunner
+from .report import render_figure, render_run_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "experiment_ids",
+    "get_experiment",
+    "FigureData",
+    "SweepRunner",
+    "render_figure",
+    "render_run_table",
+]

@@ -1,0 +1,71 @@
+"""Text rendering of experiment results.
+
+The paper's figures are line plots of an overhead (or execution time)
+against processor count, one curve per machine model.  We render the
+same series as aligned text tables -- the form the benchmark harness
+prints and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..core.accounting import RunResult
+from .runner import FigureData
+
+#: Units shown per metric.
+_METRIC_UNITS = {
+    "latency": "us (mean per-processor latency overhead)",
+    "contention": "us (mean per-processor contention overhead)",
+    "execution": "us (total execution time)",
+    "simspeed": "simulator events executed",
+    "ggap": "us (mean per-processor contention overhead)",
+    "gadapt": "us (mean per-processor contention overhead)",
+    "protocol": "network messages transported",
+}
+
+
+def render_figure(data: FigureData) -> str:
+    """Render one figure's series as a text table."""
+    experiment = data.experiment
+    lines: List[str] = []
+    lines.append(f"{experiment.id} ({experiment.paper_ref}): "
+                 f"{experiment.description}")
+    lines.append(f"  unit: {_METRIC_UNITS[experiment.metric]}")
+    lines.append(f"  paper expectation: {experiment.expected}")
+    header = "  {:18s}".format("machine \\ procs")
+    for nprocs in data.processors:
+        header += f"{nprocs:>14d}"
+    lines.append(header)
+    for machine, values in data.series.items():
+        row = f"  {machine:18s}"
+        for value in values:
+            row += f"{value:14.1f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_run_table(results: Iterable[RunResult]) -> str:
+    """Render a flat table of run summaries."""
+    lines = [
+        "  {:9s} {:7s} {:5s} {:>4s} {:>14s} {:>12s} {:>12s} {:>10s} {:>4s}".format(
+            "app", "machine", "topo", "p", "exec_us", "latency_us",
+            "contention_us", "messages", "ok",
+        )
+    ]
+    for result in results:
+        lines.append(
+            "  {:9s} {:7s} {:5s} {:>4d} {:>14.1f} {:>12.1f} {:>12.1f} "
+            "{:>10d} {:>4s}".format(
+                result.app,
+                result.machine,
+                result.topology,
+                result.nprocs,
+                result.total_us,
+                result.mean_latency_us,
+                result.mean_contention_us,
+                result.messages,
+                "yes" if result.verified else "NO",
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,205 @@
+"""Sweep runner: executes the simulations behind each figure.
+
+Several figures are different metrics of the *same* simulations (e.g.
+Fig. 17 plots execution time and Fig. 19 the contention of the same
+CG-on-mesh runs), so the runner memoizes completed runs by
+``(app, machine, topology, processors, preset, g-mode)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apps import make_app
+from ..config import SystemConfig
+from ..core.accounting import RunResult
+from ..core.runner import simulate
+from .registry import Experiment
+from .workloads import app_params, processor_sweep
+
+#: Memo key for one simulation.
+RunKey = Tuple[str, str, str, int, str, bool, bool, str]
+
+
+@dataclass
+class FigureData:
+    """The series behind one figure: metric value per (machine, p)."""
+
+    experiment: Experiment
+    processors: Tuple[int, ...]
+    #: machine name -> list of metric values aligned with ``processors``.
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    #: machine name -> list of the full results (same alignment).
+    results: Dict[str, List[RunResult]] = field(default_factory=dict)
+
+    def value(self, machine: str, nprocs: int) -> float:
+        """Metric value of one point."""
+        return self.series[machine][self.processors.index(nprocs)]
+
+
+class SweepRunner:
+    """Runs and memoizes the processor sweeps for the experiments."""
+
+    def __init__(
+        self,
+        preset: str = "default",
+        processors: Optional[Sequence[int]] = None,
+        seed: int = 12345,
+    ):
+        self.preset = preset
+        self.processors: Tuple[int, ...] = tuple(
+            processors if processors is not None else processor_sweep(preset)
+        )
+        self.seed = seed
+        self._cache: Dict[RunKey, RunResult] = {}
+
+    # -- primitives ----------------------------------------------------------------
+
+    def run_one(
+        self,
+        app: str,
+        machine: str,
+        topology: str,
+        nprocs: int,
+        g_per_event_type: bool = False,
+        adaptive_g: bool = False,
+        protocol: str = "berkeley",
+    ) -> RunResult:
+        """One memoized simulation."""
+        key: RunKey = (app, machine, topology, nprocs, self.preset,
+                       g_per_event_type, adaptive_g, protocol)
+        result = self._cache.get(key)
+        if result is None:
+            config = SystemConfig(
+                processors=nprocs,
+                topology=topology,
+                seed=self.seed,
+                g_per_event_type=g_per_event_type,
+                adaptive_g=adaptive_g,
+                protocol=protocol,
+            )
+            instance = make_app(app, nprocs, **app_params(app, self.preset))
+            result = simulate(instance, machine, config)
+            self._cache[key] = result
+        return result
+
+    # -- figures --------------------------------------------------------------------
+
+    def run_experiment(self, experiment: Experiment) -> FigureData:
+        """All series of one experiment."""
+        if experiment.metric == "simspeed":
+            return self._run_simspeed(experiment)
+        if experiment.metric == "ggap":
+            return self._run_ggap(experiment)
+        if experiment.metric == "gadapt":
+            return self._run_gadapt(experiment)
+        if experiment.metric == "protocol":
+            return self._run_protocol(experiment)
+        data = FigureData(experiment=experiment, processors=self.processors)
+        for machine in experiment.machines:
+            results = [
+                self.run_one(
+                    experiment.app, machine, experiment.topology, nprocs
+                )
+                for nprocs in self.processors
+            ]
+            data.results[machine] = results
+            data.series[machine] = [
+                r.metric(experiment.metric) for r in results
+            ]
+        return data
+
+    def _run_simspeed(self, experiment: Experiment) -> FigureData:
+        """Section 7 speed-of-simulation study.
+
+        The metric series is the host cost of each machine model,
+        measured in simulator events executed (wall seconds are also in
+        the attached results but are noisy on a shared host).
+        """
+        data = FigureData(experiment=experiment, processors=self.processors)
+        for machine in experiment.machines:
+            results = [
+                self.run_one(
+                    experiment.app, machine, experiment.topology, nprocs
+                )
+                for nprocs in self.processors
+            ]
+            data.results[machine] = results
+            data.series[machine] = [float(r.sim_events) for r in results]
+        return data
+
+    def _run_gadapt(self, experiment: Experiment) -> FigureData:
+        """History-based g estimation (the paper's future-work idea)."""
+        data = FigureData(experiment=experiment, processors=self.processors)
+        series_spec = [
+            ("target", "target", False),
+            ("clogp", "clogp", False),
+            ("clogp-adaptive-g", "clogp", True),
+        ]
+        for label, machine, adaptive in series_spec:
+            results = [
+                self.run_one(
+                    experiment.app,
+                    machine,
+                    experiment.topology,
+                    nprocs,
+                    adaptive_g=adaptive,
+                )
+                for nprocs in self.processors
+            ]
+            data.results[label] = results
+            data.series[label] = [r.metric("contention") for r in results]
+        return data
+
+    def _run_protocol(self, experiment: Experiment) -> FigureData:
+        """Berkeley vs Illinois targets against the CLogP abstraction.
+
+        The series is total network messages: the paper frames the
+        claim in terms of network accesses, with CLogP's traffic as the
+        minimum any invalidation protocol can achieve and "fancier"
+        protocols approaching it from above.
+        """
+        data = FigureData(experiment=experiment, processors=self.processors)
+        series_spec = [
+            ("target-berkeley", "target", "berkeley"),
+            ("target-illinois", "target", "illinois"),
+            ("clogp", "clogp", "berkeley"),
+        ]
+        for label, machine, protocol in series_spec:
+            results = [
+                self.run_one(
+                    experiment.app,
+                    machine,
+                    experiment.topology,
+                    nprocs,
+                    protocol=protocol,
+                )
+                for nprocs in self.processors
+            ]
+            data.results[label] = results
+            data.series[label] = [float(r.messages) for r in results]
+        return data
+
+    def _run_ggap(self, experiment: Experiment) -> FigureData:
+        """Section 7 g-gap relaxation: strict vs per-event-type gating."""
+        data = FigureData(experiment=experiment, processors=self.processors)
+        series_spec = [
+            ("target", "target", False),
+            ("clogp", "clogp", False),
+            ("clogp-relaxed-g", "clogp", True),
+        ]
+        for label, machine, relaxed in series_spec:
+            results = [
+                self.run_one(
+                    experiment.app,
+                    machine,
+                    experiment.topology,
+                    nprocs,
+                    g_per_event_type=relaxed,
+                )
+                for nprocs in self.processors
+            ]
+            data.results[label] = results
+            data.series[label] = [r.metric("contention") for r in results]
+        return data

@@ -1,0 +1,56 @@
+"""Workload presets for the experiment sweeps.
+
+The paper ran full NAS/SPLASH inputs for 8-10 hours per data point; we
+scale inputs so a whole figure regenerates in seconds while preserving
+each application's communication *structure* (see DESIGN.md, Section 2).
+Two presets exist: ``"default"`` for the EXPERIMENTS.md numbers and
+``"quick"`` for CI/benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Application constructor kwargs per preset.
+APP_PARAMS: Dict[str, Dict[str, Dict[str, object]]] = {
+    "default": {
+        "ep": {"pairs": 32_768},
+        "is": {"keys": 4_096, "buckets": 512, "iterations": 2},
+        "cg": {"n": 512, "nnz_per_row": 6, "iterations": 4},
+        "fft": {"points": 2_048},
+        "cholesky": {"n": 192, "density": 0.10},
+        "jacobi": {"n": 4_096, "sweeps": 4},
+        "mg": {"n": 1_023, "cycles": 2, "smoothing": 1},
+    },
+    "quick": {
+        "ep": {"pairs": 8_192},
+        "is": {"keys": 1_024, "buckets": 128, "iterations": 1},
+        "cg": {"n": 128, "nnz_per_row": 5, "iterations": 2},
+        "fft": {"points": 512},
+        "cholesky": {"n": 96, "density": 0.10},
+        "jacobi": {"n": 1_024, "sweeps": 2},
+        "mg": {"n": 511, "cycles": 1, "smoothing": 1},
+    },
+}
+
+#: Processor sweeps per preset (powers of two, as in the paper).
+PROCESSOR_SWEEPS: Dict[str, Tuple[int, ...]] = {
+    "default": (1, 2, 4, 8, 16, 32),
+    "quick": (1, 4, 16),
+}
+
+
+def app_params(app: str, preset: str = "default") -> Dict[str, object]:
+    """Constructor kwargs for an application under a preset."""
+    try:
+        per_app = APP_PARAMS[preset]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {preset!r}; known: {sorted(APP_PARAMS)}"
+        ) from None
+    return dict(per_app.get(app, {}))
+
+
+def processor_sweep(preset: str = "default") -> Tuple[int, ...]:
+    """Processor counts swept under a preset."""
+    return PROCESSOR_SWEEPS[preset]

@@ -1,0 +1,23 @@
+"""Memory-hierarchy substrate.
+
+Provides the CC-NUMA globally shared address space (every node owns a
+"home" slice), the 2-way set-associative private cache, the Berkeley
+protocol line states, and the fully-mapped directory -- the pieces the
+machine models in :mod:`repro.core` assemble into the target machine's
+full coherence protocol and CLogP's ideal (overhead-free) coherence.
+"""
+
+from .address import AddressSpace, SharedArray
+from .cache import Cache, CacheLine
+from .directory import Directory, DirectoryEntry
+from .states import LineState
+
+__all__ = [
+    "AddressSpace",
+    "SharedArray",
+    "Cache",
+    "CacheLine",
+    "Directory",
+    "DirectoryEntry",
+    "LineState",
+]

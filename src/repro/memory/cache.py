@@ -1,0 +1,146 @@
+"""Set-associative private cache with true-LRU replacement.
+
+The paper's per-node cache: 64 KB, 2-way set-associative, 32-byte
+blocks.  Only *state* is modeled (this is a timing simulator -- data
+values live in the applications), so a line is a (tag, state) pair.
+
+LRU is kept per set with an access counter rather than list reordering;
+with the paper's 2-way associativity a min() over the set is cheap and
+exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ProtocolError
+from .states import LineState
+
+
+@dataclass
+class CacheLine:
+    """One resident cache line."""
+
+    block: int
+    state: LineState
+    last_use: int
+
+
+class Cache:
+    """One node's private cache, indexed by global block id."""
+
+    __slots__ = ("sets", "assoc", "_lines", "_by_block", "_clock",
+                 "hits", "misses", "evictions", "dirty_evictions")
+
+    def __init__(self, sets: int, assoc: int):
+        if sets <= 0 or assoc <= 0:
+            raise ProtocolError("cache geometry must be positive")
+        self.sets = sets
+        self.assoc = assoc
+        #: set index -> list of resident lines (<= assoc entries).
+        self._lines: List[List[CacheLine]] = [[] for _ in range(sets)]
+        #: global block id -> resident line (only valid-state lines).
+        self._by_block: Dict[int, CacheLine] = {}
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    # -- lookup ---------------------------------------------------------------
+
+    def set_index(self, block: int) -> int:
+        """The set a block maps to."""
+        return block % self.sets
+
+    def state_of(self, block: int) -> LineState:
+        """Current state of ``block`` (``INVALID`` when not resident)."""
+        line = self._by_block.get(block)
+        return line.state if line is not None else LineState.INVALID
+
+    def lookup(self, block: int) -> Optional[CacheLine]:
+        """Resident line for ``block``, touching LRU; None on miss."""
+        line = self._by_block.get(block)
+        if line is None:
+            self.misses += 1
+            return None
+        self._clock += 1
+        line.last_use = self._clock
+        self.hits += 1
+        return line
+
+    def contains(self, block: int) -> bool:
+        """True when ``block`` is resident in a valid state."""
+        return block in self._by_block
+
+    # -- mutation ---------------------------------------------------------------
+
+    def install(
+        self, block: int, state: LineState
+    ) -> Optional[Tuple[int, LineState]]:
+        """Bring ``block`` in with ``state``; return the victim if any.
+
+        The victim is returned as ``(block, state)`` so the caller (the
+        coherence engine) can write back owned blocks and update the
+        directory.  Installing over an already-resident block just
+        updates its state.
+        """
+        if state is LineState.INVALID:
+            raise ProtocolError("cannot install a line in INVALID state")
+        existing = self._by_block.get(block)
+        self._clock += 1
+        if existing is not None:
+            existing.state = state
+            existing.last_use = self._clock
+            return None
+        victim: Optional[Tuple[int, LineState]] = None
+        content = self._lines[self.set_index(block)]
+        if len(content) >= self.assoc:
+            oldest = min(content, key=lambda l: l.last_use)
+            content.remove(oldest)
+            del self._by_block[oldest.block]
+            self.evictions += 1
+            if oldest.state.is_dirty:
+                self.dirty_evictions += 1
+            victim = (oldest.block, oldest.state)
+        line = CacheLine(block=block, state=state, last_use=self._clock)
+        content.append(line)
+        self._by_block[block] = line
+        return victim
+
+    def set_state(self, block: int, state: LineState) -> None:
+        """Change the state of a resident line."""
+        line = self._by_block.get(block)
+        if line is None:
+            raise ProtocolError(f"set_state on non-resident block {block}")
+        if state is LineState.INVALID:
+            self.invalidate(block)
+        else:
+            line.state = state
+
+    def invalidate(self, block: int) -> LineState:
+        """Drop ``block`` (no-op when absent); return its prior state."""
+        line = self._by_block.pop(block, None)
+        if line is None:
+            return LineState.INVALID
+        self._lines[self.set_index(block)].remove(line)
+        return line.state
+
+    # -- instrumentation -----------------------------------------------------------
+
+    @property
+    def resident_blocks(self) -> int:
+        return len(self._by_block)
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cache sets={self.sets} assoc={self.assoc} "
+            f"resident={len(self._by_block)} hits={self.hits} "
+            f"misses={self.misses}>"
+        )

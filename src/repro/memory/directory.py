@@ -1,0 +1,80 @@
+"""Fully-mapped directory for the Berkeley protocol.
+
+The paper's target machine keeps sequentially consistent caches with an
+invalidation-based Berkeley protocol and a *fully-mapped* directory:
+the home node of every block records the complete sharer set plus the
+owning cache (if the block is dirty somewhere).  Entries are created
+lazily -- an absent entry means "unowned, no sharers, memory clean".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set
+
+from ..errors import ProtocolError
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory state of one block."""
+
+    #: Cache that owns the block (holds it DIRTY or SHARED_DIRTY), if any.
+    owner: Optional[int] = None
+
+    #: All caches holding a valid copy (includes the owner).
+    sharers: Set[int] = field(default_factory=set)
+
+    @property
+    def is_clean(self) -> bool:
+        """Memory at the home holds the latest data."""
+        return self.owner is None
+
+    @property
+    def is_idle(self) -> bool:
+        """No cache holds the block at all."""
+        return self.owner is None and not self.sharers
+
+    def check(self) -> None:
+        """Raise on violated invariants (used by tests and debug runs)."""
+        if self.owner is not None and self.owner not in self.sharers:
+            raise ProtocolError(
+                f"owner {self.owner} missing from sharer set {self.sharers}"
+            )
+
+
+class Directory:
+    """Lazily populated block -> :class:`DirectoryEntry` map."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, DirectoryEntry] = {}
+
+    def entry(self, block: int) -> DirectoryEntry:
+        """Entry for ``block``, created empty on first touch."""
+        entry = self._entries.get(block)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._entries[block] = entry
+        return entry
+
+    def peek(self, block: int) -> Optional[DirectoryEntry]:
+        """Entry for ``block`` or None, without creating one."""
+        return self._entries.get(block)
+
+    def drop_if_idle(self, block: int) -> None:
+        """Reclaim the entry when nobody caches the block."""
+        entry = self._entries.get(block)
+        if entry is not None and entry.is_idle:
+            del self._entries[block]
+
+    def blocks(self) -> Iterable[int]:
+        """All blocks with live entries."""
+        return self._entries.keys()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"<Directory entries={len(self._entries)}>"

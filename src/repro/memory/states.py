@@ -1,0 +1,65 @@
+"""Cache line states for the supported coherence protocols.
+
+The paper's target machine runs the **Berkeley** protocol
+(invalidation-based, ownership-passing).  Its four states:
+
+``INVALID``
+    no usable copy,
+``VALID``
+    clean shared copy; memory (the home) is up to date,
+``SHARED_DIRTY``
+    this cache owns the block (memory stale) but other caches may hold
+    ``VALID`` copies -- the owner supplies data on read misses,
+``DIRTY``
+    this cache owns the only copy (modified).
+
+The paper argues (Sections 3.2 and 7) that a "fancier" protocol would
+agree even more closely with the CLogP abstraction; to test that claim
+the repository also implements the **Illinois/MESI** protocol, which
+adds one state:
+
+``EXCLUSIVE``
+    the only cached copy, still *clean* -- a subsequent store upgrades
+    it to ``DIRTY`` silently, with no directory transaction at all.
+
+Ownership matters for the directory: on a miss the home forwards the
+request to the owner (if any), and on eviction a *dirty* owned block
+must be written back (an ``EXCLUSIVE`` line is clean and dies
+silently).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class LineState(IntEnum):
+    """State of one cache line."""
+
+    INVALID = 0
+    VALID = 1
+    SHARED_DIRTY = 2
+    DIRTY = 3
+    EXCLUSIVE = 4
+
+    @property
+    def is_valid(self) -> bool:
+        """The line holds usable data (readable without a transaction)."""
+        return self is not LineState.INVALID
+
+    @property
+    def is_owned(self) -> bool:
+        """This cache must supply the data on another node's miss."""
+        return self in (
+            LineState.SHARED_DIRTY, LineState.DIRTY, LineState.EXCLUSIVE
+        )
+
+    @property
+    def is_dirty(self) -> bool:
+        """Memory is stale; eviction requires a writeback."""
+        return self in (LineState.SHARED_DIRTY, LineState.DIRTY)
+
+    @property
+    def is_writable(self) -> bool:
+        """A store can proceed without any coherence action."""
+        return self is LineState.DIRTY

@@ -1,0 +1,32 @@
+"""Interconnection-network substrate.
+
+Implements the paper's three topologies (fully connected, binary
+hypercube, 2-D mesh) over serial unidirectional 20 MB/s links, a
+circuit-switched wormhole-style transport with per-message separation of
+*latency* (contention-free transmission time) from *contention* (time
+spent waiting for links), and the bisection-bandwidth computation from
+which the LogP ``g`` parameter is derived.
+"""
+
+from .topology import Topology, make_topology
+from .full import FullyConnected
+from .hypercube import Hypercube
+from .mesh import Mesh2D
+from .fabric import Fabric, TransferResult
+from .message import Message
+from .stats import FabricStats, bisection_cut, collect_stats, stats_report
+
+__all__ = [
+    "Topology",
+    "make_topology",
+    "FullyConnected",
+    "Hypercube",
+    "Mesh2D",
+    "Fabric",
+    "TransferResult",
+    "Message",
+    "FabricStats",
+    "bisection_cut",
+    "collect_stats",
+    "stats_report",
+]

@@ -1,0 +1,148 @@
+"""Circuit-switched network transport for the target machine.
+
+The paper's target networks are circuit-switched with wormhole routing,
+serial 20 MB/s links, and negligible switching delay.  We model a
+message as follows:
+
+1. compute the deterministic route (dimension-ordered, so in-order link
+   acquisition is deadlock-free),
+2. acquire every link along the route in path order, *holding* links
+   already acquired (this is the circuit being built; head-of-line
+   blocking while holding upstream links is exactly the wormhole
+   behaviour that creates tree contention),
+3. once the circuit is complete, transmit for ``nbytes x 50 ns`` --
+   with negligible switching delay the pipeline is limited purely by
+   the serial-link bandwidth, so the contention-free time of a message
+   is independent of hop count (which is why the paper's latency
+   figures barely differ across topologies),
+4. release all links.
+
+For every message we return the split the paper's SPASM profiler keeps:
+*latency* = contention-free transmission time, *contention* = everything
+else the message spent in the network (waiting for links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..engine.core import Simulator
+from ..errors import TopologyError
+from .link import Link
+from .message import Message
+from .topology import LinkId, Topology
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Timing decomposition of one completed message transfer."""
+
+    #: Contention-free transmission time (charged to latency overhead).
+    latency_ns: int
+
+    #: Time spent waiting for links (charged to contention overhead).
+    contention_ns: int
+
+    @property
+    def total_ns(self) -> int:
+        return self.latency_ns + self.contention_ns
+
+
+class Fabric:
+    """The set of links of one topology plus the transfer protocol."""
+
+    def __init__(self, sim: Simulator, topology: Topology, ns_per_byte: int,
+                 switch_delay_ns: int = 0):
+        self.sim = sim
+        self.topology = topology
+        self.ns_per_byte = ns_per_byte
+        #: Per-hop switching delay (0 per the paper's assumption).
+        self.switch_delay_ns = switch_delay_ns
+        self._links: Dict[LinkId, Link] = {
+            link_id: Link(sim, *link_id) for link_id in topology.links()
+        }
+        #: Total messages transported.
+        self.messages = 0
+        #: Total payload bytes transported.
+        self.bytes_transported = 0
+        #: Sum of latency portions over all messages.
+        self.total_latency_ns = 0
+        #: Sum of contention portions over all messages.
+        self.total_contention_ns = 0
+
+    def link(self, src: int, dst: int) -> Link:
+        """The link between two adjacent nodes (raises if absent)."""
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise TopologyError(
+                f"no link {src}->{dst} in {self.topology.name}"
+            ) from None
+
+    @property
+    def links(self) -> List[Link]:
+        return list(self._links.values())
+
+    def transmission_ns(self, nbytes: int) -> int:
+        """Contention-free time for a message of ``nbytes``."""
+        return nbytes * self.ns_per_byte
+
+    def transmit(self, message: Message):
+        """Generator: move ``message`` across the network.
+
+        Returns a :class:`TransferResult`.  A message to self costs
+        nothing (local memory is not behind the network).
+        """
+        if message.src == message.dst:
+            return TransferResult(0, 0)
+        sim = self.sim
+        start = sim.now
+        path = self.topology.route(message.src, message.dst)
+        held: List[Link] = []
+        switch_ns = self.switch_delay_ns
+        # Build the circuit: acquire links in path order, paying the
+        # per-hop switching delay while the circuit extends.
+        for link_id in path:
+            link = self._links[link_id]
+            yield link.request()
+            held.append(link)
+            if switch_ns:
+                yield sim.timeout(switch_ns)
+        circuit_done = sim.now
+        transmit_ns = self.transmission_ns(message.nbytes)
+        yield sim.timeout(transmit_ns)
+        for link in held:
+            link.record_transfer(message.nbytes, sim.now - circuit_done)
+            link.release()
+        # Contention-free, the message would have taken the switching
+        # delays plus the serial transmission; anything beyond that was
+        # queueing for links.
+        latency = transmit_ns + switch_ns * len(path)
+        contention = (circuit_done - start) - switch_ns * len(path)
+        self.messages += 1
+        self.bytes_transported += message.nbytes
+        self.total_latency_ns += latency
+        self.total_contention_ns += contention
+        return TransferResult(latency, contention)
+
+    def post(self, message: Message, name: Optional[str] = None):
+        """Fire-and-forget transmit (used for evicted-block writebacks).
+
+        The message still occupies real links -- it just is not on any
+        processor's critical path.  Returns the spawned process, which
+        callers may join if they need completion.
+        """
+        return self.sim.spawn(
+            self.transmit(message), name=name or f"post:{message.kind}"
+        )
+
+    # -- instrumentation -------------------------------------------------------
+
+    def busiest_links(self, count: int = 5) -> List[Link]:
+        """The ``count`` links with the highest busy time."""
+        return sorted(self._links.values(), key=lambda l: -l.busy_ns)[:count]
+
+    def total_link_wait_ns(self) -> int:
+        """Aggregate time messages spent queued on links."""
+        return sum(link.total_wait_ns for link in self._links.values())

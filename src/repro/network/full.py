@@ -1,0 +1,48 @@
+"""Fully connected topology.
+
+Two links (one per direction) between every pair of processors, as in
+the paper's "full" platform.  Every route is a single hop, so the only
+link sharing -- and therefore the only source of contention -- is at the
+endpoints themselves.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .topology import LinkId, Topology, register_topology
+
+
+@register_topology
+class FullyConnected(Topology):
+    """Complete graph over ``nprocs`` nodes with unidirectional links."""
+
+    name = "full"
+
+    def links(self) -> List[LinkId]:
+        return [
+            (a, b)
+            for a in range(self.nprocs)
+            for b in range(self.nprocs)
+            if a != b
+        ]
+
+    def neighbors(self, node: int) -> List[int]:
+        self.check_node(node)
+        return [n for n in range(self.nprocs) if n != node]
+
+    def route(self, src: int, dst: int) -> List[LinkId]:
+        self.check_node(src)
+        self.check_node(dst)
+        if src == dst:
+            return []
+        return [(src, dst)]
+
+    def bisection_links(self) -> int:
+        # Each of the nprocs/2 nodes in one half has a direct link to
+        # each of the nprocs/2 nodes in the other half.
+        half = self.nprocs // 2
+        return half * half
+
+    def diameter(self) -> int:
+        return 0 if self.nprocs == 1 else 1

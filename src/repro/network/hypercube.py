@@ -1,0 +1,62 @@
+"""Binary hypercube topology with e-cube (dimension-ordered) routing.
+
+Each node connects to the ``log2(p)`` nodes whose ids differ in exactly
+one bit; each edge carries one link per direction.  Routing corrects
+address bits from least- to most-significant.  Because every message
+acquires links in strictly increasing dimension order, the link
+dependency graph is acyclic and circuit-switched transmission cannot
+deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .topology import LinkId, Topology, register_topology
+
+
+@register_topology
+class Hypercube(Topology):
+    """Binary ``log2(nprocs)``-cube."""
+
+    name = "cube"
+
+    def __init__(self, nprocs: int):
+        super().__init__(nprocs)
+        self.dimensions = nprocs.bit_length() - 1
+
+    def links(self) -> List[LinkId]:
+        result: List[LinkId] = []
+        for node in range(self.nprocs):
+            for dim in range(self.dimensions):
+                other = node ^ (1 << dim)
+                result.append((node, other))
+        return result
+
+    def neighbors(self, node: int) -> List[int]:
+        self.check_node(node)
+        return [node ^ (1 << dim) for dim in range(self.dimensions)]
+
+    def route(self, src: int, dst: int) -> List[LinkId]:
+        self.check_node(src)
+        self.check_node(dst)
+        path: List[LinkId] = []
+        current = src
+        difference = src ^ dst
+        dim = 0
+        while difference:
+            if difference & 1:
+                nxt = current ^ (1 << dim)
+                path.append((current, nxt))
+                current = nxt
+            difference >>= 1
+            dim += 1
+        return path
+
+    def bisection_links(self) -> int:
+        # Cutting the highest dimension leaves p/2 edges crossing,
+        # i.e. p/2 links in each direction.
+        return self.nprocs // 2
+
+    def diameter(self) -> int:
+        return self.dimensions

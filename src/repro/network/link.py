@@ -1,0 +1,42 @@
+"""A serial unidirectional network link.
+
+A thin wrapper over :class:`~repro.engine.resource.Resource` carrying
+per-link instrumentation: how many messages and bytes crossed it and
+how long it was busy.  Links have capacity 1 -- the paper's networks use
+serial (1-bit-wide) links, and circuit switching holds the whole link
+for the duration of a transfer.
+"""
+
+from __future__ import annotations
+
+from ..engine.core import Simulator
+from ..engine.resource import Resource
+
+
+class Link(Resource):
+    """One directed link between two adjacent nodes."""
+
+    __slots__ = ("src", "dst", "messages", "bytes_carried", "busy_ns")
+
+    def __init__(self, sim: Simulator, src: int, dst: int):
+        super().__init__(sim, capacity=1, name=f"link({src}->{dst})")
+        self.src = src
+        self.dst = dst
+        #: Messages that traversed this link.
+        self.messages = 0
+        #: Total payload bytes carried.
+        self.bytes_carried = 0
+        #: Cumulative time the link was held by a circuit.
+        self.busy_ns = 0
+
+    def record_transfer(self, nbytes: int, held_ns: int) -> None:
+        """Account one completed transfer over this link."""
+        self.messages += 1
+        self.bytes_carried += nbytes
+        self.busy_ns += held_ns
+
+    def utilization(self, horizon_ns: int) -> float:
+        """Fraction of ``horizon_ns`` the link was busy."""
+        if horizon_ns <= 0:
+            return 0.0
+        return self.busy_ns / horizon_ns

@@ -1,0 +1,116 @@
+"""2-D mesh topology with X-Y (dimension-ordered) routing.
+
+Modeled on the Intel Touchstone Delta as in the paper: nodes in the
+interior have North/South/East/West neighbors; edges and corners have
+three and two.  Following Section 5, a machine with an even power of two
+processors is square; an odd power of two gets twice as many columns as
+rows (e.g. 32 processors -> 4 x 8).
+
+X-Y routing moves a message fully along the row (X/column direction)
+first, then along the column (Y/row direction).  Acquiring links in that
+fixed order keeps the channel-dependency graph acyclic, so the
+circuit-switched fabric cannot deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .topology import LinkId, Topology, register_topology
+
+
+def mesh_shape(nprocs: int) -> Tuple[int, int]:
+    """(rows, cols) for a mesh of ``nprocs`` nodes per the paper's rule."""
+    log2 = nprocs.bit_length() - 1
+    if log2 % 2 == 0:
+        rows = 1 << (log2 // 2)
+        cols = rows
+    else:
+        rows = 1 << (log2 // 2)
+        cols = rows * 2
+    return rows, cols
+
+
+@register_topology
+class Mesh2D(Topology):
+    """2-D mesh; node id = ``row * cols + col``."""
+
+    name = "mesh"
+
+    def __init__(self, nprocs: int):
+        super().__init__(nprocs)
+        self.rows, self.cols = mesh_shape(nprocs)
+
+    # -- coordinate helpers ----------------------------------------------------
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        """(row, col) of a node id."""
+        self.check_node(node)
+        return divmod(node, self.cols)
+
+    def node_at(self, row: int, col: int) -> int:
+        """Node id at (row, col)."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"({row}, {col}) outside {self.rows}x{self.cols} mesh")
+        return row * self.cols + col
+
+    # -- Topology interface -----------------------------------------------------
+
+    def links(self) -> List[LinkId]:
+        result: List[LinkId] = []
+        for row in range(self.rows):
+            for col in range(self.cols):
+                node = self.node_at(row, col)
+                if col + 1 < self.cols:
+                    east = self.node_at(row, col + 1)
+                    result.append((node, east))
+                    result.append((east, node))
+                if row + 1 < self.rows:
+                    south = self.node_at(row + 1, col)
+                    result.append((node, south))
+                    result.append((south, node))
+        return result
+
+    def neighbors(self, node: int) -> List[int]:
+        row, col = self.coordinates(node)
+        result: List[int] = []
+        if col > 0:
+            result.append(self.node_at(row, col - 1))
+        if col + 1 < self.cols:
+            result.append(self.node_at(row, col + 1))
+        if row > 0:
+            result.append(self.node_at(row - 1, col))
+        if row + 1 < self.rows:
+            result.append(self.node_at(row + 1, col))
+        return result
+
+    def route(self, src: int, dst: int) -> List[LinkId]:
+        self.check_node(src)
+        self.check_node(dst)
+        src_row, src_col = divmod(src, self.cols)
+        dst_row, dst_col = divmod(dst, self.cols)
+        path: List[LinkId] = []
+        row, col = src_row, src_col
+        # X first: move along the row to the destination column.
+        step = 1 if dst_col > col else -1
+        while col != dst_col:
+            nxt = self.node_at(row, col + step)
+            path.append((self.node_at(row, col), nxt))
+            col += step
+        # Then Y: move along the column to the destination row.
+        step = 1 if dst_row > row else -1
+        while row != dst_row:
+            nxt = self.node_at(row + step, col)
+            path.append((self.node_at(row, col), nxt))
+            row += step
+        return path
+
+    def bisection_links(self) -> int:
+        if self.nprocs == 1:
+            return 0
+        # Cut vertically between the two column halves: one East-West
+        # link pair per row crosses, i.e. `rows` links per direction.
+        return self.rows
+
+    def diameter(self) -> int:
+        return (self.rows - 1) + (self.cols - 1)

@@ -1,0 +1,25 @@
+"""Message descriptor used by the network fabric and machine models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network message.
+
+    ``kind`` is a free-form tag used only for instrumentation
+    (e.g. ``"read_req"``, ``"data"``, ``"inv"``, ``"ack"``, ``"wb"``).
+    """
+
+    src: int
+    dst: int
+    nbytes: int
+    kind: str = "data"
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ValueError(f"message size must be positive, got {self.nbytes}")
+        if self.src < 0 or self.dst < 0:
+            raise ValueError("node ids must be non-negative")

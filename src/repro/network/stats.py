@@ -1,0 +1,146 @@
+"""Network traffic statistics.
+
+The paper explains the ``g`` parameter's pessimism by *communication
+locality*: ``g`` is derived assuming every message crosses the
+machine's bisection, and applications whose traffic stays local violate
+that assumption.  :class:`FabricStats` turns a finished target-machine
+run into the numbers behind that argument:
+
+* the fraction of messages (and bytes) that actually crossed the
+  bisection,
+* mean hops per message vs the uniform-traffic mean,
+* per-link utilization, including the hottest links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from .fabric import Fabric
+from .topology import LinkId, Topology
+
+
+def bisection_cut(topology: Topology) -> Set[LinkId]:
+    """The directed links crossing the canonical bisection.
+
+    The halves are the node-id halves (``id < nprocs/2`` vs the rest),
+    which matches the cuts used by ``bisection_links`` for all three
+    topologies: the highest dimension of the cube, the column split of
+    the mesh, and any balanced split of the full network.
+    """
+    half = topology.nprocs // 2
+    if topology.name == "mesh":
+        # The mesh's minimal cut splits columns, not node-id halves.
+        rows, cols = topology.rows, topology.cols
+        left = {
+            row * cols + col
+            for row in range(rows)
+            for col in range(cols // 2)
+        }
+        return {
+            (src, dst)
+            for src, dst in topology.links()
+            if (src in left) != (dst in left)
+        }
+    return {
+        (src, dst)
+        for src, dst in topology.links()
+        if (src < half) != (dst < half)
+    }
+
+
+@dataclass(frozen=True)
+class FabricStats:
+    """Aggregate traffic statistics of one run."""
+
+    messages: int
+    bytes_transported: int
+    #: Messages whose route crossed the bisection.
+    bisection_messages: int
+    #: Mean hops per message.
+    mean_hops: float
+    #: Mean hops of uniform all-pairs traffic on this topology.
+    uniform_mean_hops: float
+    #: (src, dst, busy_ns) of the busiest links.
+    hottest_links: Tuple[Tuple[int, int, int], ...]
+
+    @property
+    def bisection_fraction(self) -> float:
+        """Fraction of messages that crossed the bisection.
+
+        The bisection-bandwidth ``g`` derivation implicitly assumes
+        this is ~0.5 (uniform traffic); communication-local
+        applications sit far below, which is the paper's explanation
+        for g's pessimism.
+        """
+        if self.messages == 0:
+            return 0.0
+        return self.bisection_messages / self.messages
+
+    @property
+    def locality_factor(self) -> float:
+        """Observed mean hops relative to uniform traffic (<= 1 is local)."""
+        if self.uniform_mean_hops == 0:
+            return 1.0
+        return self.mean_hops / self.uniform_mean_hops
+
+
+def collect_stats(fabric: Fabric, top_links: int = 5) -> FabricStats:
+    """Compute :class:`FabricStats` from a fabric after a run.
+
+    Per-message routes are not stored (that would be enormous); instead
+    the per-link counters are combined: the number of bisection
+    crossings is the message count summed over cut links, and mean hops
+    is total (link, message) incidences over messages.
+    """
+    topology = fabric.topology
+    cut = bisection_cut(topology)
+    crossings = sum(
+        link.messages for link in fabric.links
+        if (link.src, link.dst) in cut
+    )
+    total_incidences = sum(link.messages for link in fabric.links)
+    messages = fabric.messages
+    mean_hops = total_incidences / messages if messages else 0.0
+    nprocs = topology.nprocs
+    if nprocs > 1:
+        uniform = sum(
+            topology.hops(src, dst)
+            for src in range(nprocs)
+            for dst in range(nprocs)
+            if src != dst
+        ) / (nprocs * (nprocs - 1))
+    else:
+        uniform = 0.0
+    hottest = tuple(
+        (link.src, link.dst, link.busy_ns)
+        for link in fabric.busiest_links(top_links)
+    )
+    return FabricStats(
+        messages=messages,
+        bytes_transported=fabric.bytes_transported,
+        bisection_messages=crossings,
+        mean_hops=mean_hops,
+        uniform_mean_hops=uniform,
+        hottest_links=hottest,
+    )
+
+
+def stats_report(stats: FabricStats) -> str:
+    """Human-readable rendering of :class:`FabricStats`."""
+    lines = [
+        f"messages            : {stats.messages}",
+        f"bytes               : {stats.bytes_transported}",
+        f"bisection crossings : {stats.bisection_messages} "
+        f"({stats.bisection_fraction:.1%} of messages)",
+        f"mean hops           : {stats.mean_hops:.2f} "
+        f"(uniform traffic: {stats.uniform_mean_hops:.2f}, "
+        f"locality factor {stats.locality_factor:.2f})",
+        "hottest links       : "
+        + ", ".join(
+            f"{src}->{dst} ({busy_ns / 1000:.0f}us busy)"
+            for src, dst, busy_ns in stats.hottest_links
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Abstract interconnect topology and the topology registry.
+
+A topology knows its directed links, how to route between nodes
+(deterministically and deadlock-free), and the size of its bisection --
+the quantity the paper (following Culler et al.) uses to derive the
+LogP ``g`` parameter.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Tuple, Type
+
+from ..errors import ConfigError, TopologyError
+
+#: A directed link is identified by the (source node, destination node)
+#: pair of the nodes it connects.
+LinkId = Tuple[int, int]
+
+
+class Topology(ABC):
+    """Base class for interconnect topologies.
+
+    Node identifiers are ``0 .. nprocs-1``.  All topologies here use
+    unidirectional links; a "bidirectional" connection is two links.
+    """
+
+    #: Registry name, e.g. ``"mesh"``.
+    name: str = "abstract"
+
+    def __init__(self, nprocs: int):
+        if nprocs < 1 or nprocs & (nprocs - 1):
+            raise TopologyError(
+                f"node count must be a power of two, got {nprocs}"
+            )
+        self.nprocs = nprocs
+
+    # -- structure ------------------------------------------------------------
+
+    @abstractmethod
+    def links(self) -> List[LinkId]:
+        """All directed links, as (source, destination) node pairs."""
+
+    @abstractmethod
+    def neighbors(self, node: int) -> List[int]:
+        """Nodes directly connected to ``node`` (outgoing)."""
+
+    @abstractmethod
+    def route(self, src: int, dst: int) -> List[LinkId]:
+        """Directed links traversed from ``src`` to ``dst``, in order.
+
+        Routing is deterministic and chosen so that acquiring links in
+        path order can never deadlock (dimension-ordered for the cube
+        and mesh; trivial for the full network).  ``route(n, n)`` is the
+        empty path.
+        """
+
+    @abstractmethod
+    def bisection_links(self) -> int:
+        """Number of links crossing the bisection *in one direction*.
+
+        The bisection splits the machine into two halves of
+        ``nprocs / 2`` nodes each along the topology's narrowest cut.
+        For ``nprocs == 1`` there is no bisection and this returns 0.
+        """
+
+    @abstractmethod
+    def diameter(self) -> int:
+        """Maximum hop count between any pair of nodes."""
+
+    # -- helpers ---------------------------------------------------------------
+
+    def check_node(self, node: int) -> None:
+        """Raise :class:`TopologyError` for an out-of-range node id."""
+        if not 0 <= node < self.nprocs:
+            raise TopologyError(
+                f"node {node} out of range for {self.name}({self.nprocs})"
+            )
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hop count along the deterministic route."""
+        return len(self.route(src, dst))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} nprocs={self.nprocs}>"
+
+
+_REGISTRY: Dict[str, Type[Topology]] = {}
+
+
+def register_topology(cls: Type[Topology]) -> Type[Topology]:
+    """Class decorator adding a topology to the registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_topology(name: str, nprocs: int) -> Topology:
+    """Instantiate a registered topology by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown topology {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(nprocs)
+
+
+def topology_names() -> List[str]:
+    """Names of all registered topologies."""
+    return sorted(_REGISTRY)

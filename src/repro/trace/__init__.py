@@ -1,0 +1,44 @@
+"""Trace recording and trace-driven replay.
+
+Execution-driven simulation (the paper's mode, and this package's
+default) interleaves application logic with simulated time, so dynamic
+behaviour -- lock grant order, CHOLESKY's task queue -- responds to the
+machine being simulated.  *Trace-driven* simulation instead records the
+reference stream once and replays it against other machine models:
+cheaper, but the stream can no longer react to timing, which is exactly
+the distortion the literature warns about (and why this reproduction is
+execution-driven).
+
+This subpackage provides both halves so the trade-off can be studied:
+
+* :class:`~repro.trace.recorder.RecordingApplication` wraps any
+  application and captures the per-processor operation streams of one
+  (execution-driven) run,
+* :class:`~repro.trace.replay.TraceApplication` replays a recorded
+  :class:`~repro.trace.tracefile.Trace` on any machine model,
+* :mod:`~repro.trace.tracefile` saves/loads traces as JSON.
+
+Replaying a trace on the machine that recorded it reproduces the run
+exactly (the engine is deterministic); replaying it elsewhere is the
+classic trace-driven approximation -- and for *dynamically scheduled*
+applications it can fail outright: CHOLESKY's recorded condition-flag
+waits assume the recording machine's lock-acquisition order, and under
+different timing a frozen wait may reference a flag value nobody will
+set again, deadlocking the replay
+(:class:`~repro.errors.DeadlockError`).  That failure is itself a
+result: it is why the paper's methodology -- and this package's default
+mode -- is execution-driven.
+"""
+
+from .recorder import RecordingApplication, record_trace
+from .replay import TraceApplication
+from .tracefile import Trace, load_trace, save_trace
+
+__all__ = [
+    "RecordingApplication",
+    "record_trace",
+    "TraceApplication",
+    "Trace",
+    "save_trace",
+    "load_trace",
+]

@@ -1,0 +1,76 @@
+"""Recording the operation streams of an execution-driven run."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..apps.base import Application
+from ..config import SystemConfig
+from ..core import ops
+from ..core.runner import simulate_full
+from ..errors import ReproError
+from .tracefile import Trace, serialize_op
+
+
+class RecordingApplication(Application):
+    """Wraps an application, teeing every yielded operation into a trace.
+
+    The wrapped application still computes its real answer (``verify``
+    delegates), so a recording run is a normal execution-driven run
+    plus capture.
+    """
+
+    strict_verify = False  # delegate strictness decisions to the runner
+
+    def __init__(self, inner: Application):
+        super().__init__(inner.nprocs)
+        self.inner = inner
+        self.name = inner.name
+        self._streams = [[] for _ in range(inner.nprocs)]
+        self._space = None
+
+    def _setup(self, space, streams) -> None:
+        self.inner.setup(space, streams)
+        self._space = space
+
+    def proc_main(self, pid: int) -> Iterator[ops.Op]:
+        stream = self._streams[pid]
+        for op in self.inner.proc_main(pid):
+            stream.append(serialize_op(op))
+            yield op
+
+    def verify(self) -> bool:
+        return self.inner.verify()
+
+    def build_trace(self, recorded_on: str) -> Trace:
+        """Assemble the trace after the recording run completed."""
+        if self._space is None:
+            raise ReproError("build_trace called before the recording run")
+        regions = [
+            (region.name, region.count, region.elem_bytes,
+             region.distribution, region.nblocks)
+            for region in self._space.regions
+            if not region.name.startswith("__sync_")
+        ]
+        return Trace(
+            app=self.inner.name,
+            nprocs=self.nprocs,
+            recorded_on=recorded_on,
+            regions=regions,
+            streams=self._streams,
+        )
+
+
+def record_trace(
+    app: Application,
+    machine_name: str,
+    config: SystemConfig,
+):
+    """Run ``app`` on a machine while recording; return (result, trace).
+
+    The run is a full execution-driven simulation -- the trace captures
+    whatever dynamic scheduling that machine's timing produced.
+    """
+    recorder = RecordingApplication(app)
+    result, _machine = simulate_full(recorder, machine_name, config)
+    return result, recorder.build_trace(machine_name)

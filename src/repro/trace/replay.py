@@ -1,0 +1,54 @@
+"""Trace-driven replay."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..apps.base import Application
+from ..core import ops
+from ..errors import ReproError
+from .tracefile import Trace, deserialize_op
+
+
+class TraceApplication(Application):
+    """Replays a recorded :class:`~repro.trace.tracefile.Trace`.
+
+    The application re-allocates the recorded shared-memory regions in
+    the recorded order (so every recorded address resolves to the same
+    block and home) and then feeds each processor its recorded
+    operation stream verbatim.
+
+    Replayed on the machine/configuration that recorded the trace, the
+    simulation reproduces the original timing exactly.  Replayed on a
+    different machine it is the classic trace-driven approximation: the
+    reference stream is frozen, so dynamic effects (who wins a lock,
+    which processor pops which task) no longer adapt to the timing of
+    the machine under study.
+    """
+
+    strict_verify = False
+
+    def __init__(self, trace: Trace):
+        super().__init__(trace.nprocs)
+        self.trace = trace
+        self.name = f"{trace.app}@trace"
+        self.replayed_ops = 0
+
+    def _setup(self, space, streams) -> None:
+        for name, count, elem_bytes, distribution, nblocks in (
+                self.trace.regions):
+            space.alloc(
+                name, count, elem_bytes, distribution,
+                exact_nblocks=nblocks,
+            )
+
+    def proc_main(self, pid: int) -> Iterator[ops.Op]:
+        if not 0 <= pid < len(self.trace.streams):
+            raise ReproError(f"trace has no stream for processor {pid}")
+        for item in self.trace.streams[pid]:
+            self.replayed_ops += 1
+            yield deserialize_op(item)
+
+    def verify(self) -> bool:
+        """A replay is faithful if every recorded operation was issued."""
+        return self.replayed_ops == self.trace.total_operations

@@ -1,0 +1,162 @@
+"""Trace container and (de)serialization.
+
+A trace stores, per processor, the exact operation stream one run
+produced, plus the shared-memory region layout needed to make the
+recorded addresses meaningful again at replay time.
+
+The on-disk format is a single JSON document.  Operations serialize to
+compact tagged lists (``["r", addr]``, ``["rr", addr, count, stride]``,
+...), keeping files small and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from ..core import ops
+from ..errors import ReproError
+
+#: Serialized operation: a tagged list.
+SerializedOp = List[Any]
+
+#: Region descriptor: (name, count, elem_bytes, distribution, nblocks).
+RegionSpec = Tuple[str, int, int, Union[str, Tuple[str, int]], int]
+
+_FORMAT_VERSION = 1
+
+
+def serialize_op(op: ops.Op) -> SerializedOp:
+    """Encode one operation as a tagged list.
+
+    Values are coerced to plain ``int`` -- applications routinely hand
+    over numpy integers, which the JSON encoder rejects.
+    """
+    kind = type(op)
+    if kind is ops.Read:
+        return ["r", int(op.addr)]
+    if kind is ops.Write:
+        return ["w", int(op.addr)]
+    if kind is ops.ReadRange:
+        return ["rr", int(op.addr), int(op.count), int(op.stride)]
+    if kind is ops.WriteRange:
+        return ["wr", int(op.addr), int(op.count), int(op.stride)]
+    if kind is ops.ReadMany:
+        return ["rm", [int(a) for a in op.addrs]]
+    if kind is ops.WriteMany:
+        return ["wm", [int(a) for a in op.addrs]]
+    if kind is ops.Compute:
+        return ["c", int(op.cycles)]
+    if kind is ops.Lock:
+        return ["l", int(op.lock_id)]
+    if kind is ops.Unlock:
+        return ["u", int(op.lock_id)]
+    if kind is ops.Barrier:
+        return ["b", int(op.barrier_id)]
+    if kind is ops.SetFlag:
+        return ["sf", int(op.addr), int(op.value)]
+    if kind is ops.WaitFlag:
+        return ["wf", int(op.addr), int(op.value), op.cmp]
+    if kind is ops.Send:
+        return ["s", int(op.dst), int(op.nbytes), int(op.tag)]
+    if kind is ops.Recv:
+        return ["rv", int(op.src), int(op.tag)]
+    raise ReproError(f"cannot serialize operation {op!r}")
+
+
+def deserialize_op(data: SerializedOp) -> ops.Op:
+    """Decode one tagged list back into an operation."""
+    tag = data[0]
+    if tag == "r":
+        return ops.Read(data[1])
+    if tag == "w":
+        return ops.Write(data[1])
+    if tag == "rr":
+        return ops.ReadRange(data[1], data[2], data[3])
+    if tag == "wr":
+        return ops.WriteRange(data[1], data[2], data[3])
+    if tag == "rm":
+        return ops.ReadMany(data[1])
+    if tag == "wm":
+        return ops.WriteMany(data[1])
+    if tag == "c":
+        return ops.Compute(data[1])
+    if tag == "l":
+        return ops.Lock(data[1])
+    if tag == "u":
+        return ops.Unlock(data[1])
+    if tag == "b":
+        return ops.Barrier(data[1])
+    if tag == "sf":
+        return ops.SetFlag(data[1], data[2])
+    if tag == "wf":
+        return ops.WaitFlag(data[1], data[2], data[3])
+    if tag == "s":
+        return ops.Send(data[1], data[2], data[3])
+    if tag == "rv":
+        return ops.Recv(data[1], data[2])
+    raise ReproError(f"unknown operation tag {tag!r}")
+
+
+@dataclass
+class Trace:
+    """One recorded run: layout + per-processor operation streams."""
+
+    app: str
+    nprocs: int
+    #: Machine the trace was recorded on (traces replayed elsewhere are
+    #: approximations; see the subpackage docstring).
+    recorded_on: str
+    regions: List[RegionSpec] = field(default_factory=list)
+    #: streams[pid] is the list of serialized operations of processor pid.
+    streams: List[List[SerializedOp]] = field(default_factory=list)
+
+    @property
+    def total_operations(self) -> int:
+        return sum(len(stream) for stream in self.streams)
+
+    def operations(self, pid: int) -> List[ops.Op]:
+        """Deserialized operation stream of one processor."""
+        return [deserialize_op(item) for item in self.streams[pid]]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "format": _FORMAT_VERSION,
+            "app": self.app,
+            "nprocs": self.nprocs,
+            "recorded_on": self.recorded_on,
+            "regions": [list(region) for region in self.regions],
+            "streams": self.streams,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Trace":
+        if data.get("format") != _FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported trace format {data.get('format')!r}"
+            )
+        regions: List[RegionSpec] = []
+        for name, count, elem, dist, nblocks in data["regions"]:
+            if isinstance(dist, list):
+                dist = (dist[0], dist[1])
+            regions.append((name, count, elem, dist, nblocks))
+        return cls(
+            app=data["app"],
+            nprocs=data["nprocs"],
+            recorded_on=data["recorded_on"],
+            regions=regions,
+            streams=data["streams"],
+        )
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write a trace to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace.to_json(), handle)
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return Trace.from_json(json.load(handle))

@@ -1,0 +1,63 @@
+"""Time and size units used throughout the simulator.
+
+The simulation clock is an *integer count of nanoseconds*.  Integer time
+keeps the event queue deterministic (no floating-point drift when two
+machine models replay the same application) and is plenty of resolution:
+the slowest hardware quantity we model, a 33 MHz processor cycle, is
+~30 ns, and the fastest, a single byte on a 20 MB/s serial link, is 50 ns.
+
+All helpers in this module are pure functions; they exist so that the
+rest of the code never hand-rolls a unit conversion.
+"""
+
+from __future__ import annotations
+
+#: Nanoseconds per microsecond.
+NS_PER_US = 1_000
+
+#: Nanoseconds per millisecond.
+NS_PER_MS = 1_000_000
+
+#: Nanoseconds per second.
+NS_PER_S = 1_000_000_000
+
+#: Bytes per kilobyte (binary).
+KB = 1_024
+
+#: Bytes per megabyte (binary).
+MB = 1_024 * 1_024
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer nanoseconds (rounded)."""
+    return round(value * NS_PER_US)
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds (rounded)."""
+    return round(value * NS_PER_MS)
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer nanoseconds (rounded)."""
+    return round(value * NS_PER_S)
+
+
+def ns_to_us(value_ns: int) -> float:
+    """Convert integer nanoseconds to (float) microseconds."""
+    return value_ns / NS_PER_US
+
+
+def ns_to_ms(value_ns: int) -> float:
+    """Convert integer nanoseconds to (float) milliseconds."""
+    return value_ns / NS_PER_MS
+
+
+def cycles_to_ns(cycles: int, cycle_ns: int) -> int:
+    """Convert a processor cycle count to nanoseconds."""
+    return cycles * cycle_ns
+
+
+def bytes_to_link_ns(nbytes: int, ns_per_byte: int) -> int:
+    """Time to push ``nbytes`` over a serial link with the given byte time."""
+    return nbytes * ns_per_byte

@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SystemConfig
+from repro.apps import make_app
+from repro.experiments.workloads import app_params
+
+#: Tiny application parameter sets used across the tests -- small enough
+#: that a full simulation takes well under a second.
+TINY_PARAMS = {
+    "ep": {"pairs": 2_048},
+    "is": {"keys": 512, "buckets": 64, "iterations": 1},
+    "cg": {"n": 64, "nnz_per_row": 4, "iterations": 2},
+    "fft": {"points": 256},
+    "cholesky": {"n": 48, "density": 0.12},
+}
+
+ALL_APPS = tuple(sorted(TINY_PARAMS))
+ALL_MACHINES = ("target", "logp", "clogp", "ideal")
+ALL_TOPOLOGIES = ("full", "cube", "mesh")
+
+
+def tiny_app(name: str, nprocs: int):
+    """A freshly constructed tiny application instance."""
+    return make_app(name, nprocs, **TINY_PARAMS[name])
+
+
+def tiny_config(nprocs: int = 4, topology: str = "full", **overrides):
+    """A small machine configuration for tests."""
+    return SystemConfig(processors=nprocs, topology=topology, **overrides)
+
+
+@pytest.fixture
+def config4():
+    return tiny_config(4)
+
+
+@pytest.fixture
+def config8_mesh():
+    return tiny_config(8, "mesh")

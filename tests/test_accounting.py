@@ -1,0 +1,75 @@
+"""Overhead buckets and run-result aggregation."""
+
+import pytest
+
+from repro import OverheadBuckets, RunResult
+
+
+def test_bucket_totals():
+    buckets = OverheadBuckets(
+        compute_ns=100, memory_ns=50, latency_ns=30, contention_ns=20,
+        sync_ns=10,
+    )
+    assert buckets.total_ns == 210
+
+
+def test_bucket_add():
+    a = OverheadBuckets(compute_ns=10, latency_ns=5)
+    b = OverheadBuckets(compute_ns=1, memory_ns=2, contention_ns=3, sync_ns=4)
+    a.add(b)
+    assert a.compute_ns == 11
+    assert a.memory_ns == 2
+    assert a.latency_ns == 5
+    assert a.contention_ns == 3
+    assert a.sync_ns == 4
+
+
+def test_bucket_as_dict():
+    buckets = OverheadBuckets(compute_ns=7)
+    assert buckets.as_dict()["compute_ns"] == 7
+    assert set(buckets.as_dict()) == {
+        "compute_ns", "memory_ns", "latency_ns", "contention_ns", "sync_ns",
+    }
+
+
+def make_result():
+    return RunResult(
+        app="fft",
+        machine="clogp",
+        topology="mesh",
+        nprocs=2,
+        total_ns=5_000,
+        buckets=[
+            OverheadBuckets(latency_ns=1_000, contention_ns=500),
+            OverheadBuckets(latency_ns=3_000, contention_ns=1_500),
+        ],
+        messages=42,
+        verified=True,
+    )
+
+
+def test_mean_overheads_in_microseconds():
+    result = make_result()
+    assert result.mean_latency_us == 2.0
+    assert result.mean_contention_us == 1.0
+    assert result.total_us == 5.0
+
+
+def test_metric_lookup():
+    result = make_result()
+    assert result.metric("execution") == 5.0
+    assert result.metric("latency") == 2.0
+    assert result.metric("contention") == 1.0
+    with pytest.raises(KeyError):
+        result.metric("bandwidth")
+
+
+def test_empty_buckets_mean_is_zero():
+    result = RunResult(app="x", machine="m", topology="full", nprocs=1)
+    assert result.mean_latency_us == 0.0
+
+
+def test_summary_contains_key_fields():
+    text = make_result().summary()
+    assert "fft" in text and "clogp" in text and "mesh" in text
+    assert "ok" in text

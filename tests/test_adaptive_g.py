@@ -1,0 +1,85 @@
+"""History-based (adaptive) g estimation -- the paper's Section 7 idea."""
+
+from repro import SystemConfig, simulate
+from repro.core.logp_net import LogPNetwork
+from repro.core.params import LogPParams
+from repro.engine import Simulator
+from repro.network import make_topology
+
+from tests.conftest import tiny_app, tiny_config
+
+
+def make_net(topology_name="mesh", nprocs=16, g=3_200, adaptive=True):
+    sim = Simulator()
+    topology = make_topology(topology_name, nprocs)
+    params = LogPParams(L_ns=1_600, g_ns=g, o_ns=0, P=nprocs)
+    return sim, LogPNetwork(sim, params, topology=topology, adaptive=adaptive)
+
+
+def test_first_message_uses_full_g():
+    sim, net = make_net()
+    assert net.effective_g() == 3_200
+
+
+def test_local_traffic_shrinks_g():
+    sim, net = make_net()
+    # Nearest-neighbour traffic only: nodes 0 and 1 are adjacent.
+    for _ in range(20):
+        net.one_way(0, 1)
+    assert net.effective_g() < 3_200
+    # One hop vs the mesh's uniform mean (> 2 hops for 4x4).
+    assert net.effective_g() <= 3_200 // 2
+
+
+def test_uniform_traffic_keeps_g():
+    sim, net = make_net(nprocs=4)
+    # Hit all pairs equally: mean observed == uniform mean.
+    for src in range(4):
+        for dst in range(4):
+            if src != dst:
+                net.one_way(src, dst)
+    assert net.effective_g() == net.params.g_ns
+
+
+def test_g_never_exceeds_bisection_estimate():
+    sim, net = make_net(nprocs=16)
+    # Worst-case distant traffic cannot push g above the configured
+    # value (the factor is clamped at 1).
+    for _ in range(10):
+        net.one_way(0, 15)
+    assert net.effective_g() <= net.params.g_ns
+
+
+def test_non_adaptive_ignores_history():
+    sim, net = make_net(adaptive=False)
+    for _ in range(20):
+        net.one_way(0, 1)
+    assert net.effective_g() == net.params.g_ns
+
+
+def test_adaptive_reduces_ep_mesh_contention():
+    """The paper's worst pessimism case (Fig. 11) improves."""
+    strict = simulate(
+        tiny_app("ep", 16), "clogp", tiny_config(16, "mesh")
+    ).mean_contention_us
+    adaptive = simulate(
+        tiny_app("ep", 16), "clogp", tiny_config(16, "mesh", adaptive_g=True)
+    ).mean_contention_us
+    target = simulate(
+        tiny_app("ep", 16), "target", tiny_config(16, "mesh")
+    ).mean_contention_us
+    assert adaptive < strict
+    assert abs(adaptive - target) < abs(strict - target)
+
+
+def test_adaptive_g_keeps_apps_correct():
+    for app_name in ("fft", "cholesky"):
+        config = tiny_config(8, "mesh", adaptive_g=True)
+        result = simulate(tiny_app(app_name, 8), "clogp", config,
+                          check_invariants=True)
+        assert result.verified
+
+
+def test_adaptive_flag_in_config():
+    assert not SystemConfig().adaptive_g
+    assert SystemConfig(adaptive_g=True).adaptive_g

@@ -1,0 +1,130 @@
+"""Scalability analysis helpers."""
+
+import pytest
+
+from repro import OverheadBuckets, RunResult, simulate
+from repro.analysis import (
+    abstraction_error,
+    efficiency_curve,
+    overhead_fractions,
+    overhead_growth,
+    processor_profile,
+    profile_table,
+    scalability_table,
+    speedup_curve,
+)
+from repro.errors import ReproError
+
+from tests.conftest import tiny_app, tiny_config
+
+
+def synthetic(nprocs, total_us, latency_us=0.0):
+    return RunResult(
+        app="x",
+        machine="m",
+        topology="full",
+        nprocs=nprocs,
+        total_ns=int(total_us * 1_000),
+        buckets=[
+            OverheadBuckets(
+                compute_ns=int(total_us * 500),
+                latency_ns=int(latency_us * 1_000),
+            )
+            for _ in range(nprocs)
+        ],
+    )
+
+
+def test_speedup_against_serial_base():
+    sweep = [synthetic(1, 100.0), synthetic(2, 60.0), synthetic(4, 30.0)]
+    curve = speedup_curve(sweep)
+    assert curve == [(1, 1.0), (2, 100 / 60), (4, 100 / 30)]
+
+
+def test_speedup_sorts_inputs():
+    sweep = [synthetic(4, 30.0), synthetic(1, 100.0)]
+    assert speedup_curve(sweep)[0][0] == 1
+
+
+def test_efficiency():
+    sweep = [synthetic(1, 100.0), synthetic(4, 25.0)]
+    eff = dict(efficiency_curve(sweep))
+    assert eff[1] == 1.0
+    assert eff[4] == 1.0  # perfect linear speedup
+
+
+def test_duplicate_processor_counts_rejected():
+    with pytest.raises(ReproError):
+        speedup_curve([synthetic(2, 10.0), synthetic(2, 12.0)])
+
+
+def test_empty_sweep_rejected():
+    with pytest.raises(ReproError):
+        speedup_curve([])
+
+
+def test_overhead_fractions_sum_to_one():
+    result = synthetic(4, 100.0, latency_us=10.0)
+    fractions = overhead_fractions(result)
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9
+    assert fractions["latency_ns"] > 0
+
+
+def test_overhead_fractions_empty_run():
+    result = RunResult(app="x", machine="m", topology="full", nprocs=0)
+    assert all(v == 0.0 for v in overhead_fractions(result).values())
+
+
+def test_overhead_growth():
+    sweep = [synthetic(1, 100.0, latency_us=0.0),
+             synthetic(4, 30.0, latency_us=8.0)]
+    growth = overhead_growth(sweep, "latency_ns")
+    assert growth == [(1, 0.0), (4, 8.0)]
+    with pytest.raises(ReproError):
+        overhead_growth(sweep, "turbo_ns")
+
+
+def test_abstraction_error_zero_for_identical():
+    sweep = [synthetic(1, 100.0), synthetic(4, 30.0)]
+    assert abstraction_error(sweep, sweep) == 0.0
+
+
+def test_abstraction_error_measures_gap():
+    reference = [synthetic(1, 100.0), synthetic(4, 30.0)]
+    model = [synthetic(1, 100.0), synthetic(4, 60.0)]
+    assert abstraction_error(reference, model) == pytest.approx(0.5)
+
+
+def test_abstraction_error_mismatched_sweeps():
+    with pytest.raises(ReproError):
+        abstraction_error([synthetic(1, 10.0)], [synthetic(2, 10.0)])
+
+
+def test_scalability_table_renders():
+    sweep = [synthetic(1, 100.0), synthetic(4, 30.0)]
+    table = scalability_table(sweep)
+    assert "speedup" in table
+    assert "100.0" in table
+
+
+def test_profile_helpers_on_real_run():
+    result = simulate(tiny_app("fft", 4), "target", tiny_config(4))
+    profile = processor_profile(result)
+    assert len(profile) == 4
+    assert all(row["total_us"] > 0 for row in profile)
+    text = profile_table(result)
+    assert "fft" in text and "pid" in text
+
+
+def test_paper_claims_in_abstraction_error_terms():
+    """CLogP approximates the target far better than LogP does."""
+    sweeps = {}
+    for machine in ("target", "clogp", "logp"):
+        sweeps[machine] = [
+            simulate(tiny_app("is", p), machine, tiny_config(p))
+            for p in (1, 2, 4)
+        ]
+    clogp_error = abstraction_error(sweeps["target"], sweeps["clogp"])
+    logp_error = abstraction_error(sweeps["target"], sweeps["logp"])
+    assert clogp_error < logp_error
+    assert clogp_error < 0.5

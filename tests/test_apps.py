@@ -1,0 +1,257 @@
+"""Application functional correctness across machines and sizes."""
+
+import numpy as np
+import pytest
+
+from repro import ApplicationError, SystemConfig, simulate, simulate_full
+from repro.apps import APPLICATIONS, make_app
+from repro.apps.base import block_partition
+from repro.apps.fft import bit_reverse_permutation
+
+from tests.conftest import ALL_APPS, ALL_MACHINES, tiny_app, tiny_config
+
+
+# -- partition helper --------------------------------------------------------------
+
+
+def test_block_partition_covers_everything():
+    for count in (7, 16, 33):
+        for nprocs in (1, 2, 4, 8):
+            covered = []
+            for pid in range(nprocs):
+                lo, hi = block_partition(count, nprocs, pid)
+                covered.extend(range(lo, hi))
+            assert covered == list(range(count))
+
+
+def test_block_partition_is_balanced():
+    sizes = [
+        hi - lo
+        for pid in range(4)
+        for lo, hi in [block_partition(10, 4, pid)]
+    ]
+    assert max(sizes) - min(sizes) <= 1
+
+
+# -- registry ------------------------------------------------------------------------
+
+
+def test_application_registry():
+    # The paper's five plus the jacobi/mg stencil extensions.
+    assert set(APPLICATIONS) == {
+        "ep", "is", "cg", "fft", "cholesky", "jacobi", "mg",
+    }
+
+
+def test_unknown_application():
+    with pytest.raises(KeyError):
+        make_app("lu", 4)
+
+
+def test_application_cannot_be_reused():
+    config = tiny_config(2)
+    app = tiny_app("fft", 2)
+    simulate(app, "ideal", config)
+    with pytest.raises(ApplicationError):
+        simulate(app, "ideal", config)
+
+
+# -- cross-product verification ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+@pytest.mark.parametrize("machine", ALL_MACHINES)
+def test_apps_verify_on_every_machine(app_name, machine):
+    config = tiny_config(4, "cube")
+    result = simulate(tiny_app(app_name, 4), machine, config,
+                      check_invariants=True)
+    assert result.verified
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+@pytest.mark.parametrize("nprocs", [1, 2, 8])
+def test_apps_verify_across_processor_counts(app_name, nprocs):
+    config = tiny_config(nprocs, "mesh")
+    result = simulate(tiny_app(app_name, nprocs), "clogp", config)
+    assert result.verified
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_apps_functionally_identical_across_machines(app_name):
+    """Every machine model must replay the same workload."""
+    totals = {}
+    for machine in ("target", "clogp"):
+        config = tiny_config(4)
+        result = simulate(tiny_app(app_name, 4), machine, config)
+        totals[machine] = result
+    # The same messages cannot be asserted, but the per-machine cache
+    # systems saw the same reference stream: miss counts agree.
+    # (Asserted indirectly: verified on both machines.)
+    assert all(r.verified for r in totals.values())
+
+
+# -- FFT specifics ------------------------------------------------------------------------
+
+
+def test_bit_reverse_permutation():
+    assert bit_reverse_permutation(8).tolist() == [0, 4, 2, 6, 1, 5, 3, 7]
+
+
+def test_fft_matches_numpy():
+    config = tiny_config(4)
+    app = tiny_app("fft", 4)
+    simulate(app, "ideal", config)
+    assert np.allclose(app.values, np.fft.fft(app.input), atol=1e-6)
+
+
+def test_fft_rejects_bad_sizes():
+    with pytest.raises(ApplicationError):
+        make_app("fft", 4, points=100)  # not a power of two
+    with pytest.raises(ApplicationError):
+        make_app("fft", 4, points=4)  # too small for 4 procs
+
+
+# -- IS specifics ---------------------------------------------------------------------------
+
+
+def test_is_ranks_sort_the_keys():
+    config = tiny_config(4)
+    app = tiny_app("is", 4)
+    simulate(app, "target", config)
+    ordered = np.empty(app.nkeys, dtype=np.int64)
+    ordered[app.rank_values] = app.keys
+    assert np.all(np.diff(ordered) >= 0)
+    # Ranks are a permutation.
+    assert sorted(app.rank_values) == list(range(app.nkeys))
+
+
+def test_is_parameter_validation():
+    with pytest.raises(ValueError):
+        make_app("is", 4, keys=2)
+    with pytest.raises(ValueError):
+        make_app("is", 4, iterations=0)
+
+
+# -- CG specifics ----------------------------------------------------------------------------
+
+
+def test_cg_residuals_match_sequential_recurrence():
+    config = tiny_config(4)
+    app = tiny_app("cg", 4)
+    simulate(app, "clogp", config)
+    assert np.allclose(app.residuals, app._sequential_residuals(), rtol=1e-6)
+
+
+def test_cg_matrix_is_symmetric_positive_definite():
+    from repro.engine import RandomStreams
+    from repro.memory import AddressSpace
+
+    app = tiny_app("cg", 4)
+    app.setup(AddressSpace(4, 32), RandomStreams(1))
+    assert np.allclose(app.A, app.A.T)
+    eigenvalues = np.linalg.eigvalsh(app.A)
+    assert eigenvalues.min() > 0
+
+
+def test_cg_converges():
+    config = tiny_config(2)
+    app = make_app("cg", 2, n=64, nnz_per_row=4, iterations=6)
+    simulate(app, "ideal", config)
+    assert app.residuals[-1] < 0.5 * app.residuals[0]
+
+
+# -- EP specifics -----------------------------------------------------------------------------
+
+
+def test_ep_global_sums_equal_partials():
+    config = tiny_config(4)
+    app = tiny_app("ep", 4)
+    simulate(app, "target", config)
+    expected = sum(app._partials)
+    assert np.allclose(app.global_sums, expected)
+
+
+def test_ep_acceptance_rate_near_pi_over_4():
+    config = tiny_config(2)
+    app = make_app("ep", 2, pairs=16_384)
+    simulate(app, "ideal", config)
+    rate = app.global_sums[2:].sum() / app.pairs
+    assert abs(rate - np.pi / 4) < 0.02
+
+
+def test_ep_deterministic_across_machines():
+    sums = []
+    for machine in ("ideal", "logp"):
+        config = tiny_config(4)
+        app = tiny_app("ep", 4)
+        simulate(app, machine, config)
+        sums.append(app.global_sums.copy())
+    assert np.allclose(sums[0], sums[1])
+
+
+# -- CHOLESKY specifics -------------------------------------------------------------------------
+
+
+def test_cholesky_factor_is_exact():
+    config = tiny_config(4)
+    app = tiny_app("cholesky", 4)
+    simulate(app, "target", config)
+    factor = np.zeros((app.n, app.n))
+    for j in range(app.n):
+        factor[app.col_rows[j], j] = app.col_values[j]
+    assert np.allclose(factor, app.L0, atol=1e-9)
+    # And L0 @ L0.T really is the Cholesky factorization of A.
+    assert np.allclose(factor @ factor.T, app.L0 @ app.L0.T)
+
+
+def test_cholesky_schedule_respects_dependences():
+    config = tiny_config(4)
+    app = tiny_app("cholesky", 4)
+    simulate(app, "clogp", config)
+    # Every column was processed exactly once by a real processor.
+    assert all(0 <= owner < 4 for owner in app.column_owner)
+    # The dynamic queue drained completely.
+    assert app._head == app.n
+
+
+def test_cholesky_uses_multiple_processors():
+    config = tiny_config(4)
+    app = tiny_app("cholesky", 4)
+    simulate(app, "target", config)
+    assert len(set(app.column_owner)) > 1
+
+
+def test_cholesky_schedule_differs_across_machines():
+    """Dynamic behaviour: the winning processors depend on timing."""
+    owners = {}
+    for machine in ("target", "logp"):
+        config = tiny_config(4)
+        app = tiny_app("cholesky", 4)
+        simulate(app, machine, config)
+        owners[machine] = tuple(app.column_owner)
+    # Not guaranteed in principle, but with 48 columns over 4 procs the
+    # schedules of two very different machines virtually always differ;
+    # this guards against accidentally static scheduling.
+    assert owners["target"] != owners["logp"]
+
+
+# -- runner ---------------------------------------------------------------------------------------
+
+
+def test_simulate_full_returns_machine():
+    config = tiny_config(2)
+    result, machine = simulate_full(tiny_app("fft", 2), "target", config)
+    assert machine.fabric.messages == result.messages
+    assert result.nprocs == 2
+
+
+def test_run_result_fields():
+    config = tiny_config(2, "mesh")
+    result = simulate(tiny_app("is", 2), "clogp", config)
+    assert result.app == "is"
+    assert result.machine == "clogp"
+    assert result.topology == "mesh"
+    assert result.total_ns > 0
+    assert len(result.buckets) == 2
+    assert result.wall_seconds > 0
+    assert "is" in result.summary()

@@ -1,0 +1,101 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fft" in out and "target" in out and "fig01" in out
+
+
+def test_params(capsys):
+    assert main(["params", "--topology", "mesh", "-p", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "L = 1.60 us" in out
+    assert "g = 6.40 us" in out  # 0.8 * 8 columns
+
+
+def test_params_full(capsys):
+    assert main(["params", "--topology", "full", "-p", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "g = 0.40 us" in out  # 3.2/8
+
+
+def test_run(capsys):
+    code = main([
+        "run", "--app", "fft", "--machine", "clogp", "--topology", "cube",
+        "-p", "2", "--preset", "quick",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fft" in out and "clogp" in out
+    assert "cpu0" in out and "cpu1" in out
+
+
+def test_figure(capsys):
+    code = main(["figure", "fig03", "--preset", "quick"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fig03" in out and "EP on full" in out
+
+
+def test_unknown_figure_raises():
+    with pytest.raises(KeyError):
+        main(["figure", "fig99", "--preset", "quick"])
+
+
+def test_parser_rejects_bad_app():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--app", "nosuch"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_scalability(capsys):
+    code = main([
+        "scalability", "--app", "fft", "--machine", "clogp",
+        "--sweep", "1,4", "--preset", "quick",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out and "fft" in out
+
+
+def test_profile(capsys):
+    code = main([
+        "profile", "--app", "is", "-p", "2", "--preset", "quick",
+        "--machine", "ideal",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "pid" in out and "compute_us" in out
+
+
+def test_trace_record_and_replay(capsys, tmp_path):
+    path = str(tmp_path / "t.json")
+    code = main([
+        "trace", "record", "--app", "fft", "-p", "2", "--out", path,
+        "--preset", "quick",
+    ])
+    assert code == 0
+    code = main(["trace", "replay", path, "--machine", "clogp"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fft@trace" in out
+
+
+def test_trace_replay_warns_cross_machine(capsys, tmp_path):
+    path = str(tmp_path / "t.json")
+    main([
+        "trace", "record", "--app", "is", "-p", "2", "--out", path,
+        "--preset", "quick", "--machine", "clogp",
+    ])
+    main(["trace", "replay", path, "--machine", "logp"])
+    out = capsys.readouterr().out
+    assert "trace-driven approximation" in out

@@ -1,0 +1,113 @@
+"""SystemConfig validation and derived quantities."""
+
+import pytest
+
+from repro import ConfigError, SystemConfig, paper_config
+from repro.config import MACHINES, PAPER_CONFIG, TOPOLOGIES
+
+
+def test_defaults_match_paper_hardware():
+    config = SystemConfig()
+    assert config.cpu_cycle_ns == 30  # 33 MHz SPARC
+    assert config.link_ns_per_byte == 50  # 20 MB/s serial links
+    assert config.data_message_bytes == 32
+    assert config.cache_size_bytes == 64 * 1024
+    assert config.cache_assoc == 2
+    assert config.block_bytes == 32
+
+
+def test_data_message_ns_is_paper_L():
+    assert SystemConfig().data_message_ns == 1_600
+
+
+def test_sets_for_paper_cache():
+    # 64 KB / (32 B x 2 ways) = 1024 sets.
+    assert SystemConfig().sets == 1_024
+
+
+def test_cache_hit_and_memory_ns():
+    config = SystemConfig()
+    assert config.cache_hit_ns == 30
+    assert config.memory_ns == 300
+
+
+def test_control_message_ns():
+    assert SystemConfig().control_message_ns == 400
+
+
+def test_cycles_helper():
+    assert SystemConfig().cycles(5) == 150
+
+
+@pytest.mark.parametrize("processors", [3, 0, -4, 6, 12, 100])
+def test_rejects_non_power_of_two_processors(processors):
+    with pytest.raises(ConfigError):
+        SystemConfig(processors=processors)
+
+
+@pytest.mark.parametrize("processors", [1, 2, 4, 8, 16, 32, 64])
+def test_accepts_power_of_two_processors(processors):
+    assert SystemConfig(processors=processors).processors == processors
+
+
+def test_rejects_unknown_topology():
+    with pytest.raises(ConfigError):
+        SystemConfig(topology="torus")
+
+
+def test_rejects_bad_block_size():
+    with pytest.raises(ConfigError):
+        SystemConfig(block_bytes=24)
+
+
+def test_rejects_inconsistent_cache_geometry():
+    with pytest.raises(ConfigError):
+        SystemConfig(cache_size_bytes=1000, cache_assoc=3)
+
+
+def test_rejects_nonpositive_times():
+    with pytest.raises(ConfigError):
+        SystemConfig(cpu_cycle_ns=0)
+    with pytest.raises(ConfigError):
+        SystemConfig(memory_cycles=-1)
+
+
+def test_rejects_message_smaller_than_block():
+    with pytest.raises(ConfigError):
+        SystemConfig(data_message_bytes=16, block_bytes=32)
+
+
+def test_with_replaces_fields():
+    config = SystemConfig().with_(processors=16, topology="mesh")
+    assert config.processors == 16
+    assert config.topology == "mesh"
+    # Original untouched (frozen dataclass).
+    assert SystemConfig().processors == 8
+
+
+def test_with_still_validates():
+    with pytest.raises(ConfigError):
+        SystemConfig().with_(processors=7)
+
+
+def test_paper_config_helper():
+    config = paper_config(32, "cube")
+    assert config.processors == 32
+    assert config.topology == "cube"
+
+
+def test_registry_constants():
+    assert set(TOPOLOGIES) == {"full", "cube", "mesh"}
+    assert set(MACHINES) == {"target", "logp", "clogp", "ideal"}
+    assert PAPER_CONFIG.processors == 8
+
+
+def test_config_is_frozen():
+    config = SystemConfig()
+    with pytest.raises(Exception):
+        config.processors = 16
+
+
+def test_switch_delay_defaults_to_paper_assumption():
+    assert SystemConfig().switch_delay_ns == 0
+    assert SystemConfig(switch_delay_ns=250).switch_delay_ns == 250

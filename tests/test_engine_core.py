@@ -1,0 +1,278 @@
+"""The discrete-event engine: events, processes, clock, determinism."""
+
+import pytest
+
+from repro.engine import Simulator, all_of
+from repro.errors import DeadlockError, SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100)
+        yield sim.timeout(50)
+
+    sim.spawn(proc())
+    assert sim.run() == 150
+
+
+def test_zero_timeout_is_legal():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(0)
+
+    sim.spawn(proc())
+    assert sim.run() == 0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_process_return_value_becomes_event_value():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(5)
+        return 42
+
+    def parent():
+        value = yield sim.spawn(child())
+        assert value == 42
+        return value * 2
+
+    parent_proc = sim.spawn(parent())
+    sim.run()
+    assert parent_proc.value == 84
+
+
+def test_yield_from_delegation():
+    sim = Simulator()
+    trace = []
+
+    def inner():
+        yield sim.timeout(10)
+        trace.append(("inner", sim.now))
+        return "inner-result"
+
+    def outer():
+        result = yield from inner()
+        trace.append(("outer", sim.now, result))
+
+    sim.spawn(outer())
+    sim.run()
+    assert trace == [("inner", 10), ("outer", 10, "inner-result")]
+
+
+def test_event_succeed_wakes_waiters_with_value():
+    sim = Simulator()
+    event = sim.event()
+    seen = []
+
+    def waiter(tag):
+        value = yield event
+        seen.append((tag, value, sim.now))
+
+    def setter():
+        yield sim.timeout(30)
+        event.succeed("payload")
+
+    sim.spawn(waiter("a"))
+    sim.spawn(waiter("b"))
+    sim.spawn(setter())
+    sim.run()
+    assert seen == [("a", "payload", 30), ("b", "payload", 30)]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_waiting_on_already_triggered_event():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed("early")
+
+    def proc():
+        value = yield event
+        return value
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.value == "early"
+
+
+def test_event_fail_throws_into_process():
+    sim = Simulator()
+    event = sim.event()
+
+    def setter():
+        yield sim.timeout(1)
+        event.fail(ValueError("boom"))
+
+    caught = []
+
+    def waiter():
+        try:
+            yield event
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter())
+    sim.spawn(setter())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_process_exception_fails_fast_by_default():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("kaput")
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_process_exception_propagates_to_joiner_when_not_fail_fast():
+    sim = Simulator(fail_fast=False)
+
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("kaput")
+
+    caught = []
+
+    def joiner():
+        try:
+            yield sim.spawn(bad())
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(joiner())
+    sim.run()
+    assert caught == ["kaput"]
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_deadlock_detection():
+    sim = Simulator()
+    event = sim.event()  # nobody will ever trigger it
+
+    def stuck():
+        yield event
+
+    sim.spawn(stuck())
+    with pytest.raises(DeadlockError) as excinfo:
+        sim.run()
+    assert excinfo.value.blocked == 1
+
+
+def test_run_until_horizon():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1_000)
+
+    sim.spawn(proc())
+    assert sim.run(until=300) == 300
+    # Remaining events still runnable afterwards.
+    assert sim.run() == 1_000
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(10)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.spawn(proc(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_determinism_across_runs():
+    def build():
+        sim = Simulator()
+        log = []
+
+        def worker(tag, delay):
+            for _ in range(3):
+                yield sim.timeout(delay)
+                log.append((tag, sim.now))
+
+        sim.spawn(worker("x", 7))
+        sim.spawn(worker("y", 5))
+        sim.run()
+        return log
+
+    assert build() == build()
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+
+    def child(delay, value):
+        yield sim.timeout(delay)
+        return value
+
+    def parent():
+        procs = [sim.spawn(child(d, d * 10)) for d in (5, 1, 9)]
+        values = yield all_of(sim, procs)
+        assert sim.now == 9
+        return values
+
+    p = sim.spawn(parent())
+    sim.run()
+    assert p.value == [50, 10, 90]
+
+
+def test_all_of_empty_list():
+    sim = Simulator()
+
+    def parent():
+        values = yield all_of(sim, [])
+        return values
+
+    p = sim.spawn(parent())
+    sim.run()
+    assert p.value == []
+
+
+def test_events_executed_counter_increases():
+    sim = Simulator()
+
+    def proc():
+        for _ in range(10):
+            yield sim.timeout(1)
+
+    sim.spawn(proc())
+    sim.run()
+    assert sim.events_executed >= 10

@@ -1,0 +1,138 @@
+"""FIFO resources (links, directory serialization points)."""
+
+import pytest
+
+from repro.engine import Resource, Simulator
+from repro.errors import SimulationError
+
+
+def test_immediate_grant_when_free():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+
+    def proc():
+        grant = resource.request()
+        yield grant
+        assert sim.now == 0
+        resource.release()
+
+    sim.spawn(proc())
+    sim.run()
+    assert resource.in_use == 0
+
+
+def test_capacity_enforced():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    grant_times = []
+
+    def proc(tag):
+        yield resource.request()
+        grant_times.append((tag, sim.now))
+        yield sim.timeout(10)
+        resource.release()
+
+    for tag in range(4):
+        sim.spawn(proc(tag))
+    sim.run()
+    assert grant_times == [(0, 0), (1, 0), (2, 10), (3, 10)]
+
+
+def test_fifo_order():
+    sim = Simulator()
+    resource = Resource(sim)
+    order = []
+
+    def holder():
+        yield resource.request()
+        yield sim.timeout(100)
+        resource.release()
+
+    def waiter(tag, arrival):
+        yield sim.timeout(arrival)
+        yield resource.request()
+        order.append(tag)
+        resource.release()
+
+    sim.spawn(holder())
+    sim.spawn(waiter("late", 20))
+    sim.spawn(waiter("early", 10))
+    sim.run()
+    # "early" arrived at t=10, before "late" at t=20.
+    assert order == ["early", "late"]
+
+
+def test_wait_time_reported_in_grant_value():
+    sim = Simulator()
+    resource = Resource(sim)
+
+    def holder():
+        yield resource.request()
+        yield sim.timeout(50)
+        resource.release()
+
+    waited = []
+
+    def waiter():
+        yield sim.timeout(10)
+        grant = resource.request()
+        value = yield grant
+        waited.append(value)
+        resource.release()
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.run()
+    assert waited == [40]
+    assert resource.total_wait_ns == 40
+
+
+def test_release_when_idle_is_an_error():
+    sim = Simulator()
+    resource = Resource(sim)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_capacity_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_queue_length_and_available():
+    sim = Simulator()
+    resource = Resource(sim)
+    assert resource.available
+
+    def holder():
+        yield resource.request()
+        yield sim.timeout(100)
+        resource.release()
+
+    def waiter():
+        yield sim.timeout(1)
+        yield resource.request()
+        resource.release()
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.run(until=2)
+    assert not resource.available
+    assert resource.queue_length == 1
+    sim.run()
+    assert resource.queue_length == 0
+
+
+def test_grant_counter():
+    sim = Simulator()
+    resource = Resource(sim)
+
+    def proc():
+        for _ in range(3):
+            yield resource.request()
+            resource.release()
+
+    sim.spawn(proc())
+    sim.run()
+    assert resource.grants == 3

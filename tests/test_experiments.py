@@ -1,0 +1,140 @@
+"""Experiment registry, sweep runner, and report rendering."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    SweepRunner,
+    experiment_ids,
+    get_experiment,
+    render_figure,
+    render_run_table,
+)
+from repro.experiments.workloads import app_params, processor_sweep
+
+
+# -- registry -------------------------------------------------------------------
+
+
+def test_all_twenty_paper_figures_are_registered():
+    figures = [e for e in experiment_ids() if e.startswith("fig")]
+    assert figures == [f"fig{i:02d}" for i in range(1, 21)]
+
+
+def test_section7_studies_registered():
+    assert "tab-speed" in EXPERIMENTS
+    assert "exp-ggap" in EXPERIMENTS
+
+
+def test_experiment_fields_are_complete():
+    for experiment in EXPERIMENTS.values():
+        assert experiment.app in {"ep", "is", "cg", "fft", "cholesky"}
+        assert experiment.topology in {"full", "cube", "mesh"}
+        assert experiment.metric in {
+            "latency", "contention", "execution", "simspeed", "ggap",
+            "gadapt", "protocol",
+        }
+        assert experiment.description
+        assert experiment.expected
+        assert experiment.paper_ref
+
+
+def test_metric_coverage_matches_paper():
+    metrics = [e.metric for e in EXPERIMENTS.values()]
+    assert metrics.count("latency") == 5  # Figs 1-5
+    assert metrics.count("contention") == 8  # Figs 6-11, 19-20
+    assert metrics.count("execution") == 7  # Figs 12-18
+
+
+def test_every_app_appears_in_every_metric_family():
+    by_metric = {}
+    for experiment in EXPERIMENTS.values():
+        by_metric.setdefault(experiment.metric, set()).add(experiment.app)
+    assert by_metric["latency"] == {"ep", "is", "cg", "fft", "cholesky"}
+    assert by_metric["execution"] == {"ep", "is", "cg", "fft", "cholesky"}
+
+
+def test_get_experiment_errors_helpfully():
+    with pytest.raises(KeyError):
+        get_experiment("fig99")
+
+
+# -- workload presets -------------------------------------------------------------
+
+
+def test_presets_exist_for_every_app():
+    for preset in ("default", "quick"):
+        for app in ("ep", "is", "cg", "fft", "cholesky"):
+            params = app_params(app, preset)
+            assert isinstance(params, dict)
+
+
+def test_quick_preset_is_smaller():
+    assert app_params("fft", "quick")["points"] < app_params("fft")["points"]
+    assert processor_sweep("quick") != processor_sweep("default")
+
+
+def test_unknown_preset():
+    with pytest.raises(KeyError):
+        app_params("fft", "huge")
+
+
+# -- runner -----------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SweepRunner(preset="quick", processors=(1, 4))
+
+
+def test_run_one_is_memoized(runner):
+    first = runner.run_one("fft", "clogp", "full", 4)
+    second = runner.run_one("fft", "clogp", "full", 4)
+    assert first is second
+
+
+def test_figure_data_shape(runner):
+    data = runner.run_experiment(get_experiment("fig01"))
+    assert data.processors == (1, 4)
+    assert set(data.series) == {"target", "logp", "clogp"}
+    for values in data.series.values():
+        assert len(values) == 2
+    assert data.value("target", 4) == data.series["target"][1]
+
+
+def test_shared_runs_between_figures(runner):
+    """Fig 17 (execution) and Fig 19 (contention) share CG-mesh runs."""
+    fig17 = runner.run_experiment(get_experiment("fig17"))
+    fig19 = runner.run_experiment(get_experiment("fig19"))
+    assert fig17.results["target"][0] is fig19.results["target"][0]
+
+
+def test_simspeed_experiment(runner):
+    data = runner.run_experiment(get_experiment("tab-speed"))
+    assert set(data.series) == {"target", "logp", "clogp"}
+    # Event counts are positive and LogP is the heaviest to simulate at
+    # the multi-processor point.
+    index = data.processors.index(4)
+    assert data.series["logp"][index] > data.series["clogp"][index]
+
+
+def test_ggap_experiment(runner):
+    data = runner.run_experiment(get_experiment("exp-ggap"))
+    assert set(data.series) == {"target", "clogp", "clogp-relaxed-g"}
+
+
+# -- report -------------------------------------------------------------------------------
+
+
+def test_render_figure_contains_series(runner):
+    data = runner.run_experiment(get_experiment("fig01"))
+    text = render_figure(data)
+    assert "fig01" in text
+    assert "target" in text and "logp" in text and "clogp" in text
+    assert "Figure 1" in text
+
+
+def test_render_run_table(runner):
+    result = runner.run_one("fft", "clogp", "full", 4)
+    text = render_run_table([result])
+    assert "fft" in text and "clogp" in text and "yes" in text

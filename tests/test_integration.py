@@ -1,0 +1,155 @@
+"""Cross-machine integration invariants.
+
+These are the relationships the whole study rests on, checked at small
+scale for every application: execution-time orderings between machine
+models, agreement of the latency abstraction, pessimism of the
+contention abstraction, and reproducibility.
+"""
+
+import pytest
+
+from repro import simulate, simulate_full
+from tests.conftest import ALL_APPS, tiny_app, tiny_config
+
+
+def run(app_name, machine, nprocs=4, topology="cube", **overrides):
+    config = tiny_config(nprocs, topology, **overrides)
+    return simulate(tiny_app(app_name, nprocs), machine, config)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """All (app, machine) runs at p=4 on the cube, shared by the tests."""
+    out = {}
+    for app_name in ALL_APPS:
+        for machine in ("ideal", "target", "clogp", "logp"):
+            out[(app_name, machine)] = run(app_name, machine)
+    return out
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_ideal_time_is_a_lower_bound(results, app_name):
+    ideal = results[(app_name, "ideal")].total_ns
+    for machine in ("target", "clogp", "logp"):
+        assert results[(app_name, machine)].total_ns >= ideal
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_logp_never_beats_the_cached_abstraction(results, app_name):
+    """Ignoring locality can only add network traffic."""
+    assert (
+        results[(app_name, "logp")].total_ns
+        >= results[(app_name, "clogp")].total_ns
+    )
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_clogp_latency_tracks_target(results, app_name):
+    """The paper's network-abstraction result: L models latency well."""
+    target = results[(app_name, "target")].mean_latency_us
+    clogp = results[(app_name, "clogp")].mean_latency_us
+    if target < 1.0:  # degenerate: effectively no communication
+        return
+    assert 0.4 * target <= clogp <= 2.5 * target
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_logp_latency_far_exceeds_target(results, app_name):
+    """The locality result: without caches, latency overhead explodes."""
+    target = results[(app_name, "target")].mean_latency_us
+    logp = results[(app_name, "logp")].mean_latency_us
+    assert logp > 2.0 * max(target, 1.0)
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_clogp_contention_is_pessimistic(results, app_name):
+    """g (from bisection bandwidth) overestimates contention."""
+    target = results[(app_name, "target")].mean_contention_us
+    clogp = results[(app_name, "clogp")].mean_contention_us
+    assert clogp >= 0.8 * target
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_ideal_has_no_network_overheads(results, app_name):
+    result = results[(app_name, "ideal")]
+    assert result.mean_latency_us == 0
+    assert result.mean_contention_us == 0
+    assert result.messages == 0
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_total_time_is_max_processor_finish(results, app_name):
+    for machine in ("target", "clogp"):
+        result = results[(app_name, machine)]
+        assert result.total_ns > 0
+        assert len(result.buckets) == result.nprocs
+
+
+def test_runs_are_deterministic():
+    a = run("cholesky", "target")
+    b = run("cholesky", "target")
+    assert a.total_ns == b.total_ns
+    assert a.messages == b.messages
+    assert [x.as_dict() for x in a.buckets] == [x.as_dict() for x in b.buckets]
+
+
+def test_seed_changes_the_workload():
+    a = run("is", "clogp")
+    b = run("is", "clogp", seed=999)
+    assert a.total_ns != b.total_ns
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_clogp_messages_do_not_exceed_target(app_name):
+    """CLogP's traffic is the minimum an invalidation protocol can do."""
+    config = tiny_config(4, "full")
+    target = simulate(tiny_app(app_name, 4), "target", config)
+    clogp = simulate(tiny_app(app_name, 4), "clogp", tiny_config(4, "full"))
+    assert clogp.messages <= target.messages
+
+
+@pytest.mark.parametrize("app_name", ["fft", "is", "cg"])
+def test_latency_overhead_is_topology_insensitive_on_cached_machines(app_name):
+    """Paper Section 6.1: message count/size dominates hops, so the
+    latency overhead barely moves across full/cube/mesh."""
+    values = []
+    for topology in ("full", "cube", "mesh"):
+        result = run(app_name, "clogp", topology=topology)
+        values.append(result.mean_latency_us)
+    assert max(values) <= 1.05 * min(values) + 1.0
+
+
+def test_single_processor_has_no_network_traffic():
+    for machine in ("target", "clogp", "logp"):
+        result = run("fft", machine, nprocs=1)
+        assert result.mean_latency_us == 0
+        assert result.mean_contention_us == 0
+
+
+def test_mesh_contention_exceeds_full_on_clogp():
+    """Lower connectivity -> larger g -> more modeled contention."""
+    full = run("is", "clogp", nprocs=8, topology="full")
+    mesh = run("is", "clogp", nprocs=8, topology="mesh")
+    assert mesh.mean_contention_us > full.mean_contention_us
+
+
+def test_coherence_invariants_after_full_runs():
+    for app_name in ALL_APPS:
+        for machine in ("target", "clogp"):
+            config = tiny_config(4, "mesh")
+            result, machine_obj = simulate_full(
+                tiny_app(app_name, 4), machine, config, check_invariants=True
+            )
+            assert result.verified
+
+
+def test_bucket_sums_bound_execution_time():
+    """No processor's bucket total exceeds the run's total time."""
+    result = run("cg", "target")
+    for buckets in result.buckets:
+        assert buckets.total_ns <= result.total_ns
+
+
+def test_sim_events_counted():
+    result = run("fft", "target")
+    assert result.sim_events > 100

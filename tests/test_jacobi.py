@@ -1,0 +1,101 @@
+"""The Jacobi locality-probe application (suite extension)."""
+
+import numpy as np
+import pytest
+
+from repro import SystemConfig, simulate
+from repro.apps import make_app
+from repro.apps.jacobi import relax
+
+
+def run(machine, nprocs=8, topology="mesh", **config_overrides):
+    config = SystemConfig(processors=nprocs, topology=topology,
+                          **config_overrides)
+    app = make_app("jacobi", nprocs, n=1_024, sweeps=3)
+    return app, simulate(app, machine, config, check_invariants=True)
+
+
+def test_relax_preserves_constants():
+    values = np.full(16, 3.5)
+    assert np.allclose(relax(values), values)
+
+
+def test_relax_smooths():
+    values = np.zeros(32)
+    values[16] = 1.0
+    smoothed = relax(values)
+    assert smoothed[16] < 1.0
+    assert smoothed[15] > 0 and smoothed[17] > 0
+
+
+@pytest.mark.parametrize("machine", ["target", "clogp", "logp", "ideal"])
+def test_jacobi_verifies(machine):
+    _app, result = run(machine)
+    assert result.verified
+
+
+def test_jacobi_parameter_validation():
+    with pytest.raises(ValueError):
+        make_app("jacobi", 8, n=4)
+    with pytest.raises(ValueError):
+        make_app("jacobi", 2, sweeps=0)
+
+
+def test_jacobi_halo_traffic_is_tiny():
+    """Two halo elements per processor per sweep: almost no traffic."""
+    _app, result = run("clogp")
+    # 8 procs x 3 sweeps x <=2 halo misses, x2 messages, plus barrier
+    # and cold-fill traffic; the point is it is orders below the grid size.
+    assert result.messages < 1_024
+
+
+def test_jacobi_g_pessimism_is_extreme():
+    """Nearest-neighbour traffic: bisection-g overshoots the most."""
+    _a, target = run("target")
+    _b, clogp = run("clogp")
+    assert clogp.mean_contention_us > 3.0 * max(
+        target.mean_contention_us, 1.0
+    )
+
+
+def test_adaptive_g_tracks_the_traffic_mix():
+    """Jacobi's *data* traffic is one-hop, but its barrier traffic is
+    scattered across the machine; the history-based g correctly
+    reflects the mix instead of blindly discounting, so the strict and
+    adaptive runs land close together (contrast with EP, where the
+    traffic is genuinely local and adaptive g helps -- see
+    test_adaptive_g.py)."""
+    _a, strict = run("clogp")
+    _b, adaptive = run("clogp", adaptive_g=True)
+    assert adaptive.mean_contention_us <= 1.15 * strict.mean_contention_us
+
+
+def test_pure_halo_traffic_gets_discounted_g():
+    """Without synchronization in the mix, neighbour traffic alone
+    drives the adaptive factor well below 1."""
+    from repro.core.machine import Processor, make_machine
+    from repro.core import ops
+
+    def contention(adaptive):
+        config = SystemConfig(processors=8, topology="mesh",
+                              adaptive_g=adaptive)
+        machine = make_machine("clogp", config)
+        array = machine.space.alloc(
+            "grid", 1_024, 8, "blocked", align_blocks_per_proc=True
+        )
+        per = 1_024 // 8
+
+        def program(pid):
+            for i in range(40):
+                # Read a rotating element of the neighbour's chunk.
+                neighbour = (pid + 1) % 8
+                yield ops.Read(array.addr(neighbour * per + (i * 4) % per))
+
+        processors = [Processor(machine, pid) for pid in range(8)]
+        machine.processors = processors
+        for pid, processor in enumerate(processors):
+            machine.sim.spawn(processor.run(program(pid)))
+        machine.sim.run()
+        return sum(p.buckets.contention_ns for p in processors)
+
+    assert contention(adaptive=True) < contention(adaptive=False)

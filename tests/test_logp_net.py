@@ -1,0 +1,118 @@
+"""The LogP network model: L delays and g-gap gating."""
+
+from repro.core.logp_net import LogPNetwork
+from repro.core.params import LogPParams
+from repro.engine import Simulator
+
+
+def make_net(g=1_000, L=1_600, per_event_type=False, nprocs=4):
+    sim = Simulator()
+    params = LogPParams(L_ns=L, g_ns=g, o_ns=0, P=nprocs)
+    return sim, LogPNetwork(sim, params, per_event_type=per_event_type)
+
+
+def test_single_message_takes_L():
+    sim, net = make_net()
+    trip = net.one_way(0, 1)
+    assert trip.total_ns == 1_600
+    assert trip.latency_ns == 1_600
+    assert trip.stall_ns == 0
+    assert trip.messages == 1
+
+
+def test_round_trip_is_2L_plus_service():
+    sim, net = make_net(g=0)
+    trip = net.round_trip(0, 1, service_ns=300)
+    assert trip.total_ns == 2 * 1_600 + 300
+    assert trip.latency_ns == 3_200
+    assert trip.service_ns == 300
+    assert trip.messages == 2
+
+
+def test_sender_gap_stalls_second_send():
+    sim, net = make_net(g=2_000)
+    first = net.one_way(0, 1)
+    second = net.one_way(0, 2)
+    assert first.stall_ns == 0
+    # Second send waits until g after the first.
+    assert second.stall_ns == 2_000
+    assert second.total_ns == 2_000 + 1_600
+
+
+def test_receiver_gap_stalls_back_to_back_arrivals():
+    sim, net = make_net(g=2_000)
+    net.one_way(0, 3)
+    trip = net.one_way(1, 3)
+    # Arrives at 1600 but node 3's gate is busy until 2000... wait:
+    # receive gate opened at 1600 + g.  Second arrival at 1600 must wait
+    # until 3600.
+    assert trip.stall_ns == 2_000
+    assert trip.total_ns == 1_600 + 2_000
+
+
+def test_strict_gating_couples_sends_and_receives():
+    """The paper's complaint: a node cannot overlap a send with a receive."""
+    sim, net = make_net(g=2_000, per_event_type=False)
+    net.one_way(0, 1)  # node 0 sends at t=0
+    trip = net.one_way(2, 0)  # message into node 0
+    # Node 0's single gate is closed until 2000; arrival at 1600 stalls.
+    assert trip.stall_ns == 400
+
+
+def test_per_event_type_gating_decouples_them():
+    sim, net = make_net(g=2_000, per_event_type=True)
+    net.one_way(0, 1)
+    trip = net.one_way(2, 0)
+    # Separate receive gate: no stall.
+    assert trip.stall_ns == 0
+
+
+def test_per_event_type_still_gates_same_kind():
+    sim, net = make_net(g=2_000, per_event_type=True)
+    first = net.one_way(0, 1)
+    second = net.one_way(0, 2)
+    assert second.stall_ns == 2_000
+
+
+def test_zero_gap_never_stalls():
+    sim, net = make_net(g=0)
+    for _ in range(5):
+        assert net.one_way(0, 1).stall_ns == 0
+
+
+def test_gates_respect_simulated_time():
+    sim, net = make_net(g=2_000)
+
+    def proc():
+        net.one_way(0, 1)
+        yield sim.timeout(10_000)  # far beyond the gate
+        trip = net.one_way(0, 2)
+        assert trip.stall_ns == 0
+
+    sim.spawn(proc())
+    sim.run()
+
+
+def test_instrumentation_counters():
+    sim, net = make_net(g=2_000)
+    net.round_trip(0, 1)
+    assert net.messages == 2
+    assert net.total_stall_ns >= 0
+
+
+def test_round_trip_reply_gated_at_remote():
+    sim, net = make_net(g=5_000)
+    trip = net.round_trip(0, 1)
+    # Remote receive at L=1600 reserves node 1's gate to 6600; the reply
+    # send then stalls 5000.
+    assert trip.stall_ns == 5_000
+    assert trip.total_ns == 1_600 + 5_000 + 1_600
+
+
+def test_o_parameter_adds_to_latency():
+    sim = Simulator()
+    params = LogPParams(L_ns=1_600, g_ns=0, o_ns=100, P=4)
+    net = LogPNetwork(sim, params)
+    trip = net.one_way(0, 1)
+    assert trip.latency_ns == 1_800
+    assert trip.total_ns == 1_800

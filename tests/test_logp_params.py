@@ -1,0 +1,67 @@
+"""LogP parameter derivation -- the paper's Section 5 values."""
+
+import pytest
+
+from repro import SystemConfig, derive_logp
+from repro.units import us
+
+
+def params_for(topology, nprocs):
+    return derive_logp(SystemConfig(processors=nprocs, topology=topology))
+
+
+def test_L_is_topology_independent():
+    for topology in ("full", "cube", "mesh"):
+        for nprocs in (2, 8, 32):
+            assert params_for(topology, nprocs).L_ns == us(1.6)
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 8, 16, 32])
+def test_full_g_is_3_2_over_p_us(nprocs):
+    # Paper: g = 3.2/p us on the fully connected network.
+    assert params_for("full", nprocs).g_ns == round(us(3.2) / nprocs)
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 8, 16, 32])
+def test_cube_g_is_1_6_us(nprocs):
+    # Paper: g = 1.6 us on the hypercube, independent of p.
+    assert params_for("cube", nprocs).g_ns == us(1.6)
+
+
+@pytest.mark.parametrize(
+    "nprocs,cols", [(2, 2), (4, 2), (8, 4), (16, 4), (32, 8), (64, 8)]
+)
+def test_mesh_g_is_0_8_times_columns_us(nprocs, cols):
+    # Paper: g = 0.8 * px us on the mesh (px = number of columns).
+    assert params_for("mesh", nprocs).g_ns == us(0.8) * cols
+
+
+def test_single_processor_has_no_gap():
+    for topology in ("full", "cube", "mesh"):
+        assert params_for(topology, 1).g_ns == 0
+
+
+def test_o_is_zero_on_shared_memory():
+    assert params_for("full", 8).o_ns == 0
+
+
+def test_round_trip_is_2L():
+    params = params_for("cube", 8)
+    assert params.round_trip_ns == 2 * params.L_ns == us(3.2)
+
+
+def test_g_ordering_full_le_cube_le_mesh():
+    """Lower connectivity -> larger g (more pessimistic contention)."""
+    for nprocs in (4, 16, 64):
+        g_full = params_for("full", nprocs).g_ns
+        g_cube = params_for("cube", nprocs).g_ns
+        g_mesh = params_for("mesh", nprocs).g_ns
+        assert g_full <= g_cube <= g_mesh
+
+
+def test_derive_accepts_prebuilt_topology():
+    from repro.network import make_topology
+
+    config = SystemConfig(processors=16, topology="mesh")
+    topology = make_topology("mesh", 16)
+    assert derive_logp(config, topology) == derive_logp(config)

@@ -1,0 +1,167 @@
+"""Set-associative cache with LRU replacement (incl. model-based test)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.memory import Cache, LineState
+
+
+def test_miss_then_hit():
+    cache = Cache(sets=4, assoc=2)
+    assert cache.lookup(10) is None
+    cache.install(10, LineState.VALID)
+    line = cache.lookup(10)
+    assert line is not None and line.state is LineState.VALID
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_state_of_does_not_touch_counters():
+    cache = Cache(sets=4, assoc=2)
+    assert cache.state_of(10) is LineState.INVALID
+    assert cache.misses == 0
+
+
+def test_set_mapping():
+    cache = Cache(sets=4, assoc=2)
+    assert cache.set_index(0) == 0
+    assert cache.set_index(5) == 1
+    assert cache.set_index(7) == 3
+
+
+def test_lru_eviction_within_set():
+    cache = Cache(sets=1, assoc=2)
+    cache.install(1, LineState.VALID)
+    cache.install(2, LineState.VALID)
+    cache.lookup(1)  # make 2 the LRU
+    victim = cache.install(3, LineState.VALID)
+    assert victim == (2, LineState.VALID)
+    assert cache.contains(1) and cache.contains(3)
+    assert not cache.contains(2)
+
+
+def test_install_over_resident_updates_state_without_eviction():
+    cache = Cache(sets=1, assoc=2)
+    cache.install(1, LineState.VALID)
+    victim = cache.install(1, LineState.DIRTY)
+    assert victim is None
+    assert cache.state_of(1) is LineState.DIRTY
+    assert cache.resident_blocks == 1
+
+
+def test_cannot_install_invalid():
+    cache = Cache(sets=1, assoc=2)
+    with pytest.raises(ProtocolError):
+        cache.install(1, LineState.INVALID)
+
+
+def test_invalidate():
+    cache = Cache(sets=2, assoc=2)
+    cache.install(4, LineState.SHARED_DIRTY)
+    assert cache.invalidate(4) is LineState.SHARED_DIRTY
+    assert cache.state_of(4) is LineState.INVALID
+    # Idempotent.
+    assert cache.invalidate(4) is LineState.INVALID
+
+
+def test_set_state():
+    cache = Cache(sets=2, assoc=2)
+    cache.install(4, LineState.VALID)
+    cache.set_state(4, LineState.DIRTY)
+    assert cache.state_of(4) is LineState.DIRTY
+    cache.set_state(4, LineState.INVALID)
+    assert not cache.contains(4)
+
+
+def test_set_state_on_absent_block_raises():
+    cache = Cache(sets=2, assoc=2)
+    with pytest.raises(ProtocolError):
+        cache.set_state(9, LineState.DIRTY)
+
+
+def test_dirty_eviction_counted():
+    cache = Cache(sets=1, assoc=1)
+    cache.install(1, LineState.DIRTY)
+    victim = cache.install(2, LineState.VALID)
+    assert victim == (1, LineState.DIRTY)
+    assert cache.dirty_evictions == 1
+    assert cache.evictions == 1
+
+
+def test_hit_rate():
+    cache = Cache(sets=4, assoc=2)
+    assert cache.hit_rate() == 0.0
+    cache.lookup(1)
+    cache.install(1, LineState.VALID)
+    cache.lookup(1)
+    assert cache.hit_rate() == 0.5
+
+
+def test_blocks_in_different_sets_do_not_evict_each_other():
+    cache = Cache(sets=4, assoc=1)
+    for block in range(4):
+        assert cache.install(block, LineState.VALID) is None
+    assert cache.resident_blocks == 4
+
+
+def test_line_states_properties():
+    assert not LineState.INVALID.is_valid
+    assert LineState.VALID.is_valid
+    assert LineState.SHARED_DIRTY.is_owned
+    assert LineState.DIRTY.is_owned
+    assert not LineState.VALID.is_owned
+    assert LineState.DIRTY.is_writable
+    assert not LineState.SHARED_DIRTY.is_writable
+
+
+class _ReferenceCache:
+    """Trivially correct LRU model to check the real cache against."""
+
+    def __init__(self, sets, assoc):
+        self.sets = sets
+        self.assoc = assoc
+        self.contents = {s: [] for s in range(sets)}  # MRU last
+
+    def lookup(self, block):
+        content = self.contents[block % self.sets]
+        if block in content:
+            content.remove(block)
+            content.append(block)
+            return True
+        return False
+
+    def install(self, block):
+        content = self.contents[block % self.sets]
+        victim = None
+        if block in content:
+            content.remove(block)
+        elif len(content) >= self.assoc:
+            victim = content.pop(0)
+        content.append(block)
+        return victim
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    geometry=st.sampled_from([(1, 1), (1, 2), (2, 2), (4, 2), (2, 4)]),
+    blocks=st.lists(st.integers(0, 20), min_size=1, max_size=120),
+)
+def test_lru_matches_reference_model(geometry, blocks):
+    sets, assoc = geometry
+    cache = Cache(sets=sets, assoc=assoc)
+    model = _ReferenceCache(sets, assoc)
+    for block in blocks:
+        real_hit = cache.lookup(block) is not None
+        model_hit = model.lookup(block)
+        assert real_hit == model_hit
+        if not real_hit:
+            victim = cache.install(block, LineState.VALID)
+            model_victim = model.install(block)
+            real_victim = victim[0] if victim else None
+            assert real_victim == model_victim
+    # Residency agrees at the end.
+    for s in range(sets):
+        assert sorted(model.contents[s]) == sorted(
+            line.block for line in cache._lines[s]
+        )

@@ -1,0 +1,58 @@
+"""Fully-mapped directory bookkeeping."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.memory import Directory
+
+
+def test_entries_created_lazily():
+    directory = Directory()
+    assert directory.peek(5) is None
+    entry = directory.entry(5)
+    assert entry.owner is None and entry.sharers == set()
+    assert directory.peek(5) is entry
+    assert len(directory) == 1
+
+
+def test_entry_is_stable():
+    directory = Directory()
+    assert directory.entry(3) is directory.entry(3)
+
+
+def test_clean_and_idle_predicates():
+    directory = Directory()
+    entry = directory.entry(1)
+    assert entry.is_clean and entry.is_idle
+    entry.sharers.add(0)
+    assert entry.is_clean and not entry.is_idle
+    entry.owner = 0
+    assert not entry.is_clean
+
+
+def test_drop_if_idle():
+    directory = Directory()
+    entry = directory.entry(1)
+    entry.sharers.add(2)
+    directory.drop_if_idle(1)
+    assert directory.peek(1) is not None  # still shared
+    entry.sharers.clear()
+    directory.drop_if_idle(1)
+    assert directory.peek(1) is None
+
+
+def test_check_invariant():
+    directory = Directory()
+    entry = directory.entry(1)
+    entry.owner = 3
+    with pytest.raises(ProtocolError):
+        entry.check()  # owner not in sharer set
+    entry.sharers.add(3)
+    entry.check()
+
+
+def test_blocks_iteration():
+    directory = Directory()
+    directory.entry(1)
+    directory.entry(9)
+    assert sorted(directory.blocks()) == [1, 9]

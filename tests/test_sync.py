@@ -1,0 +1,293 @@
+"""Synchronization semantics: locks, barriers, condition flags."""
+
+import pytest
+
+from repro import SystemConfig
+from repro.core import ops
+from repro.core.machine import Processor, make_machine
+from repro.errors import SimulationError
+from repro.units import us
+
+
+def build(machine_name, nprocs=4, topology="full", **overrides):
+    config = SystemConfig(processors=nprocs, topology=topology, **overrides)
+    machine = make_machine(machine_name, config)
+    array = machine.space.alloc("data", 256, 8, "interleaved")
+    return machine, array
+
+
+def run_programs(machine, programs):
+    processors = [Processor(machine, pid) for pid in range(machine.nprocs)]
+    machine.processors = processors
+    for pid, program in programs.items():
+        machine.sim.spawn(processors[pid].run(iter(program)), name=f"cpu{pid}")
+    machine.sim.run()
+    return processors
+
+
+ALL_MACHINES = ("target", "logp", "clogp", "ideal")
+
+
+# -- locks -------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("machine_name", ALL_MACHINES)
+def test_lock_provides_mutual_exclusion(machine_name):
+    machine, _ = build(machine_name)
+    log = []
+
+    def critical(pid):
+        yield ops.Lock(0)
+        log.append(("in", pid, machine.sim.now))
+        yield ops.Compute(100)
+        log.append(("out", pid, machine.sim.now))
+        yield ops.Unlock(0)
+
+    run_programs(machine, {pid: critical(pid) for pid in range(4)})
+    # Critical sections never overlap.
+    intervals = []
+    entries = {}
+    for kind, pid, at in log:
+        if kind == "in":
+            entries[pid] = at
+        else:
+            intervals.append((entries[pid], at))
+    intervals.sort()
+    for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+        assert s2 >= e1
+
+
+@pytest.mark.parametrize("machine_name", ALL_MACHINES)
+def test_every_contender_eventually_acquires(machine_name):
+    machine, _ = build(machine_name)
+    acquired = []
+
+    def contender(pid):
+        yield ops.Lock(7)
+        acquired.append(pid)
+        yield ops.Unlock(7)
+
+    run_programs(machine, {pid: contender(pid) for pid in range(4)})
+    assert sorted(acquired) == [0, 1, 2, 3]
+    assert machine.lock_acquisitions() == 4
+
+
+def test_unlock_by_non_holder_is_an_error():
+    machine, _ = build("ideal")
+
+    def bad():
+        yield ops.Unlock(0)
+
+    with pytest.raises(SimulationError):
+        run_programs(machine, {0: bad()})
+
+
+def test_lock_traffic_on_target():
+    """Acquiring a free remote lock reads then writes the lock word."""
+    machine, _ = build("target")
+
+    def prog():
+        yield ops.Lock(0)
+        yield ops.Unlock(0)
+
+    [p0] = run_programs(machine, {0: prog()})[:1]
+    # Lock word homed round-robin (node 0 here == pid 0): the first
+    # sync word lands on node 0, so all traffic is local.  Acquire a
+    # second lock to get a remote one.
+    machine2, _ = build("target")
+
+    def prog2():
+        yield ops.Lock(0)  # home 0 (local)
+        yield ops.Lock(1)  # home 1 (remote)
+        yield ops.Unlock(1)
+        yield ops.Unlock(0)
+
+    [q0] = run_programs(machine2, {0: prog2()})[:1]
+    assert machine2.message_count() > machine.message_count()
+
+
+def test_spinning_waiters_recheck_on_release():
+    """Losers of a release race re-read (miss) and keep waiting."""
+    machine, _ = build("target")
+
+    def holder():
+        yield ops.Lock(0)
+        yield ops.Compute(10_000)
+        yield ops.Unlock(0)
+        yield ops.Barrier(9)
+
+    def waiter(pid):
+        yield ops.Compute(10)  # arrive after the holder
+        yield ops.Lock(0)
+        yield ops.Compute(10_000)
+        yield ops.Unlock(0)
+        yield ops.Barrier(9)
+
+    processors = run_programs(
+        machine,
+        {0: holder(), 1: waiter(1), 2: waiter(2), 3: waiter(3)},
+    )
+    # Everyone who waited logged spin time in sync/latency buckets.
+    for processor in processors[1:]:
+        waited = processor.buckets.sync_ns + processor.buckets.latency_ns
+        assert waited > 0
+
+
+# -- barriers ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("machine_name", ALL_MACHINES)
+def test_barrier_synchronizes_all_processors(machine_name):
+    machine, _ = build(machine_name)
+    after = {}
+
+    def prog(pid):
+        yield ops.Compute(pid * 1_000)  # staggered arrivals
+        yield ops.Barrier(0)
+        after[pid] = machine.sim.now
+
+    run_programs(machine, {pid: prog(pid) for pid in range(4)})
+    # Nobody leaves before the slowest arrival (3000ns of compute).
+    assert min(after.values()) >= 3 * 1_000
+
+
+@pytest.mark.parametrize("machine_name", ALL_MACHINES)
+def test_barrier_is_reusable(machine_name):
+    machine, _ = build(machine_name)
+    order = []
+
+    def prog(pid):
+        for phase in range(3):
+            yield ops.Compute((pid + 1) * 97)
+            yield ops.Barrier(0)
+            order.append((phase, pid))
+
+    run_programs(machine, {pid: prog(pid) for pid in range(4)})
+    phases = [phase for phase, _pid in order]
+    assert phases == sorted(phases)  # no phase interleaving
+    assert len(order) == 12
+
+
+def test_single_processor_barrier_is_immediate():
+    machine, _ = build("target", nprocs=1)
+
+    def prog():
+        yield ops.Barrier(0)
+        yield ops.Barrier(0)
+
+    [p0] = run_programs(machine, {0: prog()})[:1]
+    assert p0.finish_ns < us(100)
+
+
+# -- condition flags ------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("machine_name", ALL_MACHINES)
+def test_flag_wait_blocks_until_set(machine_name):
+    machine, array = build(machine_name)
+    flag_addr = array.addr(0)
+    woke = {}
+
+    def setter():
+        yield ops.Compute(5_000)
+        yield ops.SetFlag(flag_addr, 1)
+
+    def waiter():
+        yield ops.WaitFlag(flag_addr, 1)
+        woke["at"] = machine.sim.now
+
+    run_programs(machine, {0: setter(), 1: waiter(),
+                           2: iter([]), 3: iter([])})
+    assert woke["at"] >= 5_000
+
+
+@pytest.mark.parametrize("machine_name", ALL_MACHINES)
+def test_flag_already_set_does_not_block(machine_name):
+    machine, array = build(machine_name)
+    flag_addr = array.addr(8)
+
+    def setter_then_waiter():
+        yield ops.SetFlag(flag_addr, 3)
+        yield ops.WaitFlag(flag_addr, 3, cmp="eq")
+
+    [p0] = run_programs(machine, {0: setter_then_waiter()})[:1]
+    assert p0.finish_ns < us(50)
+
+
+def test_flag_ge_vs_eq():
+    machine, array = build("ideal")
+    flag_addr = array.addr(16)
+    log = []
+
+    def setter():
+        yield ops.Compute(100)
+        yield ops.SetFlag(flag_addr, 5)
+
+    def ge_waiter():
+        yield ops.WaitFlag(flag_addr, 3, cmp="ge")
+        log.append("ge")
+
+    run_programs(machine, {0: setter(), 1: ge_waiter(),
+                           2: iter([]), 3: iter([])})
+    assert log == ["ge"]
+
+
+def test_flag_wait_two_misses_on_clogp():
+    """The paper's EP observation: only the first and last accesses to
+    a condition variable touch the network on the cached machine."""
+    machine, array = build("clogp")
+    # Flag homed on node 1 (interleaved), so remote for both 0 and 2.
+    flag_addr = array.addr(4)
+    assert machine.space.home_of(flag_addr) == 1
+
+    def waiter():
+        yield ops.WaitFlag(flag_addr, 1)
+
+    def setter():
+        yield ops.Compute(50_000)
+        yield ops.SetFlag(flag_addr, 1)
+
+    processors = run_programs(
+        machine, {0: waiter(), 2: setter(), 1: iter([]), 3: iter([])}
+    )
+    # Waiter: initial read miss (1 RT) + re-read after invalidation
+    # (1 RT) = 2 round trips = 4L of latency.
+    assert processors[0].buckets.latency_ns == 4 * us(1.6)
+
+
+def test_flag_wait_polls_on_logp():
+    """... while the cache-less LogP machine polls throughout the wait."""
+    machine, array = build("logp")
+    flag_addr = array.addr(4)
+
+    def waiter():
+        yield ops.WaitFlag(flag_addr, 1)
+
+    def setter():
+        yield ops.Compute(50_000)  # 1.5 ms of compute
+        yield ops.SetFlag(flag_addr, 1)
+
+    processors = run_programs(
+        machine, {0: waiter(), 2: setter(), 1: iter([]), 3: iter([])}
+    )
+    wait_ns = 50_000 * 30
+    expected_polls = wait_ns // machine.config.poll_interval_ns
+    # Each poll is a round trip (2L); allow the initial/final reads too.
+    assert processors[0].buckets.latency_ns >= expected_polls * 2 * us(1.6)
+
+
+def test_logp_poll_messages_counted():
+    machine, array = build("logp")
+    flag_addr = array.addr(4)
+
+    def waiter():
+        yield ops.WaitFlag(flag_addr, 1)
+
+    def setter():
+        yield ops.Compute(50_000)
+        yield ops.SetFlag(flag_addr, 1)
+
+    before = machine.message_count()
+    run_programs(machine, {0: waiter(), 2: setter(),
+                           1: iter([]), 3: iter([])})
+    assert machine.message_count() - before > 100  # lots of polls

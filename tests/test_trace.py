@@ -1,0 +1,144 @@
+"""Trace recording and trace-driven replay."""
+
+import pytest
+
+from repro import SystemConfig, simulate
+from repro.core import ops
+from repro.errors import ReproError
+from repro.trace import (
+    Trace,
+    TraceApplication,
+    load_trace,
+    record_trace,
+    save_trace,
+)
+from repro.trace.tracefile import deserialize_op, serialize_op
+
+from tests.conftest import ALL_APPS, tiny_app, tiny_config
+
+
+# -- op (de)serialization -----------------------------------------------------------
+
+
+ALL_OPS = [
+    ops.Read(100),
+    ops.Write(200),
+    ops.ReadRange(300, 8, 4),
+    ops.WriteRange(400, 2, 8),
+    ops.ReadMany([1, 5, 9]),
+    ops.WriteMany([2, 6]),
+    ops.Compute(750),
+    ops.Lock(3),
+    ops.Unlock(3),
+    ops.Barrier(0),
+    ops.SetFlag(500, 7),
+    ops.WaitFlag(500, 7, "eq"),
+]
+
+
+@pytest.mark.parametrize("op", ALL_OPS, ids=lambda o: type(o).__name__)
+def test_op_roundtrip(op):
+    restored = deserialize_op(serialize_op(op))
+    assert type(restored) is type(op)
+    assert repr(restored) == repr(op)
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(ReproError):
+        deserialize_op(["zz", 1])
+
+
+# -- recording -----------------------------------------------------------------------
+
+
+def test_recording_preserves_the_run():
+    config = tiny_config(4, "cube")
+    result, trace = record_trace(tiny_app("fft", 4), "clogp", config)
+    assert result.verified
+    assert trace.app == "fft"
+    assert trace.nprocs == 4
+    assert trace.recorded_on == "clogp"
+    assert trace.total_operations > 0
+    assert len(trace.streams) == 4
+
+
+def test_recording_excludes_machine_sync_words():
+    config = tiny_config(4)
+    _result, trace = record_trace(tiny_app("is", 4), "clogp", config)
+    assert all(not spec[0].startswith("__sync_") for spec in trace.regions)
+
+
+# -- replay ---------------------------------------------------------------------------
+
+
+def test_replay_on_same_machine_is_exact():
+    config = tiny_config(4, "cube")
+    original, trace = record_trace(tiny_app("fft", 4), "clogp", config)
+    replayed = simulate(
+        TraceApplication(trace), "clogp", tiny_config(4, "cube")
+    )
+    assert replayed.total_ns == original.total_ns
+    assert replayed.messages == original.messages
+    assert replayed.verified
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_replay_runs_on_other_machines(app_name):
+    """Cross-machine replay: the trace-driven approximation."""
+    config = tiny_config(4)
+    _original, trace = record_trace(tiny_app(app_name, 4), "clogp", config)
+    replayed = simulate(TraceApplication(trace), "target", tiny_config(4))
+    assert replayed.verified
+    assert replayed.total_ns > 0
+
+
+def test_replay_addresses_resolve_identically():
+    """The replayed address space reproduces the recorded layout."""
+    config = tiny_config(4)
+    _result, trace = record_trace(tiny_app("ep", 4), "ideal", config)
+    # Rebuild a space through a replay setup and check region bases by
+    # running on a machine with invariant checking.
+    replayed = simulate(
+        TraceApplication(trace), "clogp", tiny_config(4),
+        check_invariants=True,
+    )
+    assert replayed.verified
+
+
+def test_replay_wrong_pid_rejected():
+    trace = Trace(app="x", nprocs=2, recorded_on="ideal",
+                  regions=[], streams=[[], []])
+    app = TraceApplication(trace)
+    with pytest.raises(ReproError):
+        list(app.proc_main(5))
+
+
+# -- persistence -------------------------------------------------------------------------
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    config = tiny_config(2)
+    _result, trace = record_trace(tiny_app("is", 2), "clogp", config)
+    path = tmp_path / "trace.json"
+    save_trace(trace, str(path))
+    loaded = load_trace(str(path))
+    assert loaded.app == trace.app
+    assert loaded.streams == trace.streams
+    assert loaded.regions == trace.regions
+    # The loaded trace replays identically to the in-memory one.
+    a = simulate(TraceApplication(trace), "clogp", tiny_config(2))
+    b = simulate(TraceApplication(loaded), "clogp", tiny_config(2))
+    assert a.total_ns == b.total_ns
+
+
+def test_format_version_checked():
+    with pytest.raises(ReproError):
+        Trace.from_json({"format": 99})
+
+
+def test_trace_operations_accessor():
+    config = tiny_config(2)
+    _result, trace = record_trace(tiny_app("fft", 2), "ideal", config)
+    operations = trace.operations(0)
+    assert operations
+    assert all(isinstance(op, ops.Op) for op in operations)

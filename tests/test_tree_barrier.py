@@ -1,0 +1,109 @@
+"""The combining-tree barrier (extension to the sync substrate)."""
+
+import pytest
+
+from repro import ConfigError, SystemConfig, simulate, simulate_full
+from repro.apps import make_app
+from repro.core import ops
+from repro.core.machine import Processor, make_machine
+from repro.network import collect_stats
+
+from tests.conftest import ALL_APPS, ALL_MACHINES, tiny_app, tiny_config
+
+
+def test_barrier_kind_validated():
+    SystemConfig(barrier="tree")
+    with pytest.raises(ConfigError):
+        SystemConfig(barrier="butterfly")
+
+
+def run_programs(machine, programs):
+    processors = [Processor(machine, pid) for pid in range(machine.nprocs)]
+    machine.processors = processors
+    for pid, program in programs.items():
+        machine.sim.spawn(processors[pid].run(iter(program)))
+    machine.sim.run()
+    return processors
+
+
+@pytest.mark.parametrize("machine_name", ALL_MACHINES)
+@pytest.mark.parametrize("nprocs", [1, 2, 8])
+def test_tree_barrier_synchronizes(machine_name, nprocs):
+    config = SystemConfig(processors=nprocs, topology="cube",
+                          barrier="tree")
+    machine = make_machine(machine_name, config)
+    after = {}
+
+    def program(pid):
+        yield ops.Compute(pid * 1_000)
+        yield ops.Barrier(0)
+        after[pid] = machine.sim.now
+
+    run_programs(machine, {pid: program(pid) for pid in range(nprocs)})
+    assert min(after.values()) >= (nprocs - 1) * 1_000 * 30
+
+
+@pytest.mark.parametrize("machine_name", ["target", "clogp", "ideal"])
+def test_tree_barrier_is_reusable(machine_name):
+    config = SystemConfig(processors=4, barrier="tree")
+    machine = make_machine(machine_name, config)
+    order = []
+
+    def program(pid):
+        for phase in range(4):
+            yield ops.Compute((pid + 1) * 131)
+            yield ops.Barrier(0)
+            order.append((phase, pid))
+
+    run_programs(machine, {pid: program(pid) for pid in range(4)})
+    phases = [phase for phase, _ in order]
+    assert phases == sorted(phases)
+    assert len(order) == 16
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_apps_verify_with_tree_barrier(app_name):
+    config = tiny_config(8, "mesh", barrier="tree")
+    result = simulate(tiny_app(app_name, 8), "target", config,
+                      check_invariants=True)
+    assert result.verified
+
+
+def test_tree_barrier_cuts_sync_traffic():
+    """The centralized counter is a hot spot; the tree is not."""
+    def messages(barrier):
+        config = SystemConfig(processors=16, topology="mesh",
+                              barrier=barrier)
+        app = make_app("jacobi", 16, n=1_024, sweeps=2)
+        return simulate(app, "target", config).messages
+
+    assert messages("tree") < 0.5 * messages("central")
+
+
+def test_tree_barrier_improves_locality():
+    def locality(barrier):
+        config = SystemConfig(processors=16, topology="mesh",
+                              barrier=barrier)
+        app = make_app("jacobi", 16, n=1_024, sweeps=2)
+        _result, machine = simulate_full(app, "target", config)
+        return collect_stats(machine.fabric).locality_factor
+
+    assert locality("tree") < locality("central")
+
+
+def test_tree_barrier_scales_better():
+    """O(log p) combining beats O(p) serialized counter updates."""
+    def barrier_time(barrier):
+        config = SystemConfig(processors=32, topology="full",
+                              barrier=barrier)
+        machine = make_machine("target", config)
+
+        def program(pid):
+            yield ops.Barrier(0)
+
+        processors = run_programs(
+            machine, {pid: program(pid) for pid in range(32)}
+        )
+        return max(p.finish_ns for p in processors)
+
+    assert barrier_time("tree") < barrier_time("central")

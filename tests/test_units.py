@@ -1,0 +1,44 @@
+"""Unit conversions."""
+
+from repro import units
+
+
+def test_us_conversion():
+    assert units.us(1.6) == 1_600
+    assert units.us(0) == 0
+
+
+def test_ms_conversion():
+    assert units.ms(2.5) == 2_500_000
+
+
+def test_seconds_conversion():
+    assert units.seconds(1) == 1_000_000_000
+
+
+def test_ns_to_us_roundtrip():
+    assert units.ns_to_us(units.us(3.2)) == 3.2
+
+
+def test_ns_to_ms():
+    assert units.ns_to_ms(1_500_000) == 1.5
+
+
+def test_cycles_to_ns():
+    # 33 MHz SPARC: 30 ns per cycle.
+    assert units.cycles_to_ns(10, 30) == 300
+
+
+def test_bytes_to_link_ns_paper_L():
+    # 32-byte message on a 20 MB/s (50 ns/byte) link: the paper's L.
+    assert units.bytes_to_link_ns(32, 50) == 1_600
+
+
+def test_size_constants():
+    assert units.KB == 1_024
+    assert units.MB == 1_024 ** 2
+
+
+def test_rounding():
+    assert units.us(0.0004) == 0
+    assert units.us(0.0006) == 1
