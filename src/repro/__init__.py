@@ -38,9 +38,12 @@ from .errors import (
     DeadlockError,
     ProtocolError,
     ReproError,
+    RetryLimitError,
     SimulationError,
     TopologyError,
+    WatchdogError,
 )
+from .faults import FaultConfig, LinkFailure, NodeStall
 from .network import make_topology
 
 __version__ = "1.0.0"
@@ -63,10 +66,15 @@ __all__ = [
     "Application",
     "APPLICATIONS",
     "make_app",
+    "FaultConfig",
+    "LinkFailure",
+    "NodeStall",
     "ReproError",
     "ConfigError",
     "SimulationError",
     "DeadlockError",
+    "WatchdogError",
+    "RetryLimitError",
     "ProtocolError",
     "TopologyError",
     "ApplicationError",

@@ -31,21 +31,22 @@ def profile_table(result: RunResult) -> str:
     lines = [
         f"{result.app} on {result.machine}/{result.topology} "
         f"p={result.nprocs}: total {result.total_us:.1f} us",
-        "{:>5s} {:>12s} {:>10s} {:>10s} {:>12s} {:>10s} {:>12s}".format(
+        "{:>5s} {:>12s} {:>10s} {:>10s} {:>12s} {:>10s} {:>10s} {:>12s}".format(
             "pid", "compute_us", "memory_us", "latency_us",
-            "contention_us", "sync_us", "total_us",
+            "contention_us", "sync_us", "retry_us", "total_us",
         ),
     ]
     for row in processor_profile(result):
         lines.append(
             "{:>5d} {:>12.1f} {:>10.1f} {:>10.1f} {:>12.1f} {:>10.1f} "
-            "{:>12.1f}".format(
+            "{:>10.1f} {:>12.1f}".format(
                 row["pid"],
                 row["compute_us"],
                 row["memory_us"],
                 row["latency_us"],
                 row["contention_us"],
                 row["sync_us"],
+                row["retry_us"],
                 row["total_us"],
             )
         )

@@ -27,12 +27,40 @@ from .core.params import derive_logp
 from .core.runner import simulate
 from .experiments import SweepRunner, experiment_ids, get_experiment, render_figure
 from .experiments.workloads import app_params
+from .faults import FaultConfig
 from .units import ns_to_us
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=12345,
                         help="master random seed (default 12345)")
+
+
+def _add_fault(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fault-drop", type=float, default=0.0,
+                        metavar="RATE",
+                        help="probability a network message is dropped "
+                             "(default 0: no fault injection)")
+    parser.add_argument("--fault-delay", type=float, default=0.0,
+                        metavar="RATE",
+                        help="probability a message is delayed in transit "
+                             "(default 0)")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        metavar="SEED",
+                        help="dedicated seed for the fault RNG stream "
+                             "(default: derive from the master seed)")
+    parser.add_argument("--retries", type=int, default=8, metavar="N",
+                        help="reliable-delivery retry cap per message "
+                             "(default 8)")
+
+
+def _fault_from_args(args: argparse.Namespace) -> FaultConfig:
+    return FaultConfig(
+        drop_rate=args.fault_drop,
+        delay_rate=args.fault_delay,
+        seed=args.fault_seed,
+        max_retries=args.retries,
+    )
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -62,6 +90,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         barrier=args.barrier,
         adaptive_g=args.adaptive_g,
         g_per_event_type=args.g_per_event_type,
+        fault=_fault_from_args(args),
     )
     app = make_app(
         args.app, args.processors, **app_params(args.app, args.preset)
@@ -69,18 +98,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = simulate(app, args.machine, config)
     print(result.summary())
     for pid, buckets in enumerate(result.buckets):
-        print(
+        line = (
             f"  cpu{pid:<3d} compute={ns_to_us(buckets.compute_ns):10.1f}us "
             f"memory={ns_to_us(buckets.memory_ns):10.1f}us "
             f"latency={ns_to_us(buckets.latency_ns):10.1f}us "
             f"contention={ns_to_us(buckets.contention_ns):10.1f}us "
             f"sync={ns_to_us(buckets.sync_ns):10.1f}us"
         )
+        if config.fault.enabled:
+            line += f" retry={ns_to_us(buckets.retry_ns):10.1f}us"
+        print(line)
     return 0 if result.verified else 1
 
 
+def _make_sweep_runner(args: argparse.Namespace) -> SweepRunner:
+    fault = _fault_from_args(args)
+    return SweepRunner(
+        preset=args.preset,
+        seed=args.seed,
+        fault=fault if fault.enabled else None,
+        checkpoint_path=args.resume,
+    )
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
-    runner = SweepRunner(preset=args.preset, seed=args.seed)
+    runner = _make_sweep_runner(args)
     for experiment_id in args.ids:
         experiment = get_experiment(experiment_id)
         print(render_figure(runner.run_experiment(experiment)))
@@ -89,7 +131,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
-    runner = SweepRunner(preset=args.preset, seed=args.seed)
+    runner = _make_sweep_runner(args)
     for experiment_id in experiment_ids():
         experiment = get_experiment(experiment_id)
         print(render_figure(runner.run_experiment(experiment)))
@@ -103,7 +145,8 @@ def _cmd_scalability(args: argparse.Namespace) -> int:
     results = []
     for nprocs in args.sweep:
         config = SystemConfig(
-            processors=nprocs, topology=args.topology, seed=args.seed
+            processors=nprocs, topology=args.topology, seed=args.seed,
+            fault=_fault_from_args(args),
         )
         app = make_app(args.app, nprocs, **app_params(args.app, args.preset))
         results.append(simulate(app, args.machine, config))
@@ -200,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--g-per-event-type", action="store_true",
                        help="apply g only between identical event types")
     _add_common(p_run)
+    _add_fault(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_figure = sub.add_parser("figure", help="regenerate paper figures")
@@ -207,13 +251,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help=f"one of {', '.join(experiment_ids())}")
     p_figure.add_argument("--preset", choices=("default", "quick"),
                           default="default")
+    p_figure.add_argument("--resume", metavar="CHECKPOINT", default=None,
+                          help="sweep checkpoint JSON: completed points are "
+                               "loaded from it and new points appended")
     _add_common(p_figure)
+    _add_fault(p_figure)
     p_figure.set_defaults(func=_cmd_figure)
 
     p_all = sub.add_parser("all", help="regenerate every figure")
     p_all.add_argument("--preset", choices=("default", "quick"),
                        default="default")
+    p_all.add_argument("--resume", metavar="CHECKPOINT", default=None,
+                       help="sweep checkpoint JSON: completed points are "
+                            "loaded from it and new points appended")
     _add_common(p_all)
+    _add_fault(p_all)
     p_all.set_defaults(func=_cmd_all)
 
     p_scal = sub.add_parser(
@@ -230,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_scal.add_argument("--preset", choices=("default", "quick"),
                         default="default")
     _add_common(p_scal)
+    _add_fault(p_scal)
     p_scal.set_defaults(func=_cmd_scalability)
 
     p_prof = sub.add_parser(

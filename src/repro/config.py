@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 from typing import Tuple
 
 from .errors import ConfigError
+from .faults.config import FaultConfig
 from .units import KB
 
 #: Topology identifiers accepted by :class:`SystemConfig`.
@@ -124,6 +125,11 @@ class SystemConfig:
     #: Master seed for all deterministic random streams.
     seed: int = 12345
 
+    #: Fault-injection configuration.  The default injects nothing and
+    #: the machines take the exact fault-free code paths, so a run with
+    #: all rates at zero is bit-identical to a run without this field.
+    fault: FaultConfig = field(default_factory=FaultConfig)
+
     def __post_init__(self) -> None:
         if not _is_power_of_two(self.processors):
             raise ConfigError(
@@ -170,6 +176,10 @@ class SystemConfig:
             raise ConfigError(
                 f"unknown barrier kind {self.barrier!r}; expected one of "
                 f"{BARRIERS}"
+            )
+        if not isinstance(self.fault, FaultConfig):
+            raise ConfigError(
+                f"fault must be a FaultConfig, got {type(self.fault).__name__}"
             )
 
     # -- derived quantities -------------------------------------------------

@@ -42,6 +42,11 @@ class OverheadBuckets:
     latency_ns: int = 0
     contention_ns: int = 0
     sync_ns: int = 0
+    #: Reliable-delivery recovery time under fault injection: failed
+    #: transmission attempts, backoff waits, acks, duplicate sends,
+    #: fault-injected delays and stalls.  Always zero on a fault-free
+    #: network, keeping the classic SPASM separation untouched.
+    retry_ns: int = 0
 
     @property
     def total_ns(self) -> int:
@@ -52,6 +57,7 @@ class OverheadBuckets:
             + self.latency_ns
             + self.contention_ns
             + self.sync_ns
+            + self.retry_ns
         )
 
     def add(self, other: "OverheadBuckets") -> None:
@@ -61,15 +67,22 @@ class OverheadBuckets:
         self.latency_ns += other.latency_ns
         self.contention_ns += other.contention_ns
         self.sync_ns += other.sync_ns
+        self.retry_ns += other.retry_ns
 
     def as_dict(self) -> Dict[str, int]:
         return {
-            "compute_ns": self.compute_ns,
-            "memory_ns": self.memory_ns,
-            "latency_ns": self.latency_ns,
-            "contention_ns": self.contention_ns,
-            "sync_ns": self.sync_ns,
+            "compute_ns": int(self.compute_ns),
+            "memory_ns": int(self.memory_ns),
+            "latency_ns": int(self.latency_ns),
+            "contention_ns": int(self.contention_ns),
+            "sync_ns": int(self.sync_ns),
+            "retry_ns": int(self.retry_ns),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "OverheadBuckets":
+        """Rebuild a bucket set from :meth:`as_dict` output."""
+        return cls(**{key: int(value) for key, value in data.items()})
 
 
 @dataclass
@@ -135,15 +148,57 @@ class RunResult:
     def mean_sync_us(self) -> float:
         return ns_to_us(self._mean("sync_ns"))
 
+    @property
+    def mean_retry_us(self) -> float:
+        """Mean per-processor fault-recovery (retry) overhead, us."""
+        return ns_to_us(self._mean("retry_ns"))
+
     def metric(self, name: str) -> float:
-        """Figure metrics by name: ``execution|latency|contention``."""
+        """Figure metrics by name: ``execution|latency|contention|retry``."""
         if name == "execution":
             return self.total_us
         if name == "latency":
             return self.mean_latency_us
         if name == "contention":
             return self.mean_contention_us
+        if name == "retry":
+            return self.mean_retry_us
         raise KeyError(f"unknown metric {name!r}")
+
+    # -- (de)serialization for sweep checkpoints --------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-ready representation (see sweep checkpointing)."""
+        return {
+            "app": self.app,
+            "machine": self.machine,
+            "topology": self.topology,
+            "nprocs": int(self.nprocs),
+            "total_ns": int(self.total_ns),
+            "buckets": [b.as_dict() for b in self.buckets],
+            "messages": int(self.messages),
+            "sim_events": int(self.sim_events),
+            "wall_seconds": float(self.wall_seconds),
+            # bool() strips numpy scalar types, keeping the dict
+            # JSON-serializable for sweep checkpoints.
+            "verified": bool(self.verified),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            app=data["app"],
+            machine=data["machine"],
+            topology=data["topology"],
+            nprocs=int(data["nprocs"]),
+            total_ns=int(data["total_ns"]),
+            buckets=[OverheadBuckets.from_dict(b) for b in data["buckets"]],
+            messages=int(data["messages"]),
+            sim_events=int(data["sim_events"]),
+            wall_seconds=float(data["wall_seconds"]),
+            verified=bool(data["verified"]),
+        )
 
     def summary(self) -> str:
         """One-line human-readable summary."""

@@ -24,6 +24,7 @@ from typing import Optional
 
 from ..config import SystemConfig
 from ..errors import ProtocolError
+from ..faults.reliable import RetryPolicy
 from .coherence import CoherentMemory
 from .logp_net import LogPNetwork
 from .machine import Machine, register_machine
@@ -45,6 +46,11 @@ class CLogPMachine(Machine):
             per_event_type=config.g_per_event_type,
             topology=self.topology,
             adaptive=config.adaptive_g,
+            injector=self.fault_injector,
+            retry_policy=(
+                RetryPolicy.from_fault(config.fault)
+                if self.fault_injector is not None else None
+            ),
         )
         self.memory = CoherentMemory(config, self.space)
 
@@ -104,6 +110,8 @@ class CLogPMachine(Machine):
             return 0, service
         service = config.memory_ns if from_memory else config.cache_hit_ns
         trip = self.net.round_trip(pid, source, service_ns=service)
+        if trip.retry_ns:
+            self.record_retry(pid, trip.retry_ns)
         yield self.sim.timeout(trip.total_ns)
         return trip.latency_ns, service
 
@@ -126,6 +134,8 @@ class CLogPMachine(Machine):
             trip = self.net.one_way(pid, dst)
             latency += trip.latency_ns
             total = max(total, trip.total_ns)
+            if trip.retry_ns:
+                self.record_retry(pid, trip.retry_ns)
             remaining -= packet
         yield self.sim.timeout(total)
         return latency, 0

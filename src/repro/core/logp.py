@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from ..config import SystemConfig
+from ..faults.reliable import RetryPolicy
 from .logp_net import LogPNetwork
 from .machine import Machine, register_machine
 from .params import derive_logp
@@ -39,6 +40,11 @@ class LogPMachine(Machine):
             per_event_type=config.g_per_event_type,
             topology=self.topology,
             adaptive=config.adaptive_g,
+            injector=self.fault_injector,
+            retry_policy=(
+                RetryPolicy.from_fault(config.fault)
+                if self.fault_injector is not None else None
+            ),
         )
         self._poll_messages = 0
 
@@ -52,6 +58,8 @@ class LogPMachine(Machine):
     def transact(self, pid: int, addr: int, is_write: bool):
         home = self.space.home_of(addr)
         trip = self.net.round_trip(pid, home, service_ns=self.config.memory_ns)
+        if trip.retry_ns:
+            self.record_retry(pid, trip.retry_ns)
         yield self.sim.timeout(trip.total_ns)
         return trip.latency_ns, trip.service_ns
 
@@ -74,6 +82,8 @@ class LogPMachine(Machine):
             trip = self.net.one_way(pid, dst)
             latency += trip.latency_ns
             total = max(total, trip.total_ns)
+            if trip.retry_ns:
+                self.record_retry(pid, trip.retry_ns)
             remaining -= packet
         yield self.sim.timeout(total)
         return latency, 0

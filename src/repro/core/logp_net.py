@@ -51,6 +51,11 @@ class Trip:
     #: Number of messages injected.
     messages: int
 
+    #: Reliable-delivery recovery time contained in ``total_ns``:
+    #: failed attempts, backoff waits, acks, fault delays and stalls.
+    #: Zero on a fault-free network.
+    retry_ns: int = 0
+
 
 class LogPNetwork:
     """Per-node g-gap gates plus L-delay arithmetic.
@@ -68,12 +73,20 @@ class LogPNetwork:
 
     def __init__(self, sim: Simulator, params: LogPParams,
                  per_event_type: bool = False, topology=None,
-                 adaptive: bool = False):
+                 adaptive: bool = False, injector=None,
+                 retry_policy=None):
         self.sim = sim
         self.params = params
         self.per_event_type = per_event_type
         self.adaptive = adaptive and topology is not None
         self.topology = topology
+        #: Optional :class:`~repro.faults.injector.FaultInjector`; when
+        #: set, every message goes through the reliable-delivery
+        #: arithmetic in :meth:`_one_way_faulty` (see there).
+        self.injector = injector
+        self.retry_policy = retry_policy
+        #: Cumulative reliable-delivery recovery time.
+        self.total_retry_ns = 0
         nprocs = params.P
         # Next time each node may perform a network event.  With
         # per-event-type gating, sends and receives have separate gates.
@@ -139,6 +152,8 @@ class LogPNetwork:
     def one_way(self, src: int, dst: int, start_at: int = None) -> Trip:
         """One message src -> dst; returns its timing decomposition."""
         now = self.sim.now if start_at is None else start_at
+        if self.injector is not None:
+            return self._one_way_faulty(src, dst, now)
         L = self.params.L_ns
         o2 = 2 * self.params.o_ns
         self._observe(src, dst)
@@ -156,6 +171,81 @@ class LogPNetwork:
             service_ns=0,
             messages=1,
         )
+
+    def _one_way_faulty(self, src: int, dst: int, begin: int) -> Trip:
+        """One message under fault injection with reliable delivery.
+
+        The LogP network abstracts links, so the ARQ protocol is
+        abstracted to match: each attempt pays the ordinary gated trip;
+        a lost or corrupted attempt costs a backed-off timeout before
+        the retransmission; a delivered attempt is confirmed by an ack
+        that costs one ``L`` (acks are small and not ``g``-gated -- the
+        deliberate simplification mirroring how the model already
+        ignores control-message sizes).  Link-failure windows apply to
+        any route the topology says crosses the dead link; node stalls
+        freeze the endpoint until their window closes.
+
+        The returned trip keeps the successful attempt's ``L`` as
+        latency and its gate waits as stall; everything else is
+        ``retry_ns``.
+
+        :raises RetryLimitError: the retry cap was exhausted.
+        """
+        from ..errors import RetryLimitError
+
+        injector = self.injector
+        policy = self.retry_policy
+        L = self.params.L_ns
+        o2 = 2 * self.params.o_ns
+        self._observe(src, dst)
+        now = begin
+        failed_attempts = 0
+        delivered = False
+        latency = L + o2
+        stall = 0
+        while True:
+            send_stall = injector.stall_ns(src, now)
+            fate = injector.fate(src, dst, now + send_stall, check_route=True)
+            sent = self._gate_send(src, now + send_stall)
+            self.messages += 1
+            if not fate.delivered and not fate.corrupted:
+                # Lost in the network: the sender times out.
+                failure_at = sent + L
+            else:
+                arrived = sent + L + fate.delay_ns
+                recv_stall = injector.stall_ns(dst, arrived)
+                received = self._gate_recv(dst, arrived + recv_stall)
+                if fate.corrupted:
+                    # Checksum failure at the receiver: no ack follows.
+                    failure_at = received
+                else:
+                    if not delivered:
+                        delivered = True
+                        stall = (sent - (now + send_stall)) + \
+                            (received - (arrived + recv_stall))
+                    ack_fate = injector.fate(
+                        dst, src, received, check_route=True
+                    )
+                    acked = received + L
+                    self.messages += 1
+                    if ack_fate.delivered:
+                        total = (acked - begin) + o2
+                        retry = max(0, total - latency - stall)
+                        self.total_stall_ns += stall
+                        self.total_retry_ns += retry
+                        return Trip(
+                            total_ns=total,
+                            latency_ns=latency,
+                            stall_ns=stall,
+                            service_ns=0,
+                            messages=1,
+                            retry_ns=retry,
+                        )
+                    failure_at = acked
+            failed_attempts += 1
+            if failed_attempts > policy.max_retries:
+                raise RetryLimitError(src, dst, failed_attempts, failure_at)
+            now = failure_at + policy.backoff_ns(failed_attempts)
 
     def round_trip(self, src: int, dst: int, service_ns: int = 0) -> Trip:
         """Request src -> dst, remote service, reply dst -> src.
@@ -175,4 +265,5 @@ class LogPNetwork:
             stall_ns=request.stall_ns + reply.stall_ns,
             service_ns=service_ns,
             messages=2,
+            retry_ns=request.retry_ns + reply.retry_ns,
         )

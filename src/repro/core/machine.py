@@ -55,6 +55,7 @@ from ..config import SystemConfig
 from ..engine.core import Event, Simulator
 from ..engine.rng import RandomStreams
 from ..errors import ConfigError, SimulationError
+from ..faults.injector import make_injector
 from ..memory.address import AddressSpace
 from ..network.topology import Topology, make_topology
 from . import ops
@@ -118,6 +119,15 @@ class Machine(ABC):
         self.topology: Topology = make_topology(config.topology, config.processors)
         self.space = AddressSpace(config.processors, config.block_bytes)
         self.streams = RandomStreams(config.seed)
+        #: Fault injector, or None when ``config.fault`` cannot inject
+        #: anything -- the None case takes the exact fault-free paths.
+        self.fault_injector = make_injector(
+            config.fault, self.streams, topology=self.topology
+        )
+        # Reliable-delivery recovery time accumulated per processor
+        # during the current transaction; drained by the Processor into
+        # its retry_ns bucket (see Processor._access_slow).
+        self._retry_pending: List[int] = [0] * config.processors
         self.processors: List["Processor"] = []
         self._locks: Dict[Hashable, _LockVar] = {}
         self._barriers: Dict[Hashable, _BarrierVar] = {}
@@ -153,6 +163,19 @@ class Machine(ABC):
     def message_count(self) -> int:
         """Network messages transported so far (instrumentation)."""
         return 0
+
+    # -- fault-recovery accounting ------------------------------------------------
+
+    def record_retry(self, pid: int, retry_ns: int) -> None:
+        """Bank reliable-delivery recovery time for processor ``pid``."""
+        self._retry_pending[pid] += retry_ns
+
+    def take_retry_ns(self, pid: int) -> int:
+        """Drain the banked recovery time (the Processor charges it)."""
+        pending = self._retry_pending[pid]
+        if pending:
+            self._retry_pending[pid] = 0
+        return pending
 
     # -- synchronization variables ------------------------------------------------
 
@@ -371,9 +394,15 @@ class Machine(ABC):
         elapsed = sim.now - started
         if latency_ns + service_ns > elapsed:
             latency_ns = max(0, elapsed - service_ns)
+        retry_ns = self.take_retry_ns(proc.pid)
+        if retry_ns > elapsed - latency_ns - service_ns:
+            retry_ns = max(0, elapsed - latency_ns - service_ns)
         proc.buckets.latency_ns += latency_ns
         proc.buckets.memory_ns += service_ns
-        proc.buckets.contention_ns += elapsed - latency_ns - service_ns
+        proc.buckets.retry_ns += retry_ns
+        proc.buckets.contention_ns += (
+            elapsed - latency_ns - service_ns - retry_ns
+        )
         self.mp_sends += 1
         key = (proc.pid, dst, tag)
         waiters = self._mp_waiters.get(key)
@@ -470,9 +499,15 @@ class Processor:
         # so that the buckets always sum to the elapsed time.
         if latency_ns + service_ns > elapsed:
             latency_ns = max(0, elapsed - service_ns)
+        retry_ns = self.machine.take_retry_ns(self.pid)
+        if retry_ns > elapsed - latency_ns - service_ns:
+            retry_ns = max(0, elapsed - latency_ns - service_ns)
         self.buckets.latency_ns += latency_ns
         self.buckets.memory_ns += service_ns
-        self.buckets.contention_ns += elapsed - latency_ns - service_ns
+        self.buckets.retry_ns += retry_ns
+        self.buckets.contention_ns += (
+            elapsed - latency_ns - service_ns - retry_ns
+        )
 
     def _access_range(self, base: int, count: int, stride: int, is_write: bool):
         """Generator: a strided scan, fast-pathing hits without yields."""

@@ -22,6 +22,7 @@ def simulate(
     machine_name: str,
     config: SystemConfig,
     check_invariants: bool = False,
+    max_events: Optional[int] = None,
 ) -> RunResult:
     """Simulate ``app`` on the named machine model.
 
@@ -32,9 +33,12 @@ def simulate(
         how many application processes run.
     :param check_invariants: verify coherence invariants after the run
         (cached machines only; used by tests).
+    :param max_events: optional engine watchdog budget (see
+        :meth:`~repro.engine.core.Simulator.run`).
     """
     result, _machine = simulate_full(
-        app, machine_name, config, check_invariants=check_invariants
+        app, machine_name, config, check_invariants=check_invariants,
+        max_events=max_events,
     )
     return result
 
@@ -44,6 +48,7 @@ def simulate_full(
     machine_name: str,
     config: SystemConfig,
     check_invariants: bool = False,
+    max_events: Optional[int] = None,
 ) -> Tuple[RunResult, Machine]:
     """Like :func:`simulate` but also returns the machine for inspection."""
     machine = make_machine(machine_name, config)
@@ -53,7 +58,7 @@ def simulate_full(
     for pid, processor in enumerate(processors):
         machine.sim.spawn(processor.run(app.proc_main(pid)), name=f"cpu{pid}")
     wall_start = time.perf_counter()
-    machine.sim.run()
+    machine.sim.run(max_events=max_events)
     wall = time.perf_counter() - wall_start
     if check_invariants:
         memory = getattr(machine, "memory", None)

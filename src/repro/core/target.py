@@ -21,11 +21,12 @@ traffic.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from ..config import SystemConfig
 from ..engine.core import all_of
 from ..engine.resource import Resource
+from ..faults.reliable import ReliableTransport, RetryPolicy
 from ..network.fabric import Fabric
 from ..network.message import Message
 from .coherence import CoherentMemory
@@ -43,13 +44,38 @@ class TargetMachine(Machine):
         self.fabric = Fabric(
             self.sim, self.topology, config.link_ns_per_byte,
             switch_delay_ns=config.switch_delay_ns,
+            injector=self.fault_injector,
         )
+        if self.fault_injector is not None:
+            self.reliable = ReliableTransport(
+                self.fabric,
+                self.fault_injector,
+                RetryPolicy.from_fault(config.fault),
+                ack_bytes=config.control_message_bytes,
+            )
+        else:
+            self.reliable = None
         self.memory = CoherentMemory(config, self.space)
         self._home_locks: Dict[int, Resource] = {}
         self._ctrl = config.control_message_bytes
         self._data = config.data_message_bytes
         #: Contention-free time of one invalidation+ack round.
         self._inv_round_latency = 2 * config.control_message_ns
+
+    def _net_transmit(self, pid: int, message: Message):
+        """Generator: transmit on behalf of processor ``pid``.
+
+        Routes through the reliable-delivery layer when faults are
+        enabled, banking its recovery time against ``pid``'s retry
+        bucket; otherwise this is exactly ``fabric.transmit``.
+        """
+        if self.reliable is None:
+            result = yield from self.fabric.transmit(message)
+        else:
+            result = yield from self.reliable.transmit(message)
+            if result.retry_ns:
+                self.record_retry(pid, result.retry_ns)
+        return result
 
     # -- memory interface ---------------------------------------------------------
 
@@ -106,8 +132,8 @@ class TargetMachine(Machine):
         service = 0
         home = self.space.home_of_block(block)
         if pid != home:
-            result = yield from self.fabric.transmit(
-                Message(pid, home, self._ctrl, "read_req")
+            result = yield from self._net_transmit(
+                pid, Message(pid, home, self._ctrl, "read_req")
             )
             latency += result.latency_ns
         home_lock = self._home_lock(block)
@@ -121,23 +147,23 @@ class TargetMachine(Machine):
             yield self.sim.timeout(config.memory_ns)
             home_lock.release()
             if home != pid:
-                result = yield from self.fabric.transmit(
-                    Message(home, pid, self._data, "data")
+                result = yield from self._net_transmit(
+                    pid, Message(home, pid, self._data, "data")
                 )
                 latency += result.latency_ns
         else:
             # Owned by a remote cache: home forwards, owner supplies.
             source = plan.source
             if home != source:
-                result = yield from self.fabric.transmit(
-                    Message(home, source, self._ctrl, "fwd")
+                result = yield from self._net_transmit(
+                    pid, Message(home, source, self._ctrl, "fwd")
                 )
                 latency += result.latency_ns
             home_lock.release()
             service += config.cache_hit_ns
             yield self.sim.timeout(config.cache_hit_ns)
-            result = yield from self.fabric.transmit(
-                Message(source, pid, self._data, "data")
+            result = yield from self._net_transmit(
+                pid, Message(source, pid, self._data, "data")
             )
             latency += result.latency_ns
             if plan.sharing_writeback and source != home:
@@ -157,8 +183,8 @@ class TargetMachine(Machine):
         service = 0
         home = self.space.home_of_block(block)
         if pid != home:
-            result = yield from self.fabric.transmit(
-                Message(pid, home, self._ctrl, "write_req")
+            result = yield from self._net_transmit(
+                pid, Message(pid, home, self._ctrl, "write_req")
             )
             latency += result.latency_ns
         home_lock = self._home_lock(block)
@@ -172,7 +198,9 @@ class TargetMachine(Machine):
         # the forwarded request itself, not a separate message.
         inv_targets = [s for s in plan.invalidated if s != plan.source]
         inv_rounds = [
-            sim.spawn(self._invalidation_round(home, node), name=f"inv{node}")
+            sim.spawn(
+                self._invalidation_round(pid, home, node), name=f"inv{node}"
+            )
             for node in inv_targets
         ]
         if not plan.had_data and plan.from_memory:
@@ -181,8 +209,8 @@ class TargetMachine(Machine):
         elif not plan.had_data:
             source = plan.source
             if home != source:
-                result = yield from self.fabric.transmit(
-                    Message(home, source, self._ctrl, "fwd")
+                result = yield from self._net_transmit(
+                    pid, Message(home, source, self._ctrl, "fwd")
                 )
                 latency += result.latency_ns
         if inv_rounds:
@@ -198,33 +226,42 @@ class TargetMachine(Machine):
         if plan.had_data:
             # Ownership upgrade: permission only, granted by the home.
             if pid != home:
-                result = yield from self.fabric.transmit(
-                    Message(home, pid, self._ctrl, "grant")
+                result = yield from self._net_transmit(
+                    pid, Message(home, pid, self._ctrl, "grant")
                 )
                 latency += result.latency_ns
         elif plan.from_memory:
             if home != pid:
-                result = yield from self.fabric.transmit(
-                    Message(home, pid, self._data, "data")
+                result = yield from self._net_transmit(
+                    pid, Message(home, pid, self._data, "data")
                 )
                 latency += result.latency_ns
         else:
             source = plan.source
             service += config.cache_hit_ns
             yield sim.timeout(config.cache_hit_ns)
-            result = yield from self.fabric.transmit(
-                Message(source, pid, self._data, "data")
+            result = yield from self._net_transmit(
+                pid, Message(source, pid, self._data, "data")
             )
             latency += result.latency_ns
         return latency, service, plan.writeback
 
-    def _invalidation_round(self, home: int, node: int):
-        """Home -> sharer invalidation plus the returning ack."""
+    def _invalidation_round(self, pid: int, home: int, node: int):
+        """Home -> sharer invalidation plus the returning ack.
+
+        ``pid`` is the writer whose transaction required the round; its
+        retry bucket absorbs any fault-recovery time the two control
+        messages incur.
+        """
         if home == node:
             # The home invalidates its local cache without a message.
             return
-        yield from self.fabric.transmit(Message(home, node, self._ctrl, "inv"))
-        yield from self.fabric.transmit(Message(node, home, self._ctrl, "ack"))
+        yield from self._net_transmit(
+            pid, Message(home, node, self._ctrl, "inv")
+        )
+        yield from self._net_transmit(
+            pid, Message(node, home, self._ctrl, "ack")
+        )
 
     # -- plumbing -----------------------------------------------------------------------
 
@@ -241,8 +278,8 @@ class TargetMachine(Machine):
         packet = self.config.data_message_bytes
         while remaining > 0:
             size = min(packet, remaining)
-            result = yield from self.fabric.transmit(
-                Message(pid, dst, size, "mp")
+            result = yield from self._net_transmit(
+                pid, Message(pid, dst, size, "mp")
             )
             latency += result.latency_ns
             remaining -= size

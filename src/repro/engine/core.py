@@ -25,7 +25,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, List, Optional
 
-from ..errors import DeadlockError, SimulationError
+from ..errors import DeadlockError, ReproError, SimulationError, WatchdogError
 
 #: Type alias for simulated-process generators.
 ProcessGenerator = Generator["Event", Any, Any]
@@ -149,6 +149,10 @@ class Process(Event):
         except BaseException as exc:
             sim._blocked -= 1
             if sim.fail_fast:
+                if isinstance(exc, ReproError):
+                    # Simulator errors keep their type so callers can
+                    # catch e.g. RetryLimitError specifically.
+                    raise
                 raise SimulationError(
                     f"process {self.name!r} raised {exc!r} at t={sim.now}"
                 ) from exc
@@ -227,20 +231,44 @@ class Simulator:
         """Start a new simulated process."""
         return Process(self, generator, name)
 
-    def run(self, until: Optional[int] = None) -> int:
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None,
+            until_ns: Optional[int] = None) -> int:
         """Execute events; return the final simulated time.
 
         :param until: optional horizon; events at times strictly greater
             than ``until`` are left in the queue and the clock stops at
             ``until``.
+        :param until_ns: alias for ``until`` (they may not both be set).
+        :param max_events: watchdog budget -- if this many events execute
+            within this ``run`` call without the queue draining, a
+            :class:`~repro.errors.WatchdogError` is raised with progress
+            diagnostics.  This is the defense against livelock (e.g. a
+            retry loop that never converges), which -- unlike deadlock --
+            keeps the queue busy forever and would otherwise hang the
+            host process.
         :raises DeadlockError: the queue drained with blocked processes.
+        :raises WatchdogError: the ``max_events`` budget was exhausted.
         """
+        if until_ns is not None:
+            if until is not None:
+                raise SimulationError("pass either until or until_ns, not both")
+            until = until_ns
+        if max_events is not None and max_events <= 0:
+            raise SimulationError(
+                f"max_events must be positive, got {max_events}"
+            )
         queue = self._queue
+        executed = 0
         while queue:
             at, _seq, action = queue[0]
             if until is not None and at > until:
                 self._now = until
                 return self._now
+            if max_events is not None and executed >= max_events:
+                raise WatchdogError(
+                    self._now, executed, self._blocked, len(queue)
+                )
             heapq.heappop(queue)
             if at < self._now:
                 raise SimulationError(
@@ -248,6 +276,7 @@ class Simulator:
                 )
             self._now = at
             self.events_executed += 1
+            executed += 1
             action()
         if until is None and self._blocked > 0:
             raise DeadlockError(self._blocked, self._now)

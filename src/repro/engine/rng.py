@@ -21,6 +21,13 @@ def _stable_hash(name: str) -> int:
     return zlib.crc32(name.encode("utf-8"))
 
 
+#: Reserved stream name for fault injection.  Applications must never
+#: draw from it: keeping fault randomness on its own stream is what
+#: makes a faulty run inject reproducible faults *and* leaves every
+#: application draw bit-identical to a fault-free run.
+FAULT_STREAM = "__fault_injection__"
+
+
 class RandomStreams:
     """A factory of independent seeded :class:`numpy.random.Generator` s."""
 
@@ -46,6 +53,10 @@ class RandomStreams:
             generator = np.random.default_rng(seed_seq)
             self._cache[key] = generator
         return generator
+
+    def fault_stream(self) -> np.random.Generator:
+        """The dedicated fault-injection stream (see :data:`FAULT_STREAM`)."""
+        return self.stream(FAULT_STREAM)
 
     def fresh(self, name: str, index: int = 0) -> np.random.Generator:
         """Return a *new* generator for the key, resetting any prior state.

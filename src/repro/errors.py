@@ -31,6 +31,41 @@ class DeadlockError(SimulationError):
         )
 
 
+class WatchdogError(SimulationError):
+    """The engine exceeded its event budget without finishing.
+
+    Distinct from :class:`DeadlockError`: the simulation is still making
+    scheduler progress, just not *completing* -- typically a livelock
+    (e.g. an unbounded retransmission loop).  Carries progress
+    diagnostics so the stuck state can be triaged without re-running.
+    """
+
+    def __init__(self, now: int, events: int, blocked: int, queued: int):
+        self.now = now
+        self.events = events
+        self.blocked = blocked
+        self.queued = queued
+        super().__init__(
+            f"watchdog: {events} events executed without completion at "
+            f"t={now} ns ({blocked} blocked process(es), {queued} queued "
+            f"event(s))"
+        )
+
+
+class RetryLimitError(ReproError):
+    """Reliable delivery gave up: a message exhausted its retry budget."""
+
+    def __init__(self, src: int, dst: int, attempts: int, now: int):
+        self.src = src
+        self.dst = dst
+        self.attempts = attempts
+        self.now = now
+        super().__init__(
+            f"message {src}->{dst} undeliverable after {attempts} "
+            f"attempt(s) at t={now} ns"
+        )
+
+
 class ProtocolError(ReproError):
     """A cache-coherence protocol invariant was violated."""
 

@@ -8,6 +8,7 @@ prints and EXPERIMENTS.md records.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List
 
 from ..core.accounting import RunResult
@@ -40,8 +41,14 @@ def render_figure(data: FigureData) -> str:
     for machine, values in data.series.items():
         row = f"  {machine:18s}"
         for value in values:
-            row += f"{value:14.1f}"
+            if math.isnan(value):
+                # The simulation behind this point failed (see below).
+                row += f"{'--':>14s}"
+            else:
+                row += f"{value:14.1f}"
         lines.append(row)
+    for failure in data.failures:
+        lines.append(f"  FAILED {failure.summary()}")
     return "\n".join(lines)
 
 

@@ -4,22 +4,85 @@ Several figures are different metrics of the *same* simulations (e.g.
 Fig. 17 plots execution time and Fig. 19 the contention of the same
 CG-on-mesh runs), so the runner memoizes completed runs by
 ``(app, machine, topology, processors, preset, g-mode)``.
+
+Robustness
+----------
+Long sweeps must survive individual failing points (most interestingly
+under fault injection, where a run can legitimately die with
+:class:`~repro.errors.RetryLimitError`).  :meth:`SweepRunner.run_point`
+retries a failing run once (``run_retries``) and then records a
+structured :class:`PointFailure` instead of aborting the sweep; failed
+points surface as ``nan`` in the figure series.  With a
+``checkpoint_path`` the runner journals every completed point (and
+failure) to JSON after it finishes, and a fresh runner pointed at the
+same file resumes without re-running completed points.
 """
 
 from __future__ import annotations
 
+import json
+import math
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..apps import make_app
 from ..config import SystemConfig
 from ..core.accounting import RunResult
 from ..core.runner import simulate
+from ..errors import ConfigError, ReproError
+from ..faults.config import FaultConfig
 from .registry import Experiment
 from .workloads import app_params, processor_sweep
 
 #: Memo key for one simulation.
 RunKey = Tuple[str, str, str, int, str, bool, bool, str]
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """Structured record of one sweep point that could not complete."""
+
+    app: str
+    machine: str
+    topology: str
+    nprocs: int
+    #: Exception type name (e.g. ``"RetryLimitError"``).
+    error: str
+    #: The exception's message.
+    message: str
+    #: How many times the run was attempted (including retries).
+    attempts: int
+
+    def to_dict(self) -> Dict:
+        return {
+            "app": self.app,
+            "machine": self.machine,
+            "topology": self.topology,
+            "nprocs": self.nprocs,
+            "error": self.error,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PointFailure":
+        return cls(
+            app=data["app"],
+            machine=data["machine"],
+            topology=data["topology"],
+            nprocs=int(data["nprocs"]),
+            error=data["error"],
+            message=data["message"],
+            attempts=int(data["attempts"]),
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.app}/{self.machine}/{self.topology}/p={self.nprocs}: "
+            f"{self.error}: {self.message} (after {self.attempts} attempt(s))"
+        )
 
 
 @dataclass
@@ -28,14 +91,39 @@ class FigureData:
 
     experiment: Experiment
     processors: Tuple[int, ...]
-    #: machine name -> list of metric values aligned with ``processors``.
+    #: machine name -> list of metric values aligned with ``processors``
+    #: (``nan`` marks a point whose simulation failed).
     series: Dict[str, List[float]] = field(default_factory=dict)
-    #: machine name -> list of the full results (same alignment).
-    results: Dict[str, List[RunResult]] = field(default_factory=dict)
+    #: machine name -> list of the full results (same alignment; a
+    #: failed point holds its :class:`PointFailure` instead).
+    results: Dict[str, List[Union[RunResult, PointFailure]]] = field(
+        default_factory=dict
+    )
+    #: Failures encountered while producing this figure.
+    failures: List[PointFailure] = field(default_factory=list)
 
     def value(self, machine: str, nprocs: int) -> float:
-        """Metric value of one point."""
+        """Metric value of one point.
+
+        :raises ConfigError: the figure has no such machine series or
+            was not run at that processor count.
+        """
+        if machine not in self.series:
+            raise ConfigError(
+                f"figure {self.experiment.id!r} has no series for machine "
+                f"{machine!r}; available: {sorted(self.series)}"
+            )
+        if nprocs not in self.processors:
+            raise ConfigError(
+                f"figure {self.experiment.id!r} was not run at p={nprocs}; "
+                f"available processor counts: {list(self.processors)}"
+            )
         return self.series[machine][self.processors.index(nprocs)]
+
+
+def _key_string(key: RunKey) -> str:
+    """Stable string form of a memo key, used in checkpoint files."""
+    return "|".join(str(part) for part in key)
 
 
 class SweepRunner:
@@ -46,15 +134,149 @@ class SweepRunner:
         preset: str = "default",
         processors: Optional[Sequence[int]] = None,
         seed: int = 12345,
+        fault: Optional[FaultConfig] = None,
+        run_retries: int = 1,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        max_events: Optional[int] = None,
     ):
         self.preset = preset
         self.processors: Tuple[int, ...] = tuple(
             processors if processors is not None else processor_sweep(preset)
         )
         self.seed = seed
+        #: Fault-injection configuration applied to every run (None ->
+        #: the fault-free default).
+        self.fault = fault
+        #: How many times a failing run is re-attempted before being
+        #: recorded as a :class:`PointFailure`.
+        self.run_retries = run_retries
+        #: Engine watchdog budget forwarded to every simulation.
+        self.max_events = max_events
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
         self._cache: Dict[RunKey, RunResult] = {}
+        self._failures: Dict[RunKey, PointFailure] = {}
+        if self.checkpoint_path is not None and self.checkpoint_path.exists():
+            self._load_checkpoint()
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def _load_checkpoint(self) -> None:
+        """Resume from a checkpoint written by an earlier sweep."""
+        try:
+            with open(self.checkpoint_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            for key_str, result in data.get("results", {}).items():
+                self._cache[self._parse_key(key_str)] = RunResult.from_dict(
+                    result
+                )
+            for key_str, failure in data.get("failures", {}).items():
+                self._failures[self._parse_key(key_str)] = (
+                    PointFailure.from_dict(failure)
+                )
+        except (json.JSONDecodeError, KeyError, ValueError) as exc:
+            raise ConfigError(
+                f"cannot resume from checkpoint {self.checkpoint_path}: "
+                f"{exc}"
+            ) from exc
+
+    @staticmethod
+    def _parse_key(key_str: str) -> RunKey:
+        app, machine, topology, nprocs, preset, per_type, adaptive, proto = (
+            key_str.split("|")
+        )
+        return (app, machine, topology, int(nprocs), preset,
+                per_type == "True", adaptive == "True", proto)
+
+    def _save_checkpoint(self) -> None:
+        """Atomically journal every completed point and failure."""
+        if self.checkpoint_path is None:
+            return
+        data = {
+            "version": 1,
+            "preset": self.preset,
+            "seed": self.seed,
+            "results": {
+                _key_string(key): result.to_dict()
+                for key, result in self._cache.items()
+            },
+            "failures": {
+                _key_string(key): failure.to_dict()
+                for key, failure in self._failures.items()
+            },
+        }
+        tmp = self.checkpoint_path.with_name(self.checkpoint_path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=1)
+        os.replace(tmp, self.checkpoint_path)
+
+    @property
+    def failures(self) -> List[PointFailure]:
+        """Every point failure recorded so far."""
+        return list(self._failures.values())
 
     # -- primitives ----------------------------------------------------------------
+
+    def run_point(
+        self,
+        app: str,
+        machine: str,
+        topology: str,
+        nprocs: int,
+        g_per_event_type: bool = False,
+        adaptive_g: bool = False,
+        protocol: str = "berkeley",
+    ) -> Union[RunResult, PointFailure]:
+        """One memoized simulation with graceful failure handling.
+
+        A failing run is retried ``run_retries`` times; if it still
+        fails the point is recorded (and memoized, and checkpointed) as
+        a :class:`PointFailure` so the rest of the sweep continues.
+        """
+        key: RunKey = (app, machine, topology, nprocs, self.preset,
+                       g_per_event_type, adaptive_g, protocol)
+        result = self._cache.get(key)
+        if result is not None:
+            return result
+        failure = self._failures.get(key)
+        if failure is not None:
+            return failure
+        config = SystemConfig(
+            processors=nprocs,
+            topology=topology,
+            seed=self.seed,
+            g_per_event_type=g_per_event_type,
+            adaptive_g=adaptive_g,
+            protocol=protocol,
+            fault=self.fault if self.fault is not None else FaultConfig(),
+        )
+        attempts = 0
+        while True:
+            attempts += 1
+            instance = make_app(app, nprocs, **app_params(app, self.preset))
+            try:
+                result = simulate(
+                    instance, machine, config, max_events=self.max_events
+                )
+            except ReproError as exc:
+                if attempts <= self.run_retries:
+                    continue
+                failure = PointFailure(
+                    app=app,
+                    machine=machine,
+                    topology=topology,
+                    nprocs=nprocs,
+                    error=type(exc).__name__,
+                    message=str(exc),
+                    attempts=attempts,
+                )
+                self._failures[key] = failure
+                self._save_checkpoint()
+                return failure
+            self._cache[key] = result
+            self._save_checkpoint()
+            return result
 
     def run_one(
         self,
@@ -66,25 +288,43 @@ class SweepRunner:
         adaptive_g: bool = False,
         protocol: str = "berkeley",
     ) -> RunResult:
-        """One memoized simulation."""
-        key: RunKey = (app, machine, topology, nprocs, self.preset,
-                       g_per_event_type, adaptive_g, protocol)
-        result = self._cache.get(key)
-        if result is None:
-            config = SystemConfig(
-                processors=nprocs,
-                topology=topology,
-                seed=self.seed,
-                g_per_event_type=g_per_event_type,
-                adaptive_g=adaptive_g,
-                protocol=protocol,
-            )
-            instance = make_app(app, nprocs, **app_params(app, self.preset))
-            result = simulate(instance, machine, config)
-            self._cache[key] = result
-        return result
+        """One memoized simulation; raises if the point failed."""
+        outcome = self.run_point(
+            app, machine, topology, nprocs,
+            g_per_event_type=g_per_event_type,
+            adaptive_g=adaptive_g,
+            protocol=protocol,
+        )
+        if isinstance(outcome, PointFailure):
+            raise ReproError(f"sweep point failed: {outcome.summary()}")
+        return outcome
 
     # -- figures --------------------------------------------------------------------
+
+    def _series(
+        self,
+        data: FigureData,
+        label: str,
+        app: str,
+        machine: str,
+        topology: str,
+        metric,
+        **run_kwargs,
+    ) -> None:
+        """Fill one (label -> values) series, degrading failed points."""
+        outcomes = [
+            self.run_point(app, machine, topology, nprocs, **run_kwargs)
+            for nprocs in self.processors
+        ]
+        data.results[label] = outcomes
+        values: List[float] = []
+        for outcome in outcomes:
+            if isinstance(outcome, PointFailure):
+                data.failures.append(outcome)
+                values.append(math.nan)
+            else:
+                values.append(metric(outcome))
+        data.series[label] = values
 
     def run_experiment(self, experiment: Experiment) -> FigureData:
         """All series of one experiment."""
@@ -98,16 +338,10 @@ class SweepRunner:
             return self._run_protocol(experiment)
         data = FigureData(experiment=experiment, processors=self.processors)
         for machine in experiment.machines:
-            results = [
-                self.run_one(
-                    experiment.app, machine, experiment.topology, nprocs
-                )
-                for nprocs in self.processors
-            ]
-            data.results[machine] = results
-            data.series[machine] = [
-                r.metric(experiment.metric) for r in results
-            ]
+            self._series(
+                data, machine, experiment.app, machine, experiment.topology,
+                lambda r: r.metric(experiment.metric),
+            )
         return data
 
     def _run_simspeed(self, experiment: Experiment) -> FigureData:
@@ -119,14 +353,10 @@ class SweepRunner:
         """
         data = FigureData(experiment=experiment, processors=self.processors)
         for machine in experiment.machines:
-            results = [
-                self.run_one(
-                    experiment.app, machine, experiment.topology, nprocs
-                )
-                for nprocs in self.processors
-            ]
-            data.results[machine] = results
-            data.series[machine] = [float(r.sim_events) for r in results]
+            self._series(
+                data, machine, experiment.app, machine, experiment.topology,
+                lambda r: float(r.sim_events),
+            )
         return data
 
     def _run_gadapt(self, experiment: Experiment) -> FigureData:
@@ -138,18 +368,11 @@ class SweepRunner:
             ("clogp-adaptive-g", "clogp", True),
         ]
         for label, machine, adaptive in series_spec:
-            results = [
-                self.run_one(
-                    experiment.app,
-                    machine,
-                    experiment.topology,
-                    nprocs,
-                    adaptive_g=adaptive,
-                )
-                for nprocs in self.processors
-            ]
-            data.results[label] = results
-            data.series[label] = [r.metric("contention") for r in results]
+            self._series(
+                data, label, experiment.app, machine, experiment.topology,
+                lambda r: r.metric("contention"),
+                adaptive_g=adaptive,
+            )
         return data
 
     def _run_protocol(self, experiment: Experiment) -> FigureData:
@@ -167,18 +390,11 @@ class SweepRunner:
             ("clogp", "clogp", "berkeley"),
         ]
         for label, machine, protocol in series_spec:
-            results = [
-                self.run_one(
-                    experiment.app,
-                    machine,
-                    experiment.topology,
-                    nprocs,
-                    protocol=protocol,
-                )
-                for nprocs in self.processors
-            ]
-            data.results[label] = results
-            data.series[label] = [float(r.messages) for r in results]
+            self._series(
+                data, label, experiment.app, machine, experiment.topology,
+                lambda r: float(r.messages),
+                protocol=protocol,
+            )
         return data
 
     def _run_ggap(self, experiment: Experiment) -> FigureData:
@@ -190,16 +406,9 @@ class SweepRunner:
             ("clogp-relaxed-g", "clogp", True),
         ]
         for label, machine, relaxed in series_spec:
-            results = [
-                self.run_one(
-                    experiment.app,
-                    machine,
-                    experiment.topology,
-                    nprocs,
-                    g_per_event_type=relaxed,
-                )
-                for nprocs in self.processors
-            ]
-            data.results[label] = results
-            data.series[label] = [r.metric("contention") for r in results]
+            self._series(
+                data, label, experiment.app, machine, experiment.topology,
+                lambda r: r.metric("contention"),
+                g_per_event_type=relaxed,
+            )
         return data

@@ -1,0 +1,31 @@
+"""Fault injection and reliable delivery.
+
+Both our target fabric and the LogP abstraction assume a perfectly
+reliable interconnect.  This package lets experiments relax that
+assumption -- messages can be dropped, corrupted, delayed, or hit
+transient link-failure windows and node stalls -- and layers a
+sender-side reliable-delivery protocol (timeout, exponential-backoff
+retry with a cap, acks, duplicate suppression) on top, so the question
+"does the LogP abstraction stay faithful to the target when the network
+misbehaves?" becomes runnable.
+
+All randomness comes from a dedicated named RNG stream
+(:data:`repro.engine.rng.FAULT_STREAM`), so fault runs are reproducible
+and never perturb application random draws; with every rate at zero the
+machinery is not even constructed, making a zero-rate run bit-identical
+to a fault-free one.
+"""
+
+from .config import FaultConfig, LinkFailure, NodeStall
+from .injector import Fate, FaultInjector
+from .reliable import ReliableTransport, RetryPolicy
+
+__all__ = [
+    "FaultConfig",
+    "LinkFailure",
+    "NodeStall",
+    "Fate",
+    "FaultInjector",
+    "ReliableTransport",
+    "RetryPolicy",
+]

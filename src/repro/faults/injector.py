@@ -1,0 +1,138 @@
+"""Deterministic fault decisions.
+
+:class:`FaultInjector` turns a :class:`~repro.faults.config.FaultConfig`
+into per-message verdicts.  All randomness is drawn from the dedicated
+fault RNG stream (:meth:`repro.engine.rng.RandomStreams.fault_stream`),
+which is independent of every application stream by construction: two
+runs of the same configuration inject exactly the same faults, and the
+application's own random draws are identical with and without faults.
+
+Deterministic effects (link-failure windows, node stalls) are checked
+before any random draw, and no draw is made when every rate is zero --
+so a window-only fault config consumes no randomness at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.rng import RandomStreams
+from .config import FaultConfig, LinkFailure, NodeStall
+
+
+@dataclass(frozen=True)
+class Fate:
+    """The verdict for one message attempt."""
+
+    #: Did the payload arrive intact?
+    delivered: bool
+
+    #: Arrived, but the receiver's checksum rejects it.
+    corrupted: bool = False
+
+    #: Extra in-network delay suffered by a delivered message.
+    delay_ns: int = 0
+
+
+#: The common case, shared to avoid per-message allocation.
+DELIVERED = Fate(delivered=True)
+DROPPED = Fate(delivered=False)
+CORRUPTED = Fate(delivered=False, corrupted=True)
+
+
+class FaultInjector:
+    """Stateful, deterministic source of per-message fault verdicts."""
+
+    def __init__(self, fault: FaultConfig, streams: RandomStreams,
+                 topology=None):
+        self.fault = fault
+        self.topology = topology
+        if fault.seed is not None:
+            streams = RandomStreams(fault.seed)
+        self._rng = streams.fault_stream()
+        self._random = fault.drop_rate + fault.corrupt_rate + fault.delay_rate
+        self._drop = fault.drop_rate
+        self._corrupt = fault.drop_rate + fault.corrupt_rate
+        self._link_windows: Dict[Tuple[int, int], List[LinkFailure]] = {}
+        for window in fault.link_failures:
+            self._link_windows.setdefault(
+                (window.src, window.dst), []
+            ).append(window)
+        self._node_stalls: Dict[int, List[NodeStall]] = {}
+        for stall in fault.node_stalls:
+            self._node_stalls.setdefault(stall.node, []).append(stall)
+        #: Instrumentation: verdicts handed out.
+        self.dropped = 0
+        self.corrupted = 0
+        self.delayed = 0
+        self.window_drops = 0
+        self.stall_ns_injected = 0
+
+    # -- deterministic effects -------------------------------------------------
+
+    def link_down(self, src: int, dst: int, now: int) -> bool:
+        """True when the directed link is inside a failure window."""
+        windows = self._link_windows.get((src, dst))
+        if not windows:
+            return False
+        return any(window.covers(now) for window in windows)
+
+    def route_down(self, src: int, dst: int, now: int) -> bool:
+        """True when any link on the route src -> dst is down.
+
+        Used by the LogP layers, which have no per-link model: a failed
+        physical link takes out every abstract message whose route the
+        topology says would cross it.
+        """
+        if not self._link_windows or self.topology is None or src == dst:
+            return False
+        return any(
+            self.link_down(a, b, now) for a, b in self.topology.route(src, dst)
+        )
+
+    def stall_ns(self, node: int, now: int) -> int:
+        """Extra delay a network event at ``node`` suffers right now."""
+        stalls = self._node_stalls.get(node)
+        if not stalls:
+            return 0
+        delay = max(stall.stall_ns(now) for stall in stalls)
+        if delay:
+            self.stall_ns_injected += delay
+        return delay
+
+    # -- random verdicts -------------------------------------------------------
+
+    def fate(self, src: int, dst: int, now: int,
+             check_route: bool = False) -> Fate:
+        """Verdict for one message attempt sent ``src -> dst`` at ``now``.
+
+        ``check_route`` makes link-failure windows apply to the whole
+        route (LogP layers); the target fabric instead checks each link
+        as the circuit reaches it via :meth:`link_down`.
+        """
+        if check_route and self.route_down(src, dst, now):
+            self.window_drops += 1
+            return DROPPED
+        if self._random <= 0.0:
+            return DELIVERED
+        draw = self._rng.random()
+        if draw < self._drop:
+            self.dropped += 1
+            return DROPPED
+        if draw < self._corrupt:
+            self.corrupted += 1
+            return CORRUPTED
+        if draw < self._random:
+            self.delayed += 1
+            delay = int(self._rng.exponential(self.fault.delay_ns)) + 1
+            return Fate(delivered=True, delay_ns=delay)
+        return DELIVERED
+
+
+def make_injector(fault: Optional[FaultConfig], streams: RandomStreams,
+                  topology=None) -> Optional[FaultInjector]:
+    """Build an injector iff the config can actually inject something."""
+    if fault is None or not fault.enabled:
+        return None
+    return FaultInjector(fault, streams, topology=topology)

@@ -20,7 +20,7 @@ never straddles two regions, making the block -> home map well defined.
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
 from ..errors import AddressError, ConfigError

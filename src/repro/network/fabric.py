@@ -44,6 +44,22 @@ class TransferResult:
     #: Time spent waiting for links (charged to contention overhead).
     contention_ns: int
 
+    #: Did the payload arrive intact?  Always True on a fault-free
+    #: fabric; with fault injection a dropped or corrupted message
+    #: still occupies the network but delivers nothing.
+    delivered: bool = True
+
+    #: Fault-injected time (stalls, extra delays) spent by this
+    #: transfer -- excluded from both latency and contention so the
+    #: reliable-delivery layer can charge it to retry overhead.
+    fault_ns: int = 0
+
+    #: Reliable-delivery recovery time (set by the retry layer only).
+    retry_ns: int = 0
+
+    #: Transmission attempts this result summarizes.
+    attempts: int = 1
+
     @property
     def total_ns(self) -> int:
         return self.latency_ns + self.contention_ns
@@ -53,15 +69,24 @@ class Fabric:
     """The set of links of one topology plus the transfer protocol."""
 
     def __init__(self, sim: Simulator, topology: Topology, ns_per_byte: int,
-                 switch_delay_ns: int = 0):
+                 switch_delay_ns: int = 0, injector=None):
         self.sim = sim
         self.topology = topology
         self.ns_per_byte = ns_per_byte
         #: Per-hop switching delay (0 per the paper's assumption).
         self.switch_delay_ns = switch_delay_ns
+        #: Optional :class:`~repro.faults.injector.FaultInjector`.
+        #: When None (the default) the fabric is perfectly reliable and
+        #: follows the exact pre-fault code path.
+        self.injector = injector
         self._links: Dict[LinkId, Link] = {
             link_id: Link(sim, *link_id) for link_id in topology.links()
         }
+        if injector is not None:
+            for window in injector.fault.link_failures:
+                link = self._links.get((window.src, window.dst))
+                if link is not None:
+                    link.fail_windows = link.fail_windows + (window,)
         #: Total messages transported.
         self.messages = 0
         #: Total payload bytes transported.
@@ -97,7 +122,18 @@ class Fabric:
         if message.src == message.dst:
             return TransferResult(0, 0)
         sim = self.sim
+        injector = self.injector
         start = sim.now
+        fault_ns = 0
+        fate = None
+        if injector is not None:
+            # A stalled sender cannot inject until its window closes.
+            stall = injector.stall_ns(message.src, sim.now)
+            if stall:
+                fault_ns += stall
+                yield sim.timeout(stall)
+            fate = injector.fate(message.src, message.dst, sim.now)
+        pre_circuit_fault = fault_ns
         path = self.topology.route(message.src, message.dst)
         held: List[Link] = []
         switch_ns = self.switch_delay_ns
@@ -106,6 +142,20 @@ class Fabric:
         for link_id in path:
             link = self._links[link_id]
             yield link.request()
+            if injector is not None and link.is_failed(sim.now):
+                # The circuit head reached a dead link: the worm is
+                # lost and the partial circuit torn down.
+                link.release()
+                for upstream in held:
+                    upstream.release()
+                injector.window_drops += 1
+                self.messages += 1
+                return TransferResult(
+                    latency_ns=0,
+                    contention_ns=max(0, sim.now - start - fault_ns),
+                    delivered=False,
+                    fault_ns=fault_ns,
+                )
             held.append(link)
             if switch_ns:
                 yield sim.timeout(switch_ns)
@@ -115,16 +165,29 @@ class Fabric:
         for link in held:
             link.record_transfer(message.nbytes, sim.now - circuit_done)
             link.release()
+        if fate is not None:
+            # Fault-injected delay plus a stalled receiver's ejection
+            # wait; both are recovery time, not latency or contention.
+            post = fate.delay_ns + injector.stall_ns(message.dst, sim.now)
+            if post:
+                fault_ns += post
+                yield sim.timeout(post)
         # Contention-free, the message would have taken the switching
         # delays plus the serial transmission; anything beyond that was
         # queueing for links.
         latency = transmit_ns + switch_ns * len(path)
-        contention = (circuit_done - start) - switch_ns * len(path)
+        contention = (circuit_done - start - pre_circuit_fault) - \
+            switch_ns * len(path)
         self.messages += 1
         self.bytes_transported += message.nbytes
         self.total_latency_ns += latency
         self.total_contention_ns += contention
-        return TransferResult(latency, contention)
+        return TransferResult(
+            latency_ns=latency,
+            contention_ns=contention,
+            delivered=fate is None or fate.delivered,
+            fault_ns=fault_ns,
+        )
 
     def post(self, message: Message, name: Optional[str] = None):
         """Fire-and-forget transmit (used for evicted-block writebacks).

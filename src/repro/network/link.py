@@ -16,7 +16,8 @@ from ..engine.resource import Resource
 class Link(Resource):
     """One directed link between two adjacent nodes."""
 
-    __slots__ = ("src", "dst", "messages", "bytes_carried", "busy_ns")
+    __slots__ = ("src", "dst", "messages", "bytes_carried", "busy_ns",
+                 "fail_windows")
 
     def __init__(self, sim: Simulator, src: int, dst: int):
         super().__init__(sim, capacity=1, name=f"link({src}->{dst})")
@@ -28,12 +29,21 @@ class Link(Resource):
         self.bytes_carried = 0
         #: Cumulative time the link was held by a circuit.
         self.busy_ns = 0
+        #: Transient failure windows assigned by fault injection
+        #: (tuple of :class:`~repro.faults.config.LinkFailure`).
+        self.fail_windows = ()
 
     def record_transfer(self, nbytes: int, held_ns: int) -> None:
         """Account one completed transfer over this link."""
         self.messages += 1
         self.bytes_carried += nbytes
         self.busy_ns += held_ns
+
+    def is_failed(self, now: int) -> bool:
+        """True while a transient failure window covers ``now``."""
+        if not self.fail_windows:
+            return False
+        return any(window.covers(now) for window in self.fail_windows)
 
     def utilization(self, horizon_ns: int) -> float:
         """Fraction of ``horizon_ns`` the link was busy."""

@@ -15,7 +15,7 @@ run into the numbers behind that argument:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set, Tuple
+from typing import Set, Tuple
 
 from .fabric import Fabric
 from .topology import LinkId, Topology

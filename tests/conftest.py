@@ -6,7 +6,6 @@ import pytest
 
 from repro import SystemConfig
 from repro.apps import make_app
-from repro.experiments.workloads import app_params
 
 #: Tiny application parameter sets used across the tests -- small enough
 #: that a full simulation takes well under a second.

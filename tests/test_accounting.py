@@ -29,6 +29,7 @@ def test_bucket_as_dict():
     assert buckets.as_dict()["compute_ns"] == 7
     assert set(buckets.as_dict()) == {
         "compute_ns", "memory_ns", "latency_ns", "contention_ns", "sync_ns",
+        "retry_ns",
     }
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import ApplicationError, SystemConfig, simulate, simulate_full
+from repro import ApplicationError, simulate, simulate_full
 from repro.apps import APPLICATIONS, make_app
 from repro.apps.base import block_partition
 from repro.apps.fft import bit_reverse_permutation

@@ -99,3 +99,69 @@ def test_trace_replay_warns_cross_machine(capsys, tmp_path):
     main(["trace", "replay", path, "--machine", "logp"])
     out = capsys.readouterr().out
     assert "trace-driven approximation" in out
+
+
+# -- fault-injection flags ------------------------------------------------------------
+
+
+def test_run_with_fault_flags_prints_retry_bucket(capsys):
+    code = main([
+        "run", "--app", "fft", "--machine", "clogp", "-p", "2",
+        "--preset", "quick", "--fault-drop", "0.02", "--fault-seed", "9",
+        "--retries", "6",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "retry=" in out
+
+
+def test_run_without_fault_flags_hides_retry_bucket(capsys):
+    code = main([
+        "run", "--app", "fft", "--machine", "clogp", "-p", "2",
+        "--preset", "quick",
+    ])
+    assert code == 0
+    assert "retry=" not in capsys.readouterr().out
+
+
+def test_fault_flags_have_help_text():
+    import io
+    from contextlib import redirect_stdout
+
+    with pytest.raises(SystemExit):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            build_parser().parse_args(["run", "--help"])
+    help_text = buffer.getvalue()
+    for flag in ("--fault-drop", "--fault-delay", "--fault-seed", "--retries"):
+        assert flag in help_text
+
+
+def test_figure_with_fault_and_resume(capsys, tmp_path):
+    checkpoint = str(tmp_path / "ckpt.json")
+    code = main([
+        "figure", "fig03", "--preset", "quick", "--fault-drop", "0.01",
+        "--fault-delay", "0.01", "--resume", checkpoint,
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fig03" in out
+    import os
+    assert os.path.exists(checkpoint)
+    # Re-running with the checkpoint resumes instantly and agrees.
+    code = main([
+        "figure", "fig03", "--preset", "quick", "--fault-drop", "0.01",
+        "--fault-delay", "0.01", "--resume", checkpoint,
+    ])
+    assert code == 0
+    assert capsys.readouterr().out == out
+
+
+def test_run_rejects_bad_fault_rate():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        main([
+            "run", "--app", "fft", "--machine", "clogp", "-p", "2",
+            "--preset", "quick", "--fault-drop", "1.5",
+        ])

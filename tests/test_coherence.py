@@ -1,6 +1,5 @@
 """The Berkeley coherence state machine shared by target and CLogP."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,162 @@
+"""Failure propagation through the discrete-event engine.
+
+The machine models compose behaviour with deep ``yield from`` chains
+(application -> processor -> cache -> network); these tests pin down
+that an :meth:`Event.fail` surfaces correctly through that composition
+and that a drained queue with blocked processes is a diagnosed
+deadlock, not a silent exit.
+"""
+
+import pytest
+
+from repro.engine.core import Simulator, all_of
+from repro.errors import DeadlockError, ReproError, SimulationError
+
+
+class BoomError(ReproError):
+    """Marker exception used by these tests."""
+
+
+def test_event_fail_throws_into_waiter():
+    sim = Simulator()
+    event = sim.event()
+    caught = {}
+
+    def waiter():
+        try:
+            yield event
+        except BoomError as exc:
+            caught["exc"] = exc
+            return "recovered"
+
+    process = sim.spawn(waiter())
+    event.fail(BoomError("boom"))
+    sim.run()
+    assert str(caught["exc"]) == "boom"
+    assert process.value == "recovered"
+
+
+def test_event_fail_propagates_through_yield_from_chain():
+    """The exception travels through nested generator delegation."""
+    sim = Simulator()
+    event = sim.event()
+    trace = []
+
+    def innermost():
+        value = yield event
+        return value
+
+    def middle():
+        trace.append("middle-enter")
+        result = yield from innermost()
+        trace.append("middle-exit")  # must not run
+        return result
+
+    def outer():
+        try:
+            yield from middle()
+        except BoomError:
+            trace.append("outer-caught")
+            return "handled"
+
+    process = sim.spawn(outer())
+    event.fail(BoomError("deep"))
+    sim.run()
+    assert trace == ["middle-enter", "outer-caught"]
+    assert process.value == "handled"
+
+
+def test_unhandled_fail_aborts_fail_fast_run_with_type():
+    """fail_fast keeps ReproError subtypes intact for callers."""
+    sim = Simulator()
+    event = sim.event()
+
+    def waiter():
+        yield event
+
+    sim.spawn(waiter())
+    event.fail(BoomError("unhandled"))
+    with pytest.raises(BoomError):
+        sim.run()
+
+
+def test_unhandled_foreign_exception_is_wrapped():
+    sim = Simulator()
+
+    def exploder():
+        yield sim.timeout(1)
+        raise ValueError("not a simulator error")
+
+    sim.spawn(exploder())
+    with pytest.raises(SimulationError) as info:
+        sim.run()
+    assert isinstance(info.value.__cause__, ValueError)
+
+
+def test_failed_process_fails_its_joiners():
+    sim = Simulator(fail_fast=False)
+
+    def child():
+        yield sim.timeout(5)
+        raise BoomError("child died")
+
+    def parent():
+        try:
+            yield sim.spawn(child())
+        except BoomError:
+            return "saw child failure"
+
+    process = sim.spawn(parent())
+    sim.run()
+    assert process.value == "saw child failure"
+
+
+def test_all_of_fails_when_any_member_fails():
+    sim = Simulator(fail_fast=False)
+    good = sim.event()
+    bad = sim.event()
+
+    def waiter():
+        try:
+            yield all_of(sim, [good, bad])
+        except BoomError:
+            return "composite failed"
+
+    process = sim.spawn(waiter())
+    good.succeed(1)
+    bad.fail(BoomError("member"))
+    sim.run()
+    assert process.value == "composite failed"
+
+
+def test_deadlock_error_counts_blocked_processes():
+    sim = Simulator()
+    never = sim.event()
+
+    def blocked():
+        yield never
+
+    sim.spawn(blocked(), name="a")
+    sim.spawn(blocked(), name="b")
+    with pytest.raises(DeadlockError) as info:
+        sim.run()
+    assert info.value.blocked == 2
+    assert "deadlocked" in str(info.value)
+
+
+def test_no_deadlock_when_everything_completes():
+    sim = Simulator()
+    gate = sim.event()
+
+    def releaser():
+        yield sim.timeout(10)
+        gate.succeed("open")
+
+    def waiter():
+        value = yield gate
+        return value
+
+    sim.spawn(releaser())
+    process = sim.spawn(waiter())
+    sim.run()
+    assert process.value == "open"

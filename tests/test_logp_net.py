@@ -69,7 +69,7 @@ def test_per_event_type_gating_decouples_them():
 
 def test_per_event_type_still_gates_same_kind():
     sim, net = make_net(g=2_000, per_event_type=True)
-    first = net.one_way(0, 1)
+    net.one_way(0, 1)
     second = net.one_way(0, 2)
     assert second.stall_ns == 2_000
 

@@ -244,7 +244,6 @@ def test_target_three_hop_read_from_dirty_owner():
             3: [ops.Barrier(0)],
         },
     )
-    kinds = {}
     # Count message kinds: expect a forward from home 2 to owner 1.
     # (Fabric does not keep kinds; infer from counters instead.)
     # Write: req(1->2) + data(2->1).  Read: req(0->2), fwd(2->1),

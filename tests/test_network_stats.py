@@ -1,6 +1,5 @@
 """Network traffic statistics (communication-locality measurement)."""
 
-import pytest
 
 from repro import SystemConfig
 from repro.apps import make_app

@@ -6,7 +6,6 @@ qualitative shapes so a regression cannot silently break the
 reproduction.
 """
 
-import pytest
 
 from repro import SystemConfig, simulate
 from repro.apps import make_app

@@ -13,7 +13,6 @@ programs and check the invariants every simulation must satisfy:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,136 @@
+"""Crash-tolerant sweeps: per-point failure records, checkpoint, resume."""
+
+import json
+
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.errors import ConfigError, ReproError, RetryLimitError
+from repro.experiments import get_experiment
+from repro.experiments.runner import PointFailure, SweepRunner
+
+
+@pytest.fixture
+def failing_simulate(monkeypatch):
+    """Make every LogP-machine run die; other machines run normally."""
+    real_simulate = runner_module.simulate
+    calls = {"failed": 0}
+
+    def flaky(app, machine_name, config, **kwargs):
+        if machine_name == "logp":
+            calls["failed"] += 1
+            raise RetryLimitError(0, 1, 3, 12345)
+        return real_simulate(app, machine_name, config, **kwargs)
+
+    monkeypatch.setattr(runner_module, "simulate", flaky)
+    return calls
+
+
+def test_sweep_survives_failing_point(failing_simulate):
+    runner = SweepRunner(preset="quick", processors=(1, 4))
+    data = runner.run_experiment(get_experiment("fig01"))
+    # The healthy series are intact...
+    assert all(v == v for v in data.series["target"])  # no nan
+    assert all(v == v for v in data.series["clogp"])
+    # ...and the failing one degraded to nan with structured records.
+    assert all(v != v for v in data.series["logp"])  # all nan
+    assert len(data.failures) == 2
+    failure = data.failures[0]
+    assert isinstance(failure, PointFailure)
+    assert failure.machine == "logp"
+    assert failure.error == "RetryLimitError"
+    assert "undeliverable" in failure.message
+
+
+def test_failing_point_is_retried_once_then_recorded(failing_simulate):
+    runner = SweepRunner(preset="quick", processors=(1,), run_retries=1)
+    outcome = runner.run_point("fft", "logp", "full", 1)
+    assert isinstance(outcome, PointFailure)
+    assert outcome.attempts == 2  # initial + one retry
+    assert failing_simulate["failed"] == 2
+    # The failure is memoized: asking again does not re-run.
+    runner.run_point("fft", "logp", "full", 1)
+    assert failing_simulate["failed"] == 2
+
+
+def test_run_one_raises_on_failed_point(failing_simulate):
+    runner = SweepRunner(preset="quick", processors=(1,))
+    with pytest.raises(ReproError, match="sweep point failed"):
+        runner.run_one("fft", "logp", "full", 1)
+
+
+def test_checkpoint_written_and_resumed(tmp_path, failing_simulate):
+    checkpoint = tmp_path / "sweep.json"
+    first = SweepRunner(preset="quick", processors=(1, 4),
+                        checkpoint_path=checkpoint)
+    first.run_experiment(get_experiment("fig01"))
+    assert checkpoint.exists()
+    payload = json.loads(checkpoint.read_text())
+    assert payload["version"] == 1
+    assert payload["results"]  # completed points journaled
+    assert payload["failures"]  # failed points journaled
+    completed_before = len(payload["results"])
+
+    # A fresh runner resumes: no simulation re-runs at all.
+    failing_simulate["failed"] = 0
+    baseline_cache = dict(first._cache)
+    second = SweepRunner(preset="quick", processors=(1, 4),
+                         checkpoint_path=checkpoint)
+    assert len(second._cache) == completed_before
+    data = second.run_experiment(get_experiment("fig01"))
+    assert failing_simulate["failed"] == 0  # failures resumed, not re-run
+    for key, result in second._cache.items():
+        assert result.total_ns == baseline_cache[key].total_ns
+    assert len(data.failures) == 2
+
+
+def test_checkpoint_resume_completes_partial_sweep(tmp_path):
+    """Points finished before a crash are not re-simulated after it."""
+    checkpoint = tmp_path / "sweep.json"
+    first = SweepRunner(preset="quick", processors=(1, 4),
+                        checkpoint_path=checkpoint)
+    first.run_point("fft", "clogp", "full", 1)
+    runs = {"count": 0}
+    real_simulate = runner_module.simulate
+
+    def counting(app, machine_name, config, **kwargs):
+        runs["count"] += 1
+        return real_simulate(app, machine_name, config, **kwargs)
+
+    second = SweepRunner(preset="quick", processors=(1, 4),
+                         checkpoint_path=checkpoint)
+    try:
+        runner_module.simulate = counting
+        second.run_point("fft", "clogp", "full", 1)  # resumed
+        assert runs["count"] == 0
+        second.run_point("fft", "clogp", "full", 4)  # new work
+        assert runs["count"] == 1
+    finally:
+        runner_module.simulate = real_simulate
+
+
+def test_render_figure_marks_failed_points(failing_simulate):
+    from repro.experiments import render_figure
+
+    runner = SweepRunner(preset="quick", processors=(1, 4))
+    text = render_figure(runner.run_experiment(get_experiment("fig01")))
+    assert "--" in text
+    assert "FAILED" in text
+    assert "RetryLimitError" in text
+
+
+# -- satellite 2: FigureData.value diagnostics --------------------------------------
+
+
+def test_figure_value_names_missing_machine():
+    runner = SweepRunner(preset="quick", processors=(1,))
+    data = runner.run_experiment(get_experiment("fig01"))
+    with pytest.raises(ConfigError, match="no series for machine 'vax'"):
+        data.value("vax", 1)
+
+
+def test_figure_value_names_missing_processor_count():
+    runner = SweepRunner(preset="quick", processors=(1,))
+    data = runner.run_experiment(get_experiment("fig01"))
+    with pytest.raises(ConfigError, match="was not run at p=64"):
+        data.value("target", 64)

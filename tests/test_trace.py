@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import SystemConfig, simulate
+from repro import simulate
 from repro.core import ops
 from repro.errors import ReproError
 from repro.trace import (
