@@ -1,0 +1,62 @@
+"""Coherence sanitizer: SWMR and directory/cache cross-consistency.
+
+Promotes the protocol invariants that were previously only asserted by
+tests into an always-available runtime check.  After every protocol
+transition (read fill, write/ownership acquisition, silent upgrade,
+victim retirement) the checker verifies, for the touched block:
+
+* the directory entry is self-consistent (owner is a sharer --
+  :meth:`~repro.memory.directory.DirectoryEntry.check`),
+* single-writer/multiple-reader: at most one owning cache, and a
+  DIRTY/EXCLUSIVE holder is the *only* holder,
+* directory <-> cache cross-consistency: every cached copy is in the
+  sharer set, every sharer actually holds a line, and the directory's
+  owner matches the caches' owner.
+
+At ``--check=basic`` the per-block check runs after every transition
+(O(P) per transition).  At ``--check=strict`` the *global* invariant
+sweep (:meth:`~repro.core.coherence.CoherentMemory.check_invariants`,
+O(resident blocks)) also runs after every transition -- expensive, but
+it catches cross-block corruption the local check cannot see.  Both
+levels run the global sweep once at end of run.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvariantError, ProtocolError
+from .base import Checker
+
+
+class CoherenceChecker(Checker):
+    """Runtime SWMR + directory/cache consistency after each transition."""
+
+    name = "coherence"
+
+    def __init__(self, full: bool = False):
+        super().__init__()
+        #: Run the global invariant sweep after every transition
+        #: (strict mode) instead of only the touched block.
+        self.full = full
+
+    def on_transition(self, memory, pid: int, block: int, now: int) -> None:
+        self.checks += 1
+        try:
+            memory.check_block(block)
+            if self.full:
+                memory.check_invariants()
+        except ProtocolError as exc:
+            self.violations += 1
+            raise InvariantError(self.name, now, str(exc)) from exc
+
+    def finalize(self, machine) -> None:
+        memory = getattr(machine, "memory", None)
+        if memory is None or not hasattr(memory, "check_invariants"):
+            return
+        self.checks += 1
+        try:
+            memory.check_invariants()
+        except ProtocolError as exc:
+            self.violations += 1
+            raise InvariantError(
+                self.name, machine.sim.now, str(exc)
+            ) from exc

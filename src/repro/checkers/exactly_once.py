@@ -1,0 +1,88 @@
+"""Exactly-once sanitizer for ARQ reliable delivery.
+
+Under fault injection every logical message travels through a
+retransmission protocol whose correctness claim is *exactly-once
+application-level delivery*: retransmissions and lost acks may put many
+copies on the wire, but duplicate suppression must hand the application
+precisely one.  This checker follows the lifecycle hooks emitted by
+:class:`~repro.faults.reliable.ReliableTransport` and the LogP
+network's abstracted ARQ path:
+
+* ``on_logical_send`` -- a logical message entered the layer,
+* ``on_app_delivery`` -- the receiver saw an intact copy; ``duplicate``
+  says whether sequence-number suppression discarded it,
+* ``on_logical_complete`` -- the exchange finished (data + ack).
+
+Invariants: a channel can never accept more first-deliveries than it
+had sends (checked at delivery time), and at end of run every completed
+logical message has exactly one accepted delivery per channel.  On a
+fault-free run the layer is bypassed entirely, so all counters stay
+zero and the checker is free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .base import Checker
+
+Channel = Tuple[int, int]
+
+
+class ExactlyOnceChecker(Checker):
+    """ARQ duplicate suppression yields exactly-once delivery."""
+
+    name = "exactly-once"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._started: Dict[Channel, int] = {}
+        self._accepted: Dict[Channel, int] = {}
+        self._completed: Dict[Channel, int] = {}
+        #: Duplicate deliveries the receiver suppressed (informational).
+        self.duplicates = 0
+
+    def on_logical_send(self, now: int, src: int, dst: int) -> None:
+        self.checks += 1
+        channel = (src, dst)
+        self._started[channel] = self._started.get(channel, 0) + 1
+
+    def on_app_delivery(self, now: int, src: int, dst: int,
+                        duplicate: bool) -> None:
+        self.checks += 1
+        if duplicate:
+            self.duplicates += 1
+            return
+        channel = (src, dst)
+        accepted = self._accepted.get(channel, 0) + 1
+        self._accepted[channel] = accepted
+        if accepted > self._started.get(channel, 0):
+            self.violation(
+                now,
+                f"channel {src}->{dst} accepted {accepted} application "
+                f"deliveries for {self._started.get(channel, 0)} logical "
+                f"send(s): duplicate suppression failed",
+            )
+
+    def on_logical_complete(self, now: int, src: int, dst: int) -> None:
+        self.checks += 1
+        channel = (src, dst)
+        self._completed[channel] = self._completed.get(channel, 0) + 1
+
+    def finalize(self, machine) -> None:
+        now = machine.sim.now
+        channels = set(self._started) | set(self._accepted) | set(
+            self._completed
+        )
+        for channel in sorted(channels):
+            self.checks += 1
+            accepted = self._accepted.get(channel, 0)
+            completed = self._completed.get(channel, 0)
+            if accepted != completed:
+                src, dst = channel
+                self.violation(
+                    now,
+                    f"channel {src}->{dst} completed {completed} logical "
+                    f"message(s) but accepted {accepted} application "
+                    f"deliveries: delivery is not exactly-once",
+                )

@@ -1,0 +1,47 @@
+"""Engine-level time sanity: the clock only moves forward.
+
+The event heap is keyed by ``(time, sequence)`` and the engine already
+refuses to pop an event older than the clock; this checker verifies the
+stronger properties the determinism argument rests on:
+
+* executed events are observed in strictly increasing ``(time, seq)``
+  order (the heap never yields a duplicate or reordered step),
+* no action is ever scheduled into the past (negative durations would
+  surface here before the engine trips over them),
+* simulated time is never negative.
+"""
+
+from __future__ import annotations
+
+from .base import Checker
+
+
+class MonotonicityChecker(Checker):
+    """Event times never regress; heap sequence order strictly increases."""
+
+    name = "monotonicity"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_at = -1
+        self._last_seq = -1
+
+    def on_schedule(self, at: int, now: int) -> None:
+        self.checks += 1
+        if at < now:
+            self.violation(
+                now, f"action scheduled into the past: at={at} < now={now}"
+            )
+
+    def on_event(self, at: int, seq: int, action) -> None:
+        self.checks += 1
+        if at < 0:
+            self.violation(at, f"negative simulated time {at}")
+        if (at, seq) <= (self._last_at, self._last_seq):
+            self.violation(
+                at,
+                f"event order regressed: step (t={at}, seq={seq}) executed "
+                f"after (t={self._last_at}, seq={self._last_seq})",
+            )
+        self._last_at = at
+        self._last_seq = seq

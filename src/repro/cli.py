@@ -22,6 +22,7 @@ import sys
 from typing import List, Optional
 
 from .apps import APPLICATIONS, make_app
+from .checkers import CHECK_LEVELS
 from .config import MACHINES, TOPOLOGIES, SystemConfig
 from .core.params import derive_logp
 from .core.runner import simulate
@@ -34,6 +35,23 @@ from .units import ns_to_us
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=12345,
                         help="master random seed (default 12345)")
+    parser.add_argument("--check", choices=CHECK_LEVELS, default=None,
+                        help="runtime sanitizer level (default: the "
+                             "REPRO_CHECK environment variable, or off)")
+
+
+def _check_kwargs(args: argparse.Namespace) -> dict:
+    """Sanitizer-related SystemConfig kwargs from parsed arguments.
+
+    ``--check`` unset is *omitted* (not passed as None) so the
+    ``REPRO_CHECK`` environment default still applies.
+    """
+    kwargs = {}
+    if getattr(args, "check", None) is not None:
+        kwargs["check"] = args.check
+    if getattr(args, "digest", False):
+        kwargs["digest"] = True
+    return kwargs
 
 
 def _add_fault(parser: argparse.ArgumentParser) -> None:
@@ -91,12 +109,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         adaptive_g=args.adaptive_g,
         g_per_event_type=args.g_per_event_type,
         fault=_fault_from_args(args),
+        **_check_kwargs(args),
     )
     app = make_app(
         args.app, args.processors, **app_params(args.app, args.preset)
     )
     result = simulate(app, args.machine, config)
     print(result.summary())
+    if result.check_report is not None:
+        print(result.check_report.summary())
     for pid, buckets in enumerate(result.buckets):
         line = (
             f"  cpu{pid:<3d} compute={ns_to_us(buckets.compute_ns):10.1f}us "
@@ -118,6 +139,7 @@ def _make_sweep_runner(args: argparse.Namespace) -> SweepRunner:
         seed=args.seed,
         fault=fault if fault.enabled else None,
         checkpoint_path=args.resume,
+        check=getattr(args, "check", None),
     )
 
 
@@ -146,7 +168,7 @@ def _cmd_scalability(args: argparse.Namespace) -> int:
     for nprocs in args.sweep:
         config = SystemConfig(
             processors=nprocs, topology=args.topology, seed=args.seed,
-            fault=_fault_from_args(args),
+            fault=_fault_from_args(args), **_check_kwargs(args),
         )
         app = make_app(args.app, nprocs, **app_params(args.app, args.preset))
         results.append(simulate(app, args.machine, config))
@@ -162,7 +184,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from .analysis import profile_table
 
     config = SystemConfig(
-        processors=args.processors, topology=args.topology, seed=args.seed
+        processors=args.processors, topology=args.topology, seed=args.seed,
+        **_check_kwargs(args),
     )
     app = make_app(
         args.app, args.processors, **app_params(args.app, args.preset)
@@ -242,6 +265,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="history-based g estimation (Section 7)")
     p_run.add_argument("--g-per-event-type", action="store_true",
                        help="apply g only between identical event types")
+    p_run.add_argument("--digest", action="store_true",
+                       help="compute and print the determinism digest")
     _add_common(p_run)
     _add_fault(p_run)
     p_run.set_defaults(func=_cmd_run)

@@ -18,12 +18,24 @@ rule ("columns = 2x rows for odd powers of two") assumes it.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Tuple
 
+from .checkers.base import CHECK_LEVELS
 from .errors import ConfigError
 from .faults.config import FaultConfig
 from .units import KB
+
+
+def _default_check_level() -> str:
+    """Default sanitizer level, overridable via ``REPRO_CHECK``.
+
+    The environment hook lets an entire test or CI run opt into the
+    sanitizer (e.g. ``REPRO_CHECK=strict pytest``) without threading a
+    flag through every configuration site.
+    """
+    return os.environ.get("REPRO_CHECK", "off")
 
 #: Topology identifiers accepted by :class:`SystemConfig`.
 TOPOLOGIES: Tuple[str, ...] = ("full", "cube", "mesh")
@@ -125,6 +137,17 @@ class SystemConfig:
     #: Master seed for all deterministic random streams.
     seed: int = 12345
 
+    #: Runtime sanitizer level: ``"off"`` (no checker constructed, the
+    #: exact pre-sanitizer code paths), ``"basic"`` (cheap per-operation
+    #: invariants) or ``"strict"`` (adds the global coherence sweep per
+    #: transition and the determinism digest).  Defaults to the
+    #: ``REPRO_CHECK`` environment variable, or ``"off"``.
+    check: str = field(default_factory=_default_check_level)
+
+    #: Attach the determinism digest checker regardless of ``check``
+    #: level (pure observation; see ``Simulator.state_digest``).
+    digest: bool = False
+
     #: Fault-injection configuration.  The default injects nothing and
     #: the machines take the exact fault-free code paths, so a run with
     #: all rates at zero is bit-identical to a run without this field.
@@ -180,6 +203,11 @@ class SystemConfig:
         if not isinstance(self.fault, FaultConfig):
             raise ConfigError(
                 f"fault must be a FaultConfig, got {type(self.fault).__name__}"
+            )
+        if self.check not in CHECK_LEVELS:
+            raise ConfigError(
+                f"unknown check level {self.check!r}; expected one of "
+                f"{CHECK_LEVELS}"
             )
 
     # -- derived quantities -------------------------------------------------

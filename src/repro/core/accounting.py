@@ -28,8 +28,9 @@ time; we obtain it directly by running the application on
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from ..checkers.base import CheckReport
 from ..units import ns_to_us
 
 
@@ -114,6 +115,10 @@ class RunResult:
     #: Did the application's functional self-check pass?
     verified: bool = False
 
+    #: End-of-run sanitizer report (None when ``check="off"`` and no
+    #: digest was requested; see :mod:`repro.checkers`).
+    check_report: Optional[CheckReport] = None
+
     # -- aggregates used by the paper's figures --------------------------------
 
     def _mean(self, attribute: str) -> float:
@@ -182,6 +187,10 @@ class RunResult:
             # bool() strips numpy scalar types, keeping the dict
             # JSON-serializable for sweep checkpoints.
             "verified": bool(self.verified),
+            "check_report": (
+                self.check_report.to_dict()
+                if self.check_report is not None else None
+            ),
         }
 
     @classmethod
@@ -198,6 +207,12 @@ class RunResult:
             sim_events=int(data["sim_events"]),
             wall_seconds=float(data["wall_seconds"]),
             verified=bool(data["verified"]),
+            # .get() keeps checkpoints written before the sanitizer
+            # existed loadable.
+            check_report=(
+                CheckReport.from_dict(data["check_report"])
+                if data.get("check_report") is not None else None
+            ),
         )
 
     def summary(self) -> str:

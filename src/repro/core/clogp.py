@@ -51,8 +51,11 @@ class CLogPMachine(Machine):
                 RetryPolicy.from_fault(config.fault)
                 if self.fault_injector is not None else None
             ),
+            checkers=self.checkers,
         )
-        self.memory = CoherentMemory(config, self.space)
+        self.memory = CoherentMemory(
+            config, self.space, checkers=self.checkers, sim=self.sim
+        )
 
     # -- memory interface ---------------------------------------------------------
 

@@ -78,7 +78,8 @@ class WritePlan:
 class CoherentMemory:
     """Caches + directory + the Berkeley transition function."""
 
-    def __init__(self, config: SystemConfig, space: AddressSpace):
+    def __init__(self, config: SystemConfig, space: AddressSpace,
+                 checkers=None, sim=None):
         self.config = config
         self.space = space
         self.nprocs = config.processors
@@ -90,6 +91,22 @@ class CoherentMemory:
         self.directory = Directory()
         #: Silent EXCLUSIVE -> DIRTY upgrades performed (Illinois only).
         self.silent_upgrades = 0
+        # Sanitizer wiring: transition hooks fire after every protocol
+        # state change (see repro.checkers.coherence); the sim reference
+        # only timestamps violations.
+        self._sim = sim
+        self._transition_hooks = (
+            checkers.transition_hooks if checkers is not None else ()
+        )
+
+    def _after_transition(self, pid: int, block: int,
+                          victim_block: Optional[int] = None) -> None:
+        """Dispatch sanitizer hooks for a completed state transition."""
+        now = self._sim.now if self._sim is not None else 0
+        for hook in self._transition_hooks:
+            hook(self, pid, block, now)
+            if victim_block is not None and victim_block != block:
+                hook(self, pid, victim_block, now)
 
     # -- classification (no mutation) -------------------------------------------
 
@@ -158,6 +175,10 @@ class CoherentMemory:
         if fill_state is LineState.EXCLUSIVE:
             entry.owner = pid
         writeback = self._retire_victim(pid, victim)
+        if self._transition_hooks:
+            self._after_transition(
+                pid, block, victim[0] if victim is not None else None
+            )
         return ReadPlan(
             hit=False,
             source=source,
@@ -180,6 +201,8 @@ class CoherentMemory:
             return False
         cache.set_state(block, LineState.DIRTY)
         self.silent_upgrades += 1
+        if self._transition_hooks:
+            self._after_transition(pid, block)
         return True
 
     def plan_write(self, pid: int, block: int) -> WritePlan:
@@ -210,6 +233,10 @@ class CoherentMemory:
         entry.owner = pid
         entry.sharers = {pid}
         writeback = self._retire_victim(pid, victim)
+        if self._transition_hooks:
+            self._after_transition(
+                pid, block, victim[0] if victim is not None else None
+            )
         return WritePlan(
             fast=False,
             had_data=had_data,
@@ -249,7 +276,64 @@ class CoherentMemory:
         self.directory.drop_if_idle(vblock)
         return writeback
 
-    # -- invariants (used by tests) ---------------------------------------------------
+    # -- invariants (runtime sanitizer and tests) -------------------------------------
+
+    def check_block(self, block: int) -> None:
+        """Verify the coherence invariants of one block (O(P)).
+
+        The per-transition check of ``--check=basic``: directory entry
+        self-consistency (:meth:`DirectoryEntry.check`), SWMR, and
+        directory <-> cache cross-consistency for the touched block.
+
+        :raises ProtocolError: any invariant is violated.
+        """
+        entry = self.directory.peek(block)
+        holders = [
+            (pid, cache.state_of(block))
+            for pid, cache in enumerate(self.caches)
+            if cache.contains(block)
+        ]
+        if entry is None:
+            if holders:
+                raise ProtocolError(
+                    f"block {block} cached at "
+                    f"{[pid for pid, _ in holders]} but has no directory "
+                    f"entry"
+                )
+            return
+        entry.check()
+        owners = [pid for pid, state in holders if state.is_owned]
+        if len(owners) > 1:
+            raise ProtocolError(f"block {block} has owners {owners}")
+        exclusive = [
+            pid for pid, state in holders
+            if state in (LineState.DIRTY, LineState.EXCLUSIVE)
+        ]
+        if exclusive and len(holders) > 1:
+            raise ProtocolError(
+                f"block {block} exclusive at {exclusive} but held by "
+                f"{holders}"
+            )
+        for pid, _state in holders:
+            if pid not in entry.sharers:
+                raise ProtocolError(
+                    f"block {block} cached at {pid} but not in sharer set "
+                    f"{entry.sharers}"
+                )
+        if owners and entry.owner != owners[0]:
+            raise ProtocolError(
+                f"block {block}: directory owner {entry.owner} != cache "
+                f"owner {owners[0]}"
+            )
+        if not owners and entry.owner is not None:
+            raise ProtocolError(
+                f"block {block}: directory owner {entry.owner} owns nothing"
+            )
+        for pid in entry.sharers:
+            if not self.caches[pid].contains(block):
+                raise ProtocolError(
+                    f"block {block}: sharer {pid} holds no line"
+                )
 
     def check_invariants(self) -> None:
         """Raise :class:`ProtocolError` on any coherence inconsistency."""

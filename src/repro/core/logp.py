@@ -45,6 +45,7 @@ class LogPMachine(Machine):
                 RetryPolicy.from_fault(config.fault)
                 if self.fault_injector is not None else None
             ),
+            checkers=self.checkers,
         )
         self._poll_messages = 0
 

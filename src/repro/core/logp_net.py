@@ -74,12 +74,19 @@ class LogPNetwork:
     def __init__(self, sim: Simulator, params: LogPParams,
                  per_event_type: bool = False, topology=None,
                  adaptive: bool = False, injector=None,
-                 retry_policy=None):
+                 retry_policy=None, checkers=None):
         self.sim = sim
         self.params = params
         self.per_event_type = per_event_type
         self.adaptive = adaptive and topology is not None
         self.topology = topology
+        #: Sanitizer hooks (empty tuples when unchecked).
+        self._message_hooks = (
+            checkers.message_hooks if checkers is not None else ()
+        )
+        self._arq_checkers = (
+            checkers.arq_checkers if checkers is not None else ()
+        )
         #: Optional :class:`~repro.faults.injector.FaultInjector`; when
         #: set, every message goes through the reliable-delivery
         #: arithmetic in :meth:`_one_way_faulty` (see there).
@@ -164,6 +171,9 @@ class LogPNetwork:
         stall = (sent - now) + (received - arrived)
         self.messages += 1
         self.total_stall_ns += stall
+        if self._message_hooks:
+            for hook in self._message_hooks:
+                hook(received, src, dst, "logp", 0, True)
         return Trip(
             total_ns=total,
             latency_ns=L + o2,
@@ -195,6 +205,8 @@ class LogPNetwork:
 
         injector = self.injector
         policy = self.retry_policy
+        message_hooks = self._message_hooks
+        arq_checkers = self._arq_checkers
         L = self.params.L_ns
         o2 = 2 * self.params.o_ns
         self._observe(src, dst)
@@ -203,6 +215,8 @@ class LogPNetwork:
         delivered = False
         latency = L + o2
         stall = 0
+        for checker in arq_checkers:
+            checker.on_logical_send(begin, src, dst)
         while True:
             send_stall = injector.stall_ns(src, now)
             fate = injector.fate(src, dst, now + send_stall, check_route=True)
@@ -211,6 +225,9 @@ class LogPNetwork:
             if not fate.delivered and not fate.corrupted:
                 # Lost in the network: the sender times out.
                 failure_at = sent + L
+                if message_hooks:
+                    for hook in message_hooks:
+                        hook(failure_at, src, dst, "logp", 0, False)
             else:
                 arrived = sent + L + fate.delay_ns
                 recv_stall = injector.stall_ns(dst, arrived)
@@ -218,7 +235,15 @@ class LogPNetwork:
                 if fate.corrupted:
                     # Checksum failure at the receiver: no ack follows.
                     failure_at = received
+                    if message_hooks:
+                        for hook in message_hooks:
+                            hook(received, src, dst, "logp", 0, False)
                 else:
+                    if message_hooks:
+                        for hook in message_hooks:
+                            hook(received, src, dst, "logp", 0, True)
+                    for checker in arq_checkers:
+                        checker.on_app_delivery(received, src, dst, delivered)
                     if not delivered:
                         delivered = True
                         stall = (sent - (now + send_stall)) + \
@@ -228,7 +253,13 @@ class LogPNetwork:
                     )
                     acked = received + L
                     self.messages += 1
+                    if message_hooks:
+                        for hook in message_hooks:
+                            hook(acked, dst, src, "ack", 0,
+                                 ack_fate.delivered)
                     if ack_fate.delivered:
+                        for checker in arq_checkers:
+                            checker.on_logical_complete(acked, src, dst)
                         total = (acked - begin) + o2
                         retry = max(0, total - latency - stall)
                         self.total_stall_ns += stall

@@ -51,6 +51,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple, Type
 
+from ..checkers import make_checkers
 from ..config import SystemConfig
 from ..engine.core import Event, Simulator
 from ..engine.rng import RandomStreams
@@ -115,7 +116,13 @@ class Machine(ABC):
     def __init__(self, config: SystemConfig):
         self.config = config
         self.nprocs = config.processors
-        self.sim = Simulator()
+        #: Sanitizer checkers, or None when ``config.check`` is off and
+        #: no digest was requested -- the None case takes the exact
+        #: unchecked code paths (see :mod:`repro.checkers`).
+        self.checkers = make_checkers(config)
+        self.sim = Simulator(
+            checkers=self.checkers.checkers if self.checkers else ()
+        )
         self.topology: Topology = make_topology(config.topology, config.processors)
         self.space = AddressSpace(config.processors, config.block_bytes)
         self.streams = RandomStreams(config.seed)

@@ -70,6 +70,10 @@ def simulate_full(
             f"application {app.name!r} failed verification on "
             f"{machine_name}/{config.topology}/p={config.processors}"
         )
+    check_report = (
+        machine.checkers.finalize(machine)
+        if machine.checkers is not None else None
+    )
     return (
         RunResult(
             app=app.name,
@@ -82,6 +86,7 @@ def simulate_full(
             sim_events=machine.sim.events_executed,
             wall_seconds=wall,
             verified=verified,
+            check_report=check_report,
         ),
         machine,
     )

@@ -45,6 +45,7 @@ class TargetMachine(Machine):
             self.sim, self.topology, config.link_ns_per_byte,
             switch_delay_ns=config.switch_delay_ns,
             injector=self.fault_injector,
+            checkers=self.checkers,
         )
         if self.fault_injector is not None:
             self.reliable = ReliableTransport(
@@ -52,10 +53,13 @@ class TargetMachine(Machine):
                 self.fault_injector,
                 RetryPolicy.from_fault(config.fault),
                 ack_bytes=config.control_message_bytes,
+                checkers=self.checkers,
             )
         else:
             self.reliable = None
-        self.memory = CoherentMemory(config, self.space)
+        self.memory = CoherentMemory(
+            config, self.space, checkers=self.checkers, sim=self.sim
+        )
         self._home_locks: Dict[int, Resource] = {}
         self._ctrl = config.control_message_bytes
         self._data = config.data_message_bytes

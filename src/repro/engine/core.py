@@ -188,7 +188,7 @@ class Simulator:
     releases).
     """
 
-    def __init__(self, fail_fast: bool = True):
+    def __init__(self, fail_fast: bool = True, checkers=()):
         self._now = 0
         self._queue: List = []
         self._sequence = 0
@@ -200,6 +200,33 @@ class Simulator:
         #: Count of low-level scheduler steps; exposed because the paper's
         #: "speed of simulation" comparison is about event counts.
         self.events_executed = 0
+        #: Sanitizer checkers observing this engine (see
+        #: :mod:`repro.checkers`).  Only their engine-level hooks are
+        #: dispatched here; machine models wire the rest.
+        from ..checkers.base import Checker
+        self.checkers = tuple(checkers)
+        self._event_hooks = tuple(
+            checker.on_event for checker in self.checkers
+            if getattr(type(checker), "on_event", None)
+            not in (None, Checker.on_event)
+        )
+        self._schedule_hooks = tuple(
+            checker.on_schedule for checker in self.checkers
+            if getattr(type(checker), "on_schedule", None)
+            not in (None, Checker.on_schedule)
+        )
+
+    def state_digest(self) -> Optional[str]:
+        """Rolling execution digest, or None without a determinism checker.
+
+        Two runs of the same seed and configuration must return the same
+        value -- the property the golden-digest regression tests gate.
+        """
+        for checker in self.checkers:
+            digest = getattr(checker, "state_digest", None)
+            if digest is not None:
+                return digest()
+        return None
 
     # -- clock --------------------------------------------------------------
 
@@ -211,6 +238,9 @@ class Simulator:
     # -- scheduling primitives ----------------------------------------------
 
     def _schedule(self, at: int, action: Callable[[], None]) -> None:
+        if self._schedule_hooks:
+            for hook in self._schedule_hooks:
+                hook(at, self._now)
         self._sequence += 1
         heapq.heappush(self._queue, (at, self._sequence, action))
 
@@ -259,9 +289,10 @@ class Simulator:
                 f"max_events must be positive, got {max_events}"
             )
         queue = self._queue
+        event_hooks = self._event_hooks
         executed = 0
         while queue:
-            at, _seq, action = queue[0]
+            at, seq, action = queue[0]
             if until is not None and at > until:
                 self._now = until
                 return self._now
@@ -277,6 +308,9 @@ class Simulator:
             self._now = at
             self.events_executed += 1
             executed += 1
+            if event_hooks:
+                for hook in event_hooks:
+                    hook(at, seq, action)
             action()
         if until is None and self._blocked > 0:
             raise DeadlockError(self._blocked, self._now)

@@ -66,6 +66,23 @@ class RetryLimitError(ReproError):
         )
 
 
+class InvariantError(ReproError):
+    """A runtime sanitizer checker detected a violated invariant.
+
+    Carries the checker's name, the simulated time of the violation and
+    a description of the offending state, so a failing run can be
+    triaged without re-running under a debugger.
+    """
+
+    def __init__(self, checker: str, now: int, detail: str):
+        self.checker = checker
+        self.now = now
+        self.detail = detail
+        super().__init__(
+            f"[{checker}] invariant violated at t={now} ns: {detail}"
+        )
+
+
 class ProtocolError(ReproError):
     """A cache-coherence protocol invariant was violated."""
 

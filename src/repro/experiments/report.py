@@ -9,7 +9,7 @@ prints and EXPERIMENTS.md records.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from ..core.accounting import RunResult
 from .runner import FigureData
@@ -49,7 +49,34 @@ def render_figure(data: FigureData) -> str:
         lines.append(row)
     for failure in data.failures:
         lines.append(f"  FAILED {failure.summary()}")
+    sanitizer = _sanitizer_line(data)
+    if sanitizer is not None:
+        lines.append(sanitizer)
     return "\n".join(lines)
+
+
+def _sanitizer_line(data: FigureData) -> Optional[str]:
+    """Aggregate sanitizer summary over all runs behind a figure.
+
+    Returns None when no run carried a check report (sanitizer off).
+    """
+    reports = [
+        outcome.check_report
+        for outcomes in data.results.values()
+        for outcome in outcomes
+        if isinstance(outcome, RunResult) and outcome.check_report is not None
+    ]
+    if not reports:
+        return None
+    total = sum(report.total_checks for report in reports)
+    violated = sum(1 for report in reports if not report.ok)
+    levels = sorted({report.level for report in reports})
+    line = (
+        f"  sanitizer: {len(reports)} run(s) at level "
+        f"{'/'.join(levels)}, {total} checks, "
+        f"{'all ok' if violated == 0 else f'{violated} run(s) VIOLATED'}"
+    )
+    return line
 
 
 def render_run_table(results: Iterable[RunResult]) -> str:

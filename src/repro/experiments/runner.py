@@ -138,6 +138,7 @@ class SweepRunner:
         run_retries: int = 1,
         checkpoint_path: Optional[Union[str, Path]] = None,
         max_events: Optional[int] = None,
+        check: Optional[str] = None,
     ):
         self.preset = preset
         self.processors: Tuple[int, ...] = tuple(
@@ -152,6 +153,9 @@ class SweepRunner:
         self.run_retries = run_retries
         #: Engine watchdog budget forwarded to every simulation.
         self.max_events = max_events
+        #: Sanitizer level applied to every run (None -> the
+        #: configuration default, i.e. ``REPRO_CHECK`` or off).
+        self.check = check
         self.checkpoint_path = (
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
@@ -209,6 +213,11 @@ class SweepRunner:
         tmp = self.checkpoint_path.with_name(self.checkpoint_path.name + ".tmp")
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(data, handle, indent=1)
+            # Flush user- and kernel-space buffers before the rename: a
+            # crash mid-write must leave either the old checkpoint or
+            # the new one, never a truncated file.
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, self.checkpoint_path)
 
     @property
@@ -250,6 +259,7 @@ class SweepRunner:
             adaptive_g=adaptive_g,
             protocol=protocol,
             fault=self.fault if self.fault is not None else FaultConfig(),
+            **({"check": self.check} if self.check is not None else {}),
         )
         attempts = 0
         while True:

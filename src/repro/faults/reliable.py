@@ -51,11 +51,19 @@ class ReliableTransport:
     """ARQ sender over a :class:`~repro.network.fabric.Fabric`."""
 
     def __init__(self, fabric, injector, policy: RetryPolicy,
-                 ack_bytes: int = 8):
+                 ack_bytes: int = 8, checkers=None):
         self.fabric = fabric
         self.injector = injector
         self.policy = policy
         self.ack_bytes = ack_bytes
+        #: Sanitizer checkers observing the ARQ exchange lifecycle
+        #: (empty tuple when unchecked).  Raw fabric messages are
+        #: observed by the fabric itself; these hooks see the *logical*
+        #: send/accept/complete events the exactly-once invariant is
+        #: stated over.
+        self._arq_checkers = (
+            checkers.arq_checkers if checkers is not None else ()
+        )
         self._next_seq: Dict[Tuple[int, int], int] = {}
         #: Retransmitted data messages (instrumentation).
         self.retransmissions = 0
@@ -78,6 +86,7 @@ class ReliableTransport:
         """
         sim = self.fabric.sim
         policy = self.policy
+        arq_checkers = self._arq_checkers
         start = sim.now
         channel = (message.src, message.dst)
         self._next_seq[channel] = self._next_seq.get(channel, 0) + 1
@@ -85,9 +94,15 @@ class ReliableTransport:
         base_latency = 0
         base_contention = 0
         failed_attempts = 0
+        for checker in arq_checkers:
+            checker.on_logical_send(start, message.src, message.dst)
         while True:
             result = yield from self.fabric.transmit(message)
             if result.delivered:
+                for checker in arq_checkers:
+                    checker.on_app_delivery(
+                        sim.now, message.src, message.dst, delivered
+                    )
                 if delivered:
                     # A retransmission racing a lost ack: the receiver
                     # recognizes the sequence number and discards it.
@@ -103,6 +118,10 @@ class ReliableTransport:
                 ack_result = yield from self.fabric.transmit(ack)
                 self.acks_sent += 1
                 if ack_result.delivered:
+                    for checker in arq_checkers:
+                        checker.on_logical_complete(
+                            sim.now, message.src, message.dst
+                        )
                     break
                 self.acks_lost += 1
             failed_attempts += 1

@@ -69,7 +69,7 @@ class Fabric:
     """The set of links of one topology plus the transfer protocol."""
 
     def __init__(self, sim: Simulator, topology: Topology, ns_per_byte: int,
-                 switch_delay_ns: int = 0, injector=None):
+                 switch_delay_ns: int = 0, injector=None, checkers=None):
         self.sim = sim
         self.topology = topology
         self.ns_per_byte = ns_per_byte
@@ -79,6 +79,10 @@ class Fabric:
         #: When None (the default) the fabric is perfectly reliable and
         #: follows the exact pre-fault code path.
         self.injector = injector
+        #: Sanitizer message hooks (empty tuple when unchecked).
+        self._message_hooks = (
+            checkers.message_hooks if checkers is not None else ()
+        )
         self._links: Dict[LinkId, Link] = {
             link_id: Link(sim, *link_id) for link_id in topology.links()
         }
@@ -150,6 +154,10 @@ class Fabric:
                     upstream.release()
                 injector.window_drops += 1
                 self.messages += 1
+                if self._message_hooks:
+                    for hook in self._message_hooks:
+                        hook(sim.now, message.src, message.dst,
+                             message.kind, message.nbytes, False)
                 return TransferResult(
                     latency_ns=0,
                     contention_ns=max(0, sim.now - start - fault_ns),
@@ -182,10 +190,15 @@ class Fabric:
         self.bytes_transported += message.nbytes
         self.total_latency_ns += latency
         self.total_contention_ns += contention
+        delivered = fate is None or fate.delivered
+        if self._message_hooks:
+            for hook in self._message_hooks:
+                hook(sim.now, message.src, message.dst,
+                     message.kind, message.nbytes, delivered)
         return TransferResult(
             latency_ns=latency,
             contention_ns=contention,
-            delivered=fate is None or fate.delivered,
+            delivered=delivered,
             fault_ns=fault_ns,
         )
 

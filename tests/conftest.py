@@ -40,3 +40,16 @@ def config4():
 @pytest.fixture
 def config8_mesh():
     return tiny_config(8, "mesh")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/goldens/*.json with the digests of the "
+             "current build instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    return request.config.getoption("--update-goldens")

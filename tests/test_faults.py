@@ -263,3 +263,95 @@ def test_simulate_forwards_max_events():
     with pytest.raises(WatchdogError):
         simulate(make_app("fft", 4, points=256), "target", config,
                  max_events=50)
+
+
+# -- ARQ edge cases -----------------------------------------------------------------
+
+
+class _ScriptedFabric:
+    """Fabric stand-in whose transmits follow a scripted fate sequence."""
+
+    def __init__(self, sim, script):
+        self.sim = sim
+        self.script = list(script)
+
+    def transmit(self, message):
+        delivered = self.script.pop(0)
+        yield self.sim.timeout(10)
+        from repro.network.fabric import TransferResult
+        return TransferResult(
+            latency_ns=10, contention_ns=0, delivered=delivered
+        )
+
+
+def _drive_reliable(script, max_retries=8, checkers=None):
+    from repro.faults.reliable import ReliableTransport
+    from repro.network.message import Message
+
+    sim = Simulator()
+    fabric = _ScriptedFabric(sim, script)
+    transport = ReliableTransport(
+        fabric, injector=None,
+        policy=RetryPolicy(timeout_ns=100, max_retries=max_retries,
+                           backoff=2.0),
+        checkers=checkers,
+    )
+    box = {}
+
+    def proc():
+        box["result"] = yield from transport.transmit(Message(0, 1, 32, "mp"))
+
+    sim.spawn(proc())
+    sim.run()
+    return transport, box["result"]
+
+
+def test_arq_duplicate_suppression_under_repeated_ack_loss():
+    # data ok / ack lost, twice over -- the receiver must discard both
+    # retransmitted copies before the final ack lands.
+    script = [True, False, True, False, True, True]
+    transport, result = _drive_reliable(script)
+    assert transport.duplicates_suppressed == 2
+    assert transport.acks_lost == 2
+    assert transport.retransmissions == 2
+    assert result.attempts == 3
+
+
+def test_arq_exactly_once_checker_sees_one_accepted_delivery():
+    from repro.checkers import CheckerSet, ExactlyOnceChecker
+
+    checker = ExactlyOnceChecker()
+    checkers = CheckerSet("basic", [checker])
+    transport, _result = _drive_reliable(
+        [True, False, True, True], checkers=checkers
+    )
+    assert transport.duplicates_suppressed == 1
+    assert checker.duplicates == 1
+    assert checker._accepted[(0, 1)] == 1
+    assert checker._completed[(0, 1)] == 1
+
+    class _M:
+        pass
+
+    machine = _M()
+    machine.sim = Simulator()
+    checker.finalize(machine)  # balanced channels: must not raise
+
+
+def test_arq_retry_limit_error_at_exact_cap():
+    # max_retries=3 tolerates exactly 3 failed attempts: a success on
+    # the 4th transmission completes ...
+    transport, result = _drive_reliable(
+        [False, False, False, True, True], max_retries=3
+    )
+    assert result.attempts == 4
+    # ... while a 4th consecutive failure exhausts the cap.
+    with pytest.raises(RetryLimitError):
+        _drive_reliable([False, False, False, False], max_retries=3)
+
+
+@pytest.mark.parametrize("machine", ALL_MACHINES)
+def test_retry_bucket_zero_on_fault_free_runs(machine):
+    result = _run(machine)
+    assert all(b.retry_ns == 0 for b in result.buckets)
+    assert result.total_ns == max(b.total_ns for b in result.buckets)

@@ -134,3 +134,45 @@ def test_figure_value_names_missing_processor_count():
     data = runner.run_experiment(get_experiment("fig01"))
     with pytest.raises(ConfigError, match="was not run at p=64"):
         data.value("target", 64)
+
+
+# -- durable checkpoints -------------------------------------------------------------
+
+
+def test_truncated_checkpoint_raises_config_error_naming_file(tmp_path):
+    """A half-written checkpoint must fail loudly with the file's path,
+    not resume silently from garbage."""
+    checkpoint = tmp_path / "sweep.json"
+    runner = SweepRunner(preset="quick", processors=(2,),
+                         checkpoint_path=checkpoint)
+    runner.run_point("fft", "ideal", "full", 2)
+    assert checkpoint.exists()
+    payload = checkpoint.read_bytes()
+    checkpoint.write_bytes(payload[: len(payload) // 2])
+    with pytest.raises(ConfigError) as excinfo:
+        SweepRunner(preset="quick", checkpoint_path=checkpoint)
+    assert str(checkpoint) in str(excinfo.value)
+
+
+def test_checkpoint_save_fsyncs_before_rename(tmp_path, monkeypatch):
+    """The temp file is fsynced before the atomic rename, so a crash
+    leaves either the old or the new checkpoint -- never a short one."""
+    import os as os_module
+
+    synced = []
+    real_fsync = os_module.fsync
+    monkeypatch.setattr(
+        runner_module.os, "fsync", lambda fd: synced.append(fd) or real_fsync(fd)
+    )
+    replaced = []
+    real_replace = os_module.replace
+
+    def spy_replace(src, dst):
+        replaced.append(bool(synced))  # fsync must have happened already
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(runner_module.os, "replace", spy_replace)
+    runner = SweepRunner(preset="quick", processors=(2,),
+                         checkpoint_path=tmp_path / "sweep.json")
+    runner.run_point("fft", "ideal", "full", 2)
+    assert replaced and all(replaced)
