@@ -1,0 +1,73 @@
+"""Parallel sweep throughput: serial vs the process-pool backend.
+
+One figure sweep is dozens of independent simulations, so the
+process-pool backend should approach linear speedup until the worker
+count passes the core count.  This benchmark runs the full quick ``all``
+sweep (every experiment in EXPERIMENTS.md) under 1, 2, and 4 workers,
+times each configuration with pytest-benchmark, checks the parallel
+series against the serial ones point for point, and prints the measured
+speedups for the record kept in DESIGN.md section 9.
+
+On a single-core host the pool pays fork-and-pickle overhead with no
+compute to hide it, so speedups below 1x there are expected and not a
+regression; the acceptance target (>=2x at 4 workers) applies to a
+4-core box.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, SweepRunner, get_experiment
+
+JOB_COUNTS = (1, 2, 4)
+
+
+def _sweep(jobs: int):
+    """The quick ``all`` sweep: every experiment, one fresh runner."""
+    with SweepRunner(preset="quick", jobs=jobs) as runner:
+        runner.prefetch(get_experiment(exp_id) for exp_id in EXPERIMENTS)
+        return {
+            exp_id: runner.run_experiment(get_experiment(exp_id)).series
+            for exp_id in EXPERIMENTS
+        }
+
+
+@pytest.fixture(scope="module")
+def serial_series():
+    return _sweep(jobs=1)
+
+
+@pytest.fixture(scope="module")
+def job_times():
+    """Median-of-3 wall time per worker count, shared across tests."""
+    times = {}
+    for jobs in JOB_COUNTS:
+        samples = []
+        for _ in range(3):
+            start = time.perf_counter()
+            _sweep(jobs)
+            samples.append(time.perf_counter() - start)
+        times[jobs] = sorted(samples)[1]
+    return times
+
+
+@pytest.mark.parametrize("jobs", JOB_COUNTS)
+def test_parallel_sweep(benchmark, jobs, serial_series):
+    series = benchmark.pedantic(lambda: _sweep(jobs), rounds=3, iterations=1)
+    # Parallel execution must not move a single series value.
+    assert series == serial_series
+
+
+def test_report_speedups(job_times, capsys):
+    base = job_times[1]
+    with capsys.disabled():
+        print()
+        print("quick `all` sweep, serial vs process pool:")
+        for jobs in JOB_COUNTS:
+            speedup = base / job_times[jobs]
+            print(f"  jobs={jobs}: {job_times[jobs]:.2f}s "
+                  f"({speedup:.2f}x vs serial)")
+    assert all(t > 0 for t in job_times.values())

@@ -30,7 +30,16 @@ from .core import (
     make_machine,
     simulate,
 )
-from .core.runner import simulate_full
+from .core.runner import simulate_full, simulate_spec
+from .runspec import RunSpec
+from .exec import (
+    PointFailure,
+    ProcessPoolBackend,
+    ResultStore,
+    SerialBackend,
+    execute_spec,
+    make_backend,
+)
 from .apps import APPLICATIONS, Application, make_app
 from .errors import (
     ApplicationError,
@@ -60,6 +69,14 @@ __all__ = [
     "RunResult",
     "simulate",
     "simulate_full",
+    "simulate_spec",
+    "RunSpec",
+    "PointFailure",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "execute_spec",
+    "make_backend",
+    "ResultStore",
     "make_machine",
     "machine_names",
     "make_topology",

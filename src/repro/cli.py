@@ -6,30 +6,55 @@
     repro params --topology mesh -p 32      # derived LogP parameters
     repro run --app fft --machine target --topology mesh -p 8
     repro figure fig13 [--preset quick]     # regenerate one paper figure
-    repro all [--preset quick]              # regenerate every figure
+    repro all [--preset quick] [--jobs 4]   # regenerate every figure
     repro scalability --app cg --machine target   # speedup/overhead table
     repro profile --app is -p 8             # per-processor overhead profile
     repro trace record --app fft -p 4 --out fft.trace.json
     repro trace replay fft.trace.json --machine target
 
 (Equivalently: ``python -m repro ...``.)
+
+Sweep commands (``figure``, ``all``, ``scalability``) accept
+``--jobs N`` to run points on a pool of worker processes, and
+``--cache-dir DIR`` (or the ``REPRO_CACHE_DIR`` environment variable)
+to persist completed results in a content-addressed
+:class:`~repro.exec.store.ResultStore`, so re-running a command skips
+already-simulated points; ``--no-cache`` disables both reading and
+writing the store.
+
+Flags shared between subcommands (``--preset``, ``--topology``, ``-p``,
+``--protocol``, ``--barrier``, the fault-injection group, ...) are
+declared once on parent parsers and inherited, so they cannot drift
+apart between commands.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
-from .apps import APPLICATIONS, make_app
+from .apps import APPLICATIONS
 from .checkers import CHECK_LEVELS
-from .config import MACHINES, TOPOLOGIES, SystemConfig
+from .config import BARRIERS, MACHINES, PROTOCOLS, TOPOLOGIES, SystemConfig
 from .core.params import derive_logp
-from .core.runner import simulate
+from .core.runner import simulate, simulate_spec
 from .experiments import SweepRunner, experiment_ids, get_experiment, render_figure
-from .experiments.workloads import app_params
 from .faults import FaultConfig
+from .runspec import RunSpec
 from .units import ns_to_us
+
+#: Workload presets selectable from the command line.
+PRESETS = ("default", "quick")
+
+
+def _parent(*adders) -> argparse.ArgumentParser:
+    """A helper-less parser holding one shared group of arguments."""
+    parser = argparse.ArgumentParser(add_help=False)
+    for add in adders:
+        add(parser)
+    return parser
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -40,18 +65,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "REPRO_CHECK environment variable, or off)")
 
 
-def _check_kwargs(args: argparse.Namespace) -> dict:
-    """Sanitizer-related SystemConfig kwargs from parsed arguments.
+def _add_topology(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", choices=TOPOLOGIES, default="full")
 
-    ``--check`` unset is *omitted* (not passed as None) so the
-    ``REPRO_CHECK`` environment default still applies.
-    """
-    kwargs = {}
-    if getattr(args, "check", None) is not None:
-        kwargs["check"] = args.check
-    if getattr(args, "digest", False):
-        kwargs["digest"] = True
-    return kwargs
+
+def _add_processors(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-p", "--processors", type=int, default=8)
+
+
+def _add_preset(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", choices=PRESETS, default="default")
+
+
+def _add_model(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--protocol", choices=PROTOCOLS,
+                        default="berkeley",
+                        help="coherence protocol of the cached machines")
+    parser.add_argument("--barrier", choices=BARRIERS,
+                        default="central", help="barrier implementation")
 
 
 def _add_fault(parser: argparse.ArgumentParser) -> None:
@@ -72,6 +103,36 @@ def _add_fault(parser: argparse.ArgumentParser) -> None:
                              "(default 8)")
 
 
+def _add_sweep_exec(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes executing sweep points "
+                             "(default 1: serial in-process)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="content-addressed result cache directory "
+                             "(default: the REPRO_CACHE_DIR environment "
+                             "variable, or no cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the result cache entirely (neither "
+                             "read nor write entries)")
+    parser.add_argument("--resume", metavar="CHECKPOINT", default=None,
+                        help="sweep checkpoint JSON: completed points are "
+                             "loaded from it and new points appended")
+
+
+def _check_kwargs(args: argparse.Namespace) -> dict:
+    """Sanitizer-related SystemConfig kwargs from parsed arguments.
+
+    ``--check`` unset is *omitted* (not passed as None) so the
+    ``REPRO_CHECK`` environment default still applies.
+    """
+    kwargs = {}
+    if getattr(args, "check", None) is not None:
+        kwargs["check"] = args.check
+    if getattr(args, "digest", False):
+        kwargs["digest"] = True
+    return kwargs
+
+
 def _fault_from_args(args: argparse.Namespace) -> FaultConfig:
     return FaultConfig(
         drop_rate=args.fault_drop,
@@ -79,6 +140,37 @@ def _fault_from_args(args: argparse.Namespace) -> FaultConfig:
         seed=args.fault_seed,
         max_retries=args.retries,
     )
+
+
+def _spec_from_args(args: argparse.Namespace, **overrides) -> RunSpec:
+    """The canonical RunSpec of a single-run command's arguments."""
+    build_kwargs = dict(
+        app=args.app,
+        machine=args.machine,
+        nprocs=args.processors,
+        topology=args.topology,
+        preset=args.preset,
+        seed=args.seed,
+        check=getattr(args, "check", None),
+        digest=getattr(args, "digest", False),
+        protocol=getattr(args, "protocol", "berkeley"),
+        barrier=getattr(args, "barrier", "central"),
+        adaptive_g=getattr(args, "adaptive_g", False),
+        g_per_event_type=getattr(args, "g_per_event_type", False),
+        fault=_fault_from_args(args) if hasattr(args, "fault_drop") else None,
+    )
+    build_kwargs.update(overrides)
+    return RunSpec.build(**build_kwargs)
+
+
+def _cache_dir_from_args(args: argparse.Namespace) -> Optional[str]:
+    """Resolve the result-store directory (None: caching disabled)."""
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        return cache_dir
+    return os.environ.get("REPRO_CACHE_DIR") or None
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -100,21 +192,9 @@ def _cmd_params(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = SystemConfig(
-        processors=args.processors,
-        topology=args.topology,
-        seed=args.seed,
-        protocol=args.protocol,
-        barrier=args.barrier,
-        adaptive_g=args.adaptive_g,
-        g_per_event_type=args.g_per_event_type,
-        fault=_fault_from_args(args),
-        **_check_kwargs(args),
-    )
-    app = make_app(
-        args.app, args.processors, **app_params(args.app, args.preset)
-    )
-    result = simulate(app, args.machine, config)
+    spec = _spec_from_args(args)
+    result = simulate_spec(spec)
+    config = spec.config
     print(result.summary())
     if result.check_report is not None:
         print(result.check_report.summary())
@@ -132,46 +212,66 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.verified else 1
 
 
-def _make_sweep_runner(args: argparse.Namespace) -> SweepRunner:
+def _make_sweep_runner(
+    args: argparse.Namespace,
+    processors: Optional[List[int]] = None,
+) -> SweepRunner:
     fault = _fault_from_args(args)
     return SweepRunner(
         preset=args.preset,
+        processors=processors,
         seed=args.seed,
         fault=fault if fault.enabled else None,
         checkpoint_path=args.resume,
         check=getattr(args, "check", None),
+        jobs=args.jobs,
+        cache_dir=_cache_dir_from_args(args),
     )
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    runner = _make_sweep_runner(args)
-    for experiment_id in args.ids:
-        experiment = get_experiment(experiment_id)
-        print(render_figure(runner.run_experiment(experiment)))
-        print()
+    experiments = [get_experiment(experiment_id) for experiment_id in args.ids]
+    with _make_sweep_runner(args) as runner:
+        # One batch across every requested figure keeps all --jobs
+        # workers busy; rendering below is pure memo lookups.
+        runner.prefetch(experiments)
+        for experiment in experiments:
+            print(render_figure(runner.run_experiment(experiment)))
+            print()
     return 0
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
-    runner = _make_sweep_runner(args)
-    for experiment_id in experiment_ids():
-        experiment = get_experiment(experiment_id)
-        print(render_figure(runner.run_experiment(experiment)))
-        print()
+    experiments = [
+        get_experiment(experiment_id) for experiment_id in experiment_ids()
+    ]
+    with _make_sweep_runner(args) as runner:
+        runner.prefetch(experiments)
+        for experiment in experiments:
+            print(render_figure(runner.run_experiment(experiment)))
+            print()
     return 0
 
 
 def _cmd_scalability(args: argparse.Namespace) -> int:
     from .analysis import scalability_table
 
-    results = []
-    for nprocs in args.sweep:
-        config = SystemConfig(
-            processors=nprocs, topology=args.topology, seed=args.seed,
-            fault=_fault_from_args(args), **_check_kwargs(args),
-        )
-        app = make_app(args.app, nprocs, **app_params(args.app, args.preset))
-        results.append(simulate(app, args.machine, config))
+    with _make_sweep_runner(args, processors=args.sweep) as runner:
+        specs = [
+            runner.point_spec(
+                args.app, args.machine, args.topology, nprocs,
+                protocol=args.protocol, barrier=args.barrier,
+            )
+            for nprocs in args.sweep
+        ]
+        runner.run_batch(specs)
+        results = [
+            runner.run_one(
+                args.app, args.machine, args.topology, nprocs,
+                protocol=args.protocol, barrier=args.barrier,
+            )
+            for nprocs in args.sweep
+        ]
     print(
         f"{args.app} on {args.machine}/{args.topology} "
         f"({args.preset} workload)"
@@ -183,14 +283,7 @@ def _cmd_scalability(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     from .analysis import profile_table
 
-    config = SystemConfig(
-        processors=args.processors, topology=args.topology, seed=args.seed,
-        **_check_kwargs(args),
-    )
-    app = make_app(
-        args.app, args.processors, **app_params(args.app, args.preset)
-    )
-    result = simulate(app, args.machine, config)
+    result = simulate_spec(_spec_from_args(args, fault=None))
     print(profile_table(result))
     return 0 if result.verified else 1
 
@@ -198,13 +291,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_trace_record(args: argparse.Namespace) -> int:
     from .trace import record_trace, save_trace
 
-    config = SystemConfig(
-        processors=args.processors, topology=args.topology, seed=args.seed
+    spec = _spec_from_args(args, fault=None)
+    result, trace = record_trace(
+        spec.make_application(), spec.machine, spec.config
     )
-    app = make_app(
-        args.app, args.processors, **app_params(args.app, args.preset)
-    )
-    result, trace = record_trace(app, args.machine, config)
     save_trace(trace, args.out)
     print(result.summary())
     print(
@@ -219,7 +309,8 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
 
     trace = load_trace(args.trace_file)
     config = SystemConfig(
-        processors=trace.nprocs, topology=args.topology, seed=args.seed
+        processors=trace.nprocs, topology=args.topology, seed=args.seed,
+        **_check_kwargs(args),
     )
     result = simulate(TraceApplication(trace), args.machine, config)
     print(result.summary())
@@ -241,107 +332,90 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Shared argument groups, declared once (see module docstring).
+    common = _parent(_add_common)
+    topology = _parent(_add_topology)
+    processors = _parent(_add_processors)
+    preset = _parent(_add_preset)
+    model = _parent(_add_model)
+    fault = _parent(_add_fault)
+    sweep_exec = _parent(_add_sweep_exec)
+
     p_list = sub.add_parser("list", help="list apps/machines/experiments")
     p_list.set_defaults(func=_cmd_list)
 
-    p_params = sub.add_parser("params", help="show derived LogP parameters")
-    p_params.add_argument("--topology", choices=TOPOLOGIES, default="full")
-    p_params.add_argument("-p", "--processors", type=int, default=8)
+    p_params = sub.add_parser("params", help="show derived LogP parameters",
+                              parents=[topology, processors])
     p_params.set_defaults(func=_cmd_params)
 
-    p_run = sub.add_parser("run", help="one simulation")
+    p_run = sub.add_parser(
+        "run", help="one simulation",
+        parents=[topology, processors, preset, model, common, fault],
+    )
     p_run.add_argument("--app", choices=sorted(APPLICATIONS), required=True)
     p_run.add_argument("--machine", choices=MACHINES, default="target")
-    p_run.add_argument("--topology", choices=TOPOLOGIES, default="full")
-    p_run.add_argument("-p", "--processors", type=int, default=8)
-    p_run.add_argument("--preset", choices=("default", "quick"),
-                       default="default")
-    p_run.add_argument("--protocol", choices=("berkeley", "illinois"),
-                       default="berkeley",
-                       help="coherence protocol of the cached machines")
-    p_run.add_argument("--barrier", choices=("central", "tree"),
-                       default="central", help="barrier implementation")
     p_run.add_argument("--adaptive-g", action="store_true",
                        help="history-based g estimation (Section 7)")
     p_run.add_argument("--g-per-event-type", action="store_true",
                        help="apply g only between identical event types")
     p_run.add_argument("--digest", action="store_true",
                        help="compute and print the determinism digest")
-    _add_common(p_run)
-    _add_fault(p_run)
     p_run.set_defaults(func=_cmd_run)
 
-    p_figure = sub.add_parser("figure", help="regenerate paper figures")
+    p_figure = sub.add_parser(
+        "figure", help="regenerate paper figures",
+        parents=[preset, common, fault, sweep_exec],
+    )
     p_figure.add_argument("ids", nargs="+", metavar="FIG",
                           help=f"one of {', '.join(experiment_ids())}")
-    p_figure.add_argument("--preset", choices=("default", "quick"),
-                          default="default")
-    p_figure.add_argument("--resume", metavar="CHECKPOINT", default=None,
-                          help="sweep checkpoint JSON: completed points are "
-                               "loaded from it and new points appended")
-    _add_common(p_figure)
-    _add_fault(p_figure)
     p_figure.set_defaults(func=_cmd_figure)
 
-    p_all = sub.add_parser("all", help="regenerate every figure")
-    p_all.add_argument("--preset", choices=("default", "quick"),
-                       default="default")
-    p_all.add_argument("--resume", metavar="CHECKPOINT", default=None,
-                       help="sweep checkpoint JSON: completed points are "
-                            "loaded from it and new points appended")
-    _add_common(p_all)
-    _add_fault(p_all)
+    p_all = sub.add_parser(
+        "all", help="regenerate every figure",
+        parents=[preset, common, fault, sweep_exec],
+    )
     p_all.set_defaults(func=_cmd_all)
 
     p_scal = sub.add_parser(
-        "scalability", help="speedup/efficiency/overhead sweep"
+        "scalability", help="speedup/efficiency/overhead sweep",
+        parents=[topology, preset, model, common, fault, sweep_exec],
     )
     p_scal.add_argument("--app", choices=sorted(APPLICATIONS), required=True)
     p_scal.add_argument("--machine", choices=MACHINES, default="target")
-    p_scal.add_argument("--topology", choices=TOPOLOGIES, default="full")
     p_scal.add_argument(
         "--sweep", type=lambda s: [int(x) for x in s.split(",")],
         default=[1, 2, 4, 8, 16],
         help="comma-separated processor counts (default 1,2,4,8,16)",
     )
-    p_scal.add_argument("--preset", choices=("default", "quick"),
-                        default="default")
-    _add_common(p_scal)
-    _add_fault(p_scal)
     p_scal.set_defaults(func=_cmd_scalability)
 
     p_prof = sub.add_parser(
-        "profile", help="per-processor overhead profile of one run"
+        "profile", help="per-processor overhead profile of one run",
+        parents=[topology, processors, preset, common],
     )
     p_prof.add_argument("--app", choices=sorted(APPLICATIONS), required=True)
     p_prof.add_argument("--machine", choices=MACHINES, default="target")
-    p_prof.add_argument("--topology", choices=TOPOLOGIES, default="full")
-    p_prof.add_argument("-p", "--processors", type=int, default=8)
-    p_prof.add_argument("--preset", choices=("default", "quick"),
-                        default="default")
-    _add_common(p_prof)
     p_prof.set_defaults(func=_cmd_profile)
 
     p_trace = sub.add_parser("trace", help="record / replay traces")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
 
-    p_record = trace_sub.add_parser("record", help="record a trace")
+    p_record = trace_sub.add_parser(
+        "record", help="record a trace",
+        parents=[topology, processors, preset, common],
+    )
     p_record.add_argument("--app", choices=sorted(APPLICATIONS),
                           required=True)
     p_record.add_argument("--machine", choices=MACHINES, default="clogp")
-    p_record.add_argument("--topology", choices=TOPOLOGIES, default="full")
-    p_record.add_argument("-p", "--processors", type=int, default=4)
-    p_record.add_argument("--preset", choices=("default", "quick"),
-                          default="quick")
     p_record.add_argument("--out", required=True, help="output JSON path")
-    _add_common(p_record)
-    p_record.set_defaults(func=_cmd_trace_record)
+    p_record.set_defaults(func=_cmd_trace_record, processors=4,
+                          preset="quick")
 
-    p_replay = trace_sub.add_parser("replay", help="replay a trace")
+    p_replay = trace_sub.add_parser(
+        "replay", help="replay a trace", parents=[topology, common],
+    )
     p_replay.add_argument("trace_file", help="trace JSON path")
     p_replay.add_argument("--machine", choices=MACHINES, default="target")
-    p_replay.add_argument("--topology", choices=TOPOLOGIES, default="full")
-    _add_common(p_replay)
     p_replay.set_defaults(func=_cmd_trace_replay)
 
     return parser

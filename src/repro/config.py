@@ -19,8 +19,8 @@ rule ("columns = 2x rows for odd powers of two") assumes it.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
-from typing import Tuple
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Tuple
 
 from .checkers.base import CHECK_LEVELS
 from .errors import ConfigError
@@ -248,6 +248,45 @@ class SystemConfig:
     def with_(self, **changes) -> "SystemConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+    # -- canonical (de)serialization (run specs, caches, checkpoints) --------
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form carrying *every* field.
+
+        Iterating the dataclass fields keeps the serialization -- and
+        therefore :meth:`~repro.runspec.RunSpec.spec_digest` -- in
+        lockstep with the schema: a newly added configuration field is
+        serialized automatically, so it can change a digest but never
+        alias two different configurations under one key.
+        """
+        out: Dict = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            out[spec.name] = value.to_dict() if spec.name == "fault" else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SystemConfig":
+        """Rebuild from :meth:`to_dict` output.
+
+        Strict on both sides -- unknown *and* missing fields raise a
+        :class:`~repro.errors.ConfigError` -- so a checkpoint or cache
+        entry written by a different schema version is rejected instead
+        of silently resuming with default-filled fields.
+        """
+        names = {spec.name for spec in fields(cls)}
+        unknown = set(data) - names
+        missing = names - set(data)
+        if unknown or missing:
+            raise ConfigError(
+                "system config was serialized by a different schema "
+                f"(unknown fields: {sorted(unknown)}, "
+                f"missing fields: {sorted(missing)})"
+            )
+        kwargs = dict(data)
+        kwargs["fault"] = FaultConfig.from_dict(kwargs["fault"])
+        return cls(**kwargs)
 
 
 #: A ready-made configuration matching the paper's hardware with 8 nodes.

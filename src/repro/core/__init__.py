@@ -31,7 +31,7 @@ from .ops import (
     WriteRange,
 )
 from .params import LogPParams, derive_logp
-from .runner import simulate
+from .runner import simulate, simulate_spec
 
 # Machine registrations happen at import time.
 from . import target as _target  # noqa: F401
@@ -49,6 +49,7 @@ __all__ = [
     "LogPParams",
     "derive_logp",
     "simulate",
+    "simulate_spec",
     "Compute",
     "Read",
     "Write",

@@ -43,6 +43,23 @@ def simulate(
     return result
 
 
+def simulate_spec(spec, check_invariants: bool = False) -> RunResult:
+    """Simulate one :class:`~repro.runspec.RunSpec`.
+
+    The spec-level entry point shared by the CLI, the execution
+    backends, and the analysis tooling: a fresh application instance is
+    built from the spec's canonical parameters and run on the spec's
+    machine and configuration.  Unlike the sweep layer this propagates
+    simulation errors -- retry/failure policy lives in
+    :func:`repro.exec.backend.execute_spec`.
+    """
+    app = spec.make_application()
+    return simulate(
+        app, spec.machine, spec.config,
+        check_invariants=check_invariants, max_events=spec.max_events,
+    )
+
+
 def simulate_full(
     app,
     machine_name: str,

@@ -1,0 +1,39 @@
+"""Execution layer: where :class:`~repro.runspec.RunSpec`\\ s run.
+
+The run path is layered (see DESIGN.md, Section 9):
+
+``RunSpec`` (:mod:`repro.runspec`)
+    frozen, canonically-serializable description of one simulation,
+``ExecutionBackend`` (:mod:`repro.exec.backend`)
+    executes batches of specs -- :class:`SerialBackend` in-process,
+    :class:`ProcessPoolBackend` across worker processes -- streaming
+    completed points back for incremental checkpointing,
+``ResultStore`` (:mod:`repro.exec.store`)
+    on-disk content-addressed cache keyed by spec digest, so repeated
+    invocations skip already-simulated points.
+
+The determinism digests (PR 2) are the contract that makes this safe:
+a run is a pure function of its spec, so results may be computed on
+any worker and cached indefinitely.
+"""
+
+from .backend import (
+    ExecutionBackend,
+    PointFailure,
+    ProcessPoolBackend,
+    SerialBackend,
+    execute_spec,
+    make_backend,
+)
+from .store import STORE_SCHEMA, ResultStore
+
+__all__ = [
+    "ExecutionBackend",
+    "PointFailure",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "execute_spec",
+    "make_backend",
+    "ResultStore",
+    "STORE_SCHEMA",
+]

@@ -1,0 +1,212 @@
+"""Execution backends: serial and process-parallel spec execution.
+
+A backend turns :class:`~repro.runspec.RunSpec`\\ s into
+:class:`~repro.core.accounting.RunResult`\\ s.  Both backends share one
+primitive, :func:`execute_spec`, which owns the retry/
+:class:`PointFailure` semantics, so a point behaves identically no
+matter where it runs:
+
+* :class:`SerialBackend` executes specs one by one in the calling
+  process -- the pre-existing behaviour, and the reference the parallel
+  backend is tested against,
+* :class:`ProcessPoolBackend` fans a batch out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (CLI ``--jobs N``)
+  and yields points *as they complete*, so the consumer can checkpoint
+  incrementally.
+
+Because the simulator is deterministic (equal spec => equal execution,
+gated by the golden digests), a worker process produces bit-identical
+results and determinism digests to an in-process run -- the only field
+that legitimately differs between backends is the measured
+``wall_seconds``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Sequence, Tuple, Union
+
+from ..core.accounting import RunResult
+from ..core.runner import simulate
+from ..errors import ConfigError, ReproError
+from ..runspec import RunSpec
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """Structured record of one sweep point that could not complete."""
+
+    app: str
+    machine: str
+    topology: str
+    nprocs: int
+    #: Exception type name (e.g. ``"RetryLimitError"``).
+    error: str
+    #: The exception's message.
+    message: str
+    #: How many times the run was attempted (including retries).
+    attempts: int
+
+    def to_dict(self) -> Dict:
+        return {
+            "app": self.app,
+            "machine": self.machine,
+            "topology": self.topology,
+            "nprocs": self.nprocs,
+            "error": self.error,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PointFailure":
+        return cls(
+            app=data["app"],
+            machine=data["machine"],
+            topology=data["topology"],
+            nprocs=int(data["nprocs"]),
+            error=data["error"],
+            message=data["message"],
+            attempts=int(data["attempts"]),
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.app}/{self.machine}/{self.topology}/p={self.nprocs}: "
+            f"{self.error}: {self.message} (after {self.attempts} attempt(s))"
+        )
+
+
+#: What executing one spec yields: the result, or a structured failure.
+PointOutcome = Union[RunResult, PointFailure]
+
+
+def execute_spec(spec: RunSpec, retries: int = 1) -> PointOutcome:
+    """Execute one spec with graceful failure handling.
+
+    A failing run (any :class:`~repro.errors.ReproError`, most
+    interestingly :class:`~repro.errors.RetryLimitError` under fault
+    injection) is re-attempted ``retries`` times with a *fresh*
+    application instance; if it still fails, a :class:`PointFailure`
+    is returned instead of raising, so the rest of a sweep continues.
+    Non-simulation errors (bugs) propagate.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        app = spec.make_application()
+        try:
+            return simulate(
+                app, spec.machine, spec.config, max_events=spec.max_events
+            )
+        except ReproError as exc:
+            if attempts <= retries:
+                continue
+            return PointFailure(
+                app=spec.app,
+                machine=spec.machine,
+                topology=spec.config.topology,
+                nprocs=spec.config.processors,
+                error=type(exc).__name__,
+                message=str(exc),
+                attempts=attempts,
+            )
+
+
+class ExecutionBackend:
+    """Protocol of an execution backend.
+
+    ``run`` lazily yields ``(spec, outcome)`` pairs as points complete
+    (not necessarily in submission order), so callers can checkpoint
+    each point the moment it finishes.
+    """
+
+    #: Worker parallelism the backend provides.
+    jobs: int = 1
+
+    def run(
+        self, specs: Sequence[RunSpec], retries: int = 1
+    ) -> Iterator[Tuple[RunSpec, PointOutcome]]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """Executes specs one by one in the calling process."""
+
+    name = "serial"
+    jobs = 1
+
+    def run(
+        self, specs: Sequence[RunSpec], retries: int = 1
+    ) -> Iterator[Tuple[RunSpec, PointOutcome]]:
+        for spec in specs:
+            yield spec, execute_spec(spec, retries)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Executes batches across a pool of worker processes.
+
+    The pool is created lazily on the first batch and reused across
+    batches (an ``all`` sweep runs one batch per figure), so workers
+    are forked once, not per figure.  Specs and outcomes are plain
+    picklable dataclasses; the deterministic engine guarantees a worker
+    computes the same result the parent would have.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int):
+        if jobs < 2:
+            raise ConfigError(
+                f"ProcessPoolBackend needs at least 2 jobs, got {jobs} "
+                "(use SerialBackend / --jobs 1 for serial execution)"
+            )
+        self.jobs = jobs
+        self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def run(
+        self, specs: Sequence[RunSpec], retries: int = 1
+    ) -> Iterator[Tuple[RunSpec, PointOutcome]]:
+        specs = list(specs)
+        if not specs:
+            return
+        pool = self._ensure_pool()
+        futures = {
+            pool.submit(execute_spec, spec, retries): spec for spec in specs
+        }
+        for future in as_completed(futures):
+            yield futures[future], future.result()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def make_backend(jobs: int = 1) -> ExecutionBackend:
+    """Backend for the requested parallelism (``jobs <= 1``: serial)."""
+    if jobs <= 1:
+        return SerialBackend()
+    return ProcessPoolBackend(jobs)
+
+
+def drain(
+    pairs: Iterable[Tuple[RunSpec, PointOutcome]]
+) -> Dict[str, PointOutcome]:
+    """Collect a backend stream into a digest-keyed dict (test helper)."""
+    return {spec.spec_digest(): outcome for spec, outcome in pairs}

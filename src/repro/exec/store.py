@@ -1,0 +1,158 @@
+"""On-disk content-addressed result cache: the ResultStore.
+
+Entries are keyed by :meth:`~repro.runspec.RunSpec.spec_digest` and
+live at ``<root>/<digest[:2]>/<digest>.json``; each entry carries a
+schema version, the digest it claims to be, the full serialized spec
+(for auditing -- the digest alone is not human-readable), and the
+serialized :class:`~repro.core.accounting.RunResult`.
+
+Durability and integrity:
+
+* writes are atomic: a unique temp file is flushed, fsynced, then
+  renamed over the final path, so a crash leaves either the old entry
+  or the new one, never a torn file;
+* reads validate schema version and digest; an unreadable, truncated,
+  or mismatched entry is *quarantined* (renamed aside with a
+  ``.quarantined`` suffix) and reported as a miss, so one corrupt file
+  costs exactly one re-simulation -- it can never poison results;
+* entries written under a different schema version are plain misses
+  (overwritten on the next ``put``), not corruption.
+
+Caching is sound because a run is a pure function of its spec: the
+determinism checker's golden digests (PR 2) gate exactly the property
+that equal specs produce bit-identical results.  The one exception is
+``wall_seconds``, a host-side measurement: a cached result reports the
+wall time of the run that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..core.accounting import RunResult
+from ..runspec import RunSpec
+
+#: Entry schema version.  Bump when the entry layout changes; stale
+#: entries then read as misses and are overwritten in place.
+STORE_SCHEMA = 1
+
+#: Suffix given to corrupt entries moved out of the cache's way.
+QUARANTINE_SUFFIX = ".quarantined"
+
+
+class ResultStore:
+    """Content-addressed on-disk cache of completed run results."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        #: Entries served from disk.
+        self.hits = 0
+        #: Lookups that found no usable entry.
+        self.misses = 0
+        #: Entries written.
+        self.stores = 0
+        #: Corrupt entries moved aside.
+        self.quarantined = 0
+
+    def _entry_path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it is never read again."""
+        target = path.with_name(path.name + QUARANTINE_SUFFIX)
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - racing cleaner/permissions
+            pass
+        self.quarantined += 1
+
+    # -- lookups -------------------------------------------------------------
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        """The cached result of ``spec``, or None.
+
+        Never raises on bad cache contents: anything unusable is
+        quarantined and treated as a miss.
+        """
+        digest = spec.spec_digest()
+        path = self._entry_path(digest)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, UnicodeDecodeError):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if not isinstance(data, dict):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if data.get("schema") != STORE_SCHEMA:
+            # A different (older/newer) store version: a legitimate
+            # miss, not corruption; ``put`` will overwrite it.
+            self.misses += 1
+            return None
+        if data.get("spec_digest") != digest:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        try:
+            result = RunResult.from_dict(data["result"])
+        except (KeyError, TypeError, ValueError):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    # -- writes --------------------------------------------------------------
+
+    def put(self, spec: RunSpec, result: RunResult) -> None:
+        """Persist one completed result (atomic fsync-then-rename)."""
+        digest = spec.spec_digest()
+        path = self._entry_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload: Dict = {
+            "schema": STORE_SCHEMA,
+            "spec_digest": digest,
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        # PID-unique temp name: concurrent invocations sharing a cache
+        # directory each rename their own complete file into place.
+        tmp = path.with_name(f".{digest}.{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        self.stores += 1
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for instrumentation and tests."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "quarantined": self.quarantined,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"result store {self.root}: {self.hits} hit(s), "
+            f"{self.misses} miss(es), {self.stores} store(s), "
+            f"{self.quarantined} quarantined"
+        )

@@ -15,10 +15,11 @@ from .registry import (
     experiment_ids,
     get_experiment,
 )
-from .runner import FigureData, SweepRunner
+from .runner import FigureData, PointFailure, SweepRunner
 from .report import render_figure, render_run_table
 
 __all__ = [
+    "PointFailure",
     "EXPERIMENTS",
     "Experiment",
     "experiment_ids",

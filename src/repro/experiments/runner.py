@@ -2,20 +2,35 @@
 
 Several figures are different metrics of the *same* simulations (e.g.
 Fig. 17 plots execution time and Fig. 19 the contention of the same
-CG-on-mesh runs), so the runner memoizes completed runs by
-``(app, machine, topology, processors, preset, g-mode)``.
+CG-on-mesh runs), so the runner memoizes completed runs.  Identity is
+the :meth:`~repro.runspec.RunSpec.spec_digest` of each point's
+canonical :class:`~repro.runspec.RunSpec` -- every field of the
+configuration participates, so two points differing in *any* knob
+(seed, barrier, fault rates, sanitizer level, ...) can never alias.
+
+Execution is delegated to an
+:class:`~repro.exec.backend.ExecutionBackend`: serial by default, or a
+process pool (``jobs=N``) that runs the points of a batch in parallel
+and streams them back as they complete.  An optional
+:class:`~repro.exec.store.ResultStore` (``cache_dir=...``) persists
+completed results across invocations, content-addressed by the same
+digest.
 
 Robustness
 ----------
 Long sweeps must survive individual failing points (most interestingly
 under fault injection, where a run can legitimately die with
-:class:`~repro.errors.RetryLimitError`).  :meth:`SweepRunner.run_point`
-retries a failing run once (``run_retries``) and then records a
-structured :class:`PointFailure` instead of aborting the sweep; failed
-points surface as ``nan`` in the figure series.  With a
+:class:`~repro.errors.RetryLimitError`).  The backend retries a failing
+run (``run_retries``) and then reports a structured
+:class:`~repro.exec.backend.PointFailure` instead of aborting the
+sweep; failed points surface as ``nan`` in the figure series.  With a
 ``checkpoint_path`` the runner journals every completed point (and
 failure) to JSON after it finishes, and a fresh runner pointed at the
-same file resumes without re-running completed points.
+same file resumes without re-running completed points.  Checkpoints
+carry a schema version: a file written by the old tuple-keyed format
+(or any other schema) is rejected with a clear
+:class:`~repro.errors.ConfigError` instead of silently resuming wrong
+points.
 """
 
 from __future__ import annotations
@@ -25,64 +40,28 @@ import math
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..apps import make_app
-from ..config import SystemConfig
 from ..core.accounting import RunResult
-from ..core.runner import simulate
 from ..errors import ConfigError, ReproError
+from ..exec.backend import (
+    ExecutionBackend,
+    PointFailure,
+    PointOutcome,
+    make_backend,
+)
+from ..exec.store import ResultStore
 from ..faults.config import FaultConfig
+from ..runspec import RunSpec
 from .registry import Experiment
-from .workloads import app_params, processor_sweep
+from .workloads import processor_sweep
 
-#: Memo key for one simulation.
-RunKey = Tuple[str, str, str, int, str, bool, bool, str]
+#: Version of the checkpoint JSON schema.  Version 1 (the retired
+#: hand-maintained ``RunKey`` tuple keys) is detected and rejected.
+CHECKPOINT_SCHEMA = 2
 
-
-@dataclass(frozen=True)
-class PointFailure:
-    """Structured record of one sweep point that could not complete."""
-
-    app: str
-    machine: str
-    topology: str
-    nprocs: int
-    #: Exception type name (e.g. ``"RetryLimitError"``).
-    error: str
-    #: The exception's message.
-    message: str
-    #: How many times the run was attempted (including retries).
-    attempts: int
-
-    def to_dict(self) -> Dict:
-        return {
-            "app": self.app,
-            "machine": self.machine,
-            "topology": self.topology,
-            "nprocs": self.nprocs,
-            "error": self.error,
-            "message": self.message,
-            "attempts": self.attempts,
-        }
-
-    @classmethod
-    def from_dict(cls, data: Dict) -> "PointFailure":
-        return cls(
-            app=data["app"],
-            machine=data["machine"],
-            topology=data["topology"],
-            nprocs=int(data["nprocs"]),
-            error=data["error"],
-            message=data["message"],
-            attempts=int(data["attempts"]),
-        )
-
-    def summary(self) -> str:
-        return (
-            f"{self.app}/{self.machine}/{self.topology}/p={self.nprocs}: "
-            f"{self.error}: {self.message} (after {self.attempts} attempt(s))"
-        )
+#: One figure series: display label, machine, metric, per-run kwargs.
+SeriesSpec = Tuple[str, str, Callable[[RunResult], float], Dict[str, object]]
 
 
 @dataclass
@@ -96,9 +75,7 @@ class FigureData:
     series: Dict[str, List[float]] = field(default_factory=dict)
     #: machine name -> list of the full results (same alignment; a
     #: failed point holds its :class:`PointFailure` instead).
-    results: Dict[str, List[Union[RunResult, PointFailure]]] = field(
-        default_factory=dict
-    )
+    results: Dict[str, List[PointOutcome]] = field(default_factory=dict)
     #: Failures encountered while producing this figure.
     failures: List[PointFailure] = field(default_factory=list)
 
@@ -121,11 +98,6 @@ class FigureData:
         return self.series[machine][self.processors.index(nprocs)]
 
 
-def _key_string(key: RunKey) -> str:
-    """Stable string form of a memo key, used in checkpoint files."""
-    return "|".join(str(part) for part in key)
-
-
 class SweepRunner:
     """Runs and memoizes the processor sweeps for the experiments."""
 
@@ -139,6 +111,11 @@ class SweepRunner:
         checkpoint_path: Optional[Union[str, Path]] = None,
         max_events: Optional[int] = None,
         check: Optional[str] = None,
+        digest: bool = False,
+        jobs: int = 1,
+        backend: Optional[ExecutionBackend] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        store: Optional[ResultStore] = None,
     ):
         self.preset = preset
         self.processors: Tuple[int, ...] = tuple(
@@ -156,13 +133,41 @@ class SweepRunner:
         #: Sanitizer level applied to every run (None -> the
         #: configuration default, i.e. ``REPRO_CHECK`` or off).
         self.check = check
+        #: Attach the determinism-digest checker to every run.
+        self.digest = digest
+        #: Execution backend (explicit instance wins over ``jobs``).
+        self.backend: ExecutionBackend = (
+            backend if backend is not None else make_backend(jobs)
+        )
+        #: Result store (explicit instance wins over ``cache_dir``;
+        #: both None -> no cross-invocation caching).
+        self.store: Optional[ResultStore] = (
+            store if store is not None
+            else ResultStore(cache_dir) if cache_dir is not None
+            else None
+        )
+        #: Simulations actually executed by this runner (memo hits,
+        #: store hits and resumed checkpoint points do not count).
+        self.simulated = 0
         self.checkpoint_path = (
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
-        self._cache: Dict[RunKey, RunResult] = {}
-        self._failures: Dict[RunKey, PointFailure] = {}
+        self._cache: Dict[str, RunResult] = {}
+        self._failures: Dict[str, PointFailure] = {}
+        #: Spec behind every memoized digest (checkpoint journaling).
+        self._specs: Dict[str, RunSpec] = {}
         if self.checkpoint_path is not None and self.checkpoint_path.exists():
             self._load_checkpoint()
+
+    def close(self) -> None:
+        """Release backend workers (idempotent)."""
+        self.backend.close()
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- checkpointing -------------------------------------------------------------
 
@@ -171,42 +176,64 @@ class SweepRunner:
         try:
             with open(self.checkpoint_path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
-            for key_str, result in data.get("results", {}).items():
-                self._cache[self._parse_key(key_str)] = RunResult.from_dict(
-                    result
+            version = data.get("version")
+            if version != CHECKPOINT_SCHEMA:
+                raise ConfigError(
+                    f"checkpoint uses schema version {version!r}; this "
+                    f"version writes schema {CHECKPOINT_SCHEMA} (version 1 "
+                    "was keyed by the retired RunKey tuple) -- delete the "
+                    "file or finish the sweep with the version that wrote it"
                 )
-            for key_str, failure in data.get("failures", {}).items():
-                self._failures[self._parse_key(key_str)] = (
-                    PointFailure.from_dict(failure)
-                )
-        except (json.JSONDecodeError, KeyError, ValueError) as exc:
+            for key, entry in data.get("results", {}).items():
+                spec = self._verified_spec(key, entry)
+                self._cache[key] = RunResult.from_dict(entry["result"])
+                self._specs[key] = spec
+            for key, entry in data.get("failures", {}).items():
+                spec = self._verified_spec(key, entry)
+                self._failures[key] = PointFailure.from_dict(entry["failure"])
+                self._specs[key] = spec
+        except ConfigError as exc:
+            raise ConfigError(
+                f"cannot resume from checkpoint {self.checkpoint_path}: {exc}"
+            ) from exc
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
             raise ConfigError(
                 f"cannot resume from checkpoint {self.checkpoint_path}: "
                 f"{exc}"
             ) from exc
 
     @staticmethod
-    def _parse_key(key_str: str) -> RunKey:
-        app, machine, topology, nprocs, preset, per_type, adaptive, proto = (
-            key_str.split("|")
-        )
-        return (app, machine, topology, int(nprocs), preset,
-                per_type == "True", adaptive == "True", proto)
+    def _verified_spec(key: str, entry: Dict) -> RunSpec:
+        """Rebuild one journaled spec, verifying its digest matches."""
+        spec = RunSpec.from_dict(entry["spec"])
+        if spec.spec_digest() != key:
+            raise ConfigError(
+                f"journaled spec for {key} re-hashes to "
+                f"{spec.spec_digest()}; the checkpoint was written by a "
+                "different configuration schema"
+            )
+        return spec
 
     def _save_checkpoint(self) -> None:
         """Atomically journal every completed point and failure."""
         if self.checkpoint_path is None:
             return
         data = {
-            "version": 1,
+            "version": CHECKPOINT_SCHEMA,
             "preset": self.preset,
             "seed": self.seed,
             "results": {
-                _key_string(key): result.to_dict()
+                key: {
+                    "spec": self._specs[key].to_dict(),
+                    "result": result.to_dict(),
+                }
                 for key, result in self._cache.items()
             },
             "failures": {
-                _key_string(key): failure.to_dict()
+                key: {
+                    "spec": self._specs[key].to_dict(),
+                    "failure": failure.to_dict(),
+                }
                 for key, failure in self._failures.items()
             },
         }
@@ -227,6 +254,86 @@ class SweepRunner:
 
     # -- primitives ----------------------------------------------------------------
 
+    def point_spec(
+        self,
+        app: str,
+        machine: str,
+        topology: str,
+        nprocs: int,
+        g_per_event_type: bool = False,
+        adaptive_g: bool = False,
+        protocol: str = "berkeley",
+        barrier: str = "central",
+    ) -> RunSpec:
+        """The canonical spec of one sweep point."""
+        return RunSpec.build(
+            app=app,
+            machine=machine,
+            nprocs=nprocs,
+            topology=topology,
+            preset=self.preset,
+            seed=self.seed,
+            fault=self.fault,
+            check=self.check,
+            digest=self.digest,
+            protocol=protocol,
+            barrier=barrier,
+            adaptive_g=adaptive_g,
+            g_per_event_type=g_per_event_type,
+            max_events=self.max_events,
+        )
+
+    def outcome_of(self, spec: RunSpec) -> Optional[PointOutcome]:
+        """The memoized outcome of a spec, if it already ran."""
+        key = spec.spec_digest()
+        result = self._cache.get(key)
+        if result is not None:
+            return result
+        return self._failures.get(key)
+
+    def run_batch(self, specs: Sequence[RunSpec]) -> None:
+        """Execute every not-yet-known spec of a batch.
+
+        The batch is deduplicated by digest, then filtered against the
+        in-memory memo (which includes resumed checkpoint points) and
+        the result store; the remainder goes to the execution backend.
+        Completed points stream back (in completion order under the
+        process pool) and each is memoized, persisted to the store, and
+        checkpointed the moment it finishes, so a crash mid-batch loses
+        at most the in-flight points.
+        """
+        pending: List[RunSpec] = []
+        seen: set = set()
+        store_hit = False
+        for spec in specs:
+            key = spec.spec_digest()
+            if key in self._cache or key in self._failures or key in seen:
+                continue
+            if self.store is not None:
+                cached = self.store.get(spec)
+                if cached is not None:
+                    self._cache[key] = cached
+                    self._specs[key] = spec
+                    store_hit = True
+                    continue
+            seen.add(key)
+            pending.append(spec)
+        if store_hit:
+            self._save_checkpoint()
+        if not pending:
+            return
+        for spec, outcome in self.backend.run(pending, self.run_retries):
+            key = spec.spec_digest()
+            self._specs[key] = spec
+            if isinstance(outcome, PointFailure):
+                self._failures[key] = outcome
+            else:
+                self.simulated += 1
+                self._cache[key] = outcome
+                if self.store is not None:
+                    self.store.put(spec, outcome)
+            self._save_checkpoint()
+
     def run_point(
         self,
         app: str,
@@ -236,57 +343,28 @@ class SweepRunner:
         g_per_event_type: bool = False,
         adaptive_g: bool = False,
         protocol: str = "berkeley",
-    ) -> Union[RunResult, PointFailure]:
+        barrier: str = "central",
+    ) -> PointOutcome:
         """One memoized simulation with graceful failure handling.
 
         A failing run is retried ``run_retries`` times; if it still
         fails the point is recorded (and memoized, and checkpointed) as
         a :class:`PointFailure` so the rest of the sweep continues.
         """
-        key: RunKey = (app, machine, topology, nprocs, self.preset,
-                       g_per_event_type, adaptive_g, protocol)
-        result = self._cache.get(key)
-        if result is not None:
-            return result
-        failure = self._failures.get(key)
-        if failure is not None:
-            return failure
-        config = SystemConfig(
-            processors=nprocs,
-            topology=topology,
-            seed=self.seed,
+        spec = self.point_spec(
+            app, machine, topology, nprocs,
             g_per_event_type=g_per_event_type,
             adaptive_g=adaptive_g,
             protocol=protocol,
-            fault=self.fault if self.fault is not None else FaultConfig(),
-            **({"check": self.check} if self.check is not None else {}),
+            barrier=barrier,
         )
-        attempts = 0
-        while True:
-            attempts += 1
-            instance = make_app(app, nprocs, **app_params(app, self.preset))
-            try:
-                result = simulate(
-                    instance, machine, config, max_events=self.max_events
-                )
-            except ReproError as exc:
-                if attempts <= self.run_retries:
-                    continue
-                failure = PointFailure(
-                    app=app,
-                    machine=machine,
-                    topology=topology,
-                    nprocs=nprocs,
-                    error=type(exc).__name__,
-                    message=str(exc),
-                    attempts=attempts,
-                )
-                self._failures[key] = failure
-                self._save_checkpoint()
-                return failure
-            self._cache[key] = result
-            self._save_checkpoint()
-            return result
+        outcome = self.outcome_of(spec)
+        if outcome is not None:
+            return outcome
+        self.run_batch([spec])
+        outcome = self.outcome_of(spec)
+        assert outcome is not None, f"backend dropped {spec.describe()}"
+        return outcome
 
     def run_one(
         self,
@@ -297,6 +375,7 @@ class SweepRunner:
         g_per_event_type: bool = False,
         adaptive_g: bool = False,
         protocol: str = "berkeley",
+        barrier: str = "central",
     ) -> RunResult:
         """One memoized simulation; raises if the point failed."""
         outcome = self.run_point(
@@ -304,6 +383,7 @@ class SweepRunner:
             g_per_event_type=g_per_event_type,
             adaptive_g=adaptive_g,
             protocol=protocol,
+            barrier=barrier,
         )
         if isinstance(outcome, PointFailure):
             raise ReproError(f"sweep point failed: {outcome.summary()}")
@@ -336,89 +416,88 @@ class SweepRunner:
                 values.append(metric(outcome))
         data.series[label] = values
 
+    def _experiment_series(self, experiment: Experiment) -> List[SeriesSpec]:
+        """The (label, machine, metric, run-kwargs) series of a figure."""
+        if experiment.metric == "simspeed":
+            # Section 7 speed-of-simulation study: the metric series is
+            # the host cost of each machine model, measured in simulator
+            # events executed (wall seconds are also in the attached
+            # results but are noisy on a shared host).
+            return [
+                (machine, machine, lambda r: float(r.sim_events), {})
+                for machine in experiment.machines
+            ]
+        if experiment.metric == "ggap":
+            # Section 7 g-gap relaxation: strict vs per-event-type gating.
+            contention = lambda r: r.metric("contention")  # noqa: E731
+            return [
+                ("target", "target", contention, {}),
+                ("clogp", "clogp", contention, {}),
+                ("clogp-relaxed-g", "clogp", contention,
+                 {"g_per_event_type": True}),
+            ]
+        if experiment.metric == "gadapt":
+            # History-based g estimation (the paper's future-work idea).
+            contention = lambda r: r.metric("contention")  # noqa: E731
+            return [
+                ("target", "target", contention, {}),
+                ("clogp", "clogp", contention, {}),
+                ("clogp-adaptive-g", "clogp", contention,
+                 {"adaptive_g": True}),
+            ]
+        if experiment.metric == "protocol":
+            # Berkeley vs Illinois targets against the CLogP
+            # abstraction.  The series is total network messages: the
+            # paper frames the claim in terms of network accesses, with
+            # CLogP's traffic as the minimum any invalidation protocol
+            # can achieve and "fancier" protocols approaching it from
+            # above.
+            messages = lambda r: float(r.messages)  # noqa: E731
+            return [
+                ("target-berkeley", "target", messages,
+                 {"protocol": "berkeley"}),
+                ("target-illinois", "target", messages,
+                 {"protocol": "illinois"}),
+                ("clogp", "clogp", messages, {"protocol": "berkeley"}),
+            ]
+        metric = lambda r: r.metric(experiment.metric)  # noqa: E731
+        return [
+            (machine, machine, metric, {})
+            for machine in experiment.machines
+        ]
+
+    def experiment_specs(self, experiment: Experiment) -> List[RunSpec]:
+        """Every point spec one experiment needs (with duplicates)."""
+        return [
+            self.point_spec(
+                experiment.app, machine, experiment.topology, nprocs,
+                **run_kwargs,
+            )
+            for (_label, machine, _metric, run_kwargs)
+            in self._experiment_series(experiment)
+            for nprocs in self.processors
+        ]
+
+    def prefetch(self, experiments: Sequence[Experiment]) -> None:
+        """Batch-execute every point several experiments need.
+
+        Collecting the specs of many figures into one backend batch
+        maximizes worker utilization: with ``jobs=N`` the whole sweep
+        keeps N simulations in flight instead of draining per figure.
+        """
+        specs: List[RunSpec] = []
+        for experiment in experiments:
+            specs.extend(self.experiment_specs(experiment))
+        self.run_batch(specs)
+
     def run_experiment(self, experiment: Experiment) -> FigureData:
         """All series of one experiment."""
-        if experiment.metric == "simspeed":
-            return self._run_simspeed(experiment)
-        if experiment.metric == "ggap":
-            return self._run_ggap(experiment)
-        if experiment.metric == "gadapt":
-            return self._run_gadapt(experiment)
-        if experiment.metric == "protocol":
-            return self._run_protocol(experiment)
+        self.prefetch([experiment])
         data = FigureData(experiment=experiment, processors=self.processors)
-        for machine in experiment.machines:
-            self._series(
-                data, machine, experiment.app, machine, experiment.topology,
-                lambda r: r.metric(experiment.metric),
-            )
-        return data
-
-    def _run_simspeed(self, experiment: Experiment) -> FigureData:
-        """Section 7 speed-of-simulation study.
-
-        The metric series is the host cost of each machine model,
-        measured in simulator events executed (wall seconds are also in
-        the attached results but are noisy on a shared host).
-        """
-        data = FigureData(experiment=experiment, processors=self.processors)
-        for machine in experiment.machines:
-            self._series(
-                data, machine, experiment.app, machine, experiment.topology,
-                lambda r: float(r.sim_events),
-            )
-        return data
-
-    def _run_gadapt(self, experiment: Experiment) -> FigureData:
-        """History-based g estimation (the paper's future-work idea)."""
-        data = FigureData(experiment=experiment, processors=self.processors)
-        series_spec = [
-            ("target", "target", False),
-            ("clogp", "clogp", False),
-            ("clogp-adaptive-g", "clogp", True),
-        ]
-        for label, machine, adaptive in series_spec:
+        for label, machine, metric, run_kwargs in (
+                self._experiment_series(experiment)):
             self._series(
                 data, label, experiment.app, machine, experiment.topology,
-                lambda r: r.metric("contention"),
-                adaptive_g=adaptive,
-            )
-        return data
-
-    def _run_protocol(self, experiment: Experiment) -> FigureData:
-        """Berkeley vs Illinois targets against the CLogP abstraction.
-
-        The series is total network messages: the paper frames the
-        claim in terms of network accesses, with CLogP's traffic as the
-        minimum any invalidation protocol can achieve and "fancier"
-        protocols approaching it from above.
-        """
-        data = FigureData(experiment=experiment, processors=self.processors)
-        series_spec = [
-            ("target-berkeley", "target", "berkeley"),
-            ("target-illinois", "target", "illinois"),
-            ("clogp", "clogp", "berkeley"),
-        ]
-        for label, machine, protocol in series_spec:
-            self._series(
-                data, label, experiment.app, machine, experiment.topology,
-                lambda r: float(r.messages),
-                protocol=protocol,
-            )
-        return data
-
-    def _run_ggap(self, experiment: Experiment) -> FigureData:
-        """Section 7 g-gap relaxation: strict vs per-event-type gating."""
-        data = FigureData(experiment=experiment, processors=self.processors)
-        series_spec = [
-            ("target", "target", False),
-            ("clogp", "clogp", False),
-            ("clogp-relaxed-g", "clogp", True),
-        ]
-        for label, machine, relaxed in series_spec:
-            self._series(
-                data, label, experiment.app, machine, experiment.topology,
-                lambda r: r.metric("contention"),
-                g_per_event_type=relaxed,
+                metric, **run_kwargs,
             )
         return data

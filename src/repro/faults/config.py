@@ -14,8 +14,8 @@ built and the simulation takes exactly the fault-free code path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple
 
 from ..errors import ConfigError
 
@@ -144,6 +144,49 @@ class FaultConfig:
                 raise ConfigError(
                     f"node_stalls entries must be NodeStall, got {window!r}"
                 )
+
+    # -- canonical (de)serialization (run specs, caches, checkpoints) --------
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form carrying *every* field.
+
+        Iterating the dataclass fields keeps the serialization in
+        lockstep with the schema: a newly added field is serialized
+        (and therefore digested) automatically.
+        """
+        out: Dict = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name in ("link_failures", "node_stalls"):
+                value = [vars(window).copy() for window in value]
+            out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultConfig":
+        """Rebuild from :meth:`to_dict` output.
+
+        Strict on both sides -- unknown *and* missing fields raise --
+        so a payload written by a different schema version is detected
+        instead of silently filling defaults.
+        """
+        names = {spec.name for spec in fields(cls)}
+        unknown = set(data) - names
+        missing = names - set(data)
+        if unknown or missing:
+            raise ConfigError(
+                "fault config was serialized by a different schema "
+                f"(unknown fields: {sorted(unknown)}, "
+                f"missing fields: {sorted(missing)})"
+            )
+        kwargs = dict(data)
+        kwargs["link_failures"] = tuple(
+            LinkFailure(**window) for window in kwargs["link_failures"]
+        )
+        kwargs["node_stalls"] = tuple(
+            NodeStall(**window) for window in kwargs["node_stalls"]
+        )
+        return cls(**kwargs)
 
     @property
     def enabled(self) -> bool:

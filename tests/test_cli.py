@@ -165,3 +165,61 @@ def test_run_rejects_bad_fault_rate():
             "run", "--app", "fft", "--machine", "clogp", "-p", "2",
             "--preset", "quick", "--fault-drop", "1.5",
         ])
+
+
+# -- parallel execution and result caching ------------------------------------------
+
+
+def test_figure_with_jobs_matches_serial(capsys):
+    assert main(["figure", "fig03", "--preset", "quick"]) == 0
+    serial_out = capsys.readouterr().out
+    assert main(["figure", "fig03", "--preset", "quick", "--jobs", "2"]) == 0
+    assert capsys.readouterr().out == serial_out
+
+
+def test_figure_with_cache_dir_warm_run_skips_simulation(
+        capsys, tmp_path, monkeypatch):
+    import repro.exec.backend as backend_module
+
+    cache = str(tmp_path / "cache")
+    argv = ["figure", "fig03", "--preset", "quick", "--cache-dir", cache]
+    assert main(argv) == 0
+    cold_out = capsys.readouterr().out
+
+    def refuse(*args, **kwargs):
+        raise AssertionError("warm cache run must not simulate")
+
+    monkeypatch.setattr(backend_module, "simulate", refuse)
+    assert main(argv) == 0
+    assert capsys.readouterr().out == cold_out
+
+
+def test_cache_dir_env_var_enables_cache(capsys, tmp_path, monkeypatch):
+    cache = tmp_path / "env-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+    assert main(["figure", "fig03", "--preset", "quick"]) == 0
+    capsys.readouterr()
+    assert cache.exists() and any(cache.iterdir())
+
+
+def test_no_cache_overrides_cache_dir(capsys, tmp_path):
+    cache = tmp_path / "cache"
+    assert main([
+        "figure", "fig03", "--preset", "quick",
+        "--cache-dir", str(cache), "--no-cache",
+    ]) == 0
+    capsys.readouterr()
+    assert not cache.exists()
+
+
+def test_exec_flags_have_help_text():
+    import io
+    from contextlib import redirect_stdout
+
+    with pytest.raises(SystemExit):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            build_parser().parse_args(["figure", "--help"])
+    help_text = buffer.getvalue()
+    for flag in ("--jobs", "--cache-dir", "--no-cache", "--resume"):
+        assert flag in help_text

@@ -1,0 +1,217 @@
+"""Execution backends: serial/process-pool parity and retry semantics.
+
+The contract under test is the one that justifies the whole execution
+layer: a run is a pure function of its :class:`~repro.runspec.RunSpec`,
+so a worker process must produce bit-identical results -- series
+values, overhead buckets, message counts, *and* determinism digests --
+to an in-process run.  The only field allowed to differ is the measured
+``wall_seconds``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.exec.backend as backend_module
+from repro import FaultConfig, RunSpec
+from repro.errors import ConfigError, RetryLimitError
+from repro.exec import (
+    PointFailure,
+    ProcessPoolBackend,
+    SerialBackend,
+    execute_spec,
+    make_backend,
+)
+from repro.exec.backend import drain
+from repro.experiments import SweepRunner, get_experiment
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "digests.json"
+
+
+def canonical(result) -> dict:
+    """A result's bit-comparable form (wall time is a host artifact)."""
+    data = result.to_dict()
+    data.pop("wall_seconds")
+    return data
+
+
+def golden_spec(machine: str, topology: str) -> RunSpec:
+    """The golden-digest workload (see test_goldens.py) as a RunSpec."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    workload = golden["workload"]
+    return RunSpec.build(
+        app=workload["app"], machine=machine, nprocs=workload["nprocs"],
+        topology=topology, params=workload["params"], digest=True,
+    )
+
+
+# -- backend construction ------------------------------------------------------------
+
+
+def test_make_backend_selects_by_jobs():
+    assert isinstance(make_backend(1), SerialBackend)
+    assert isinstance(make_backend(4), ProcessPoolBackend)
+    assert make_backend(4).jobs == 4
+
+
+def test_process_pool_rejects_single_job():
+    with pytest.raises(ConfigError, match="at least 2"):
+        ProcessPoolBackend(1)
+
+
+def test_serial_backend_streams_lazily(monkeypatch):
+    """Points execute as the stream is consumed, not all up front --
+    the property incremental checkpointing relies on."""
+    calls = {"count": 0}
+    real_simulate = backend_module.simulate
+
+    def counting(app, machine_name, config, **kwargs):
+        calls["count"] += 1
+        return real_simulate(app, machine_name, config, **kwargs)
+
+    monkeypatch.setattr(backend_module, "simulate", counting)
+    specs = [
+        RunSpec.build("fft", "ideal", 2, preset="quick"),
+        RunSpec.build("fft", "ideal", 4, preset="quick"),
+    ]
+    stream = SerialBackend().run(specs)
+    assert calls["count"] == 0
+    next(stream)
+    assert calls["count"] == 1
+    next(stream)
+    assert calls["count"] == 2
+
+
+# -- retry / failure semantics -------------------------------------------------------
+
+
+def test_execute_spec_retries_then_records_failure(monkeypatch):
+    calls = {"count": 0}
+
+    def dying(app, machine_name, config, **kwargs):
+        calls["count"] += 1
+        raise RetryLimitError(0, 1, 3, 12345)
+
+    monkeypatch.setattr(backend_module, "simulate", dying)
+    outcome = execute_spec(RunSpec.build("fft", "logp", 2, preset="quick"),
+                           retries=2)
+    assert isinstance(outcome, PointFailure)
+    assert outcome.attempts == 3  # initial + two retries
+    assert calls["count"] == 3
+    assert outcome.error == "RetryLimitError"
+
+
+def test_execute_spec_recovers_on_retry(monkeypatch):
+    real_simulate = backend_module.simulate
+    calls = {"count": 0}
+
+    def flaky_once(app, machine_name, config, **kwargs):
+        calls["count"] += 1
+        if calls["count"] == 1:
+            raise RetryLimitError(0, 1, 3, 12345)
+        return real_simulate(app, machine_name, config, **kwargs)
+
+    monkeypatch.setattr(backend_module, "simulate", flaky_once)
+    outcome = execute_spec(RunSpec.build("fft", "ideal", 2, preset="quick"),
+                           retries=1)
+    assert not isinstance(outcome, PointFailure)
+    assert outcome.verified
+
+
+# -- serial vs process-pool parity (satellite: parallel determinism) -----------------
+
+
+@pytest.mark.parametrize("topology", ("full", "mesh"))
+def test_pool_matches_serial_and_goldens(topology):
+    """Worker processes must reproduce the golden determinism digests
+    and bit-identical results for target and clogp machines."""
+    specs = [golden_spec(machine, topology) for machine in ("target", "clogp")]
+    serial = drain(SerialBackend().run(specs))
+    with ProcessPoolBackend(2) as pool:
+        parallel = drain(pool.run(specs))
+    goldens = json.loads(GOLDEN_PATH.read_text())["digests"]
+    for spec in specs:
+        key = spec.spec_digest()
+        serial_result, pool_result = serial[key], parallel[key]
+        assert canonical(pool_result) == canonical(serial_result)
+        golden = goldens[f"{spec.machine}/{spec.config.topology}"]
+        assert serial_result.check_report.digest == golden
+        assert pool_result.check_report.digest == golden
+
+
+def test_pool_matches_serial_under_fault_injection():
+    """With a fixed fault seed, recovery schedules are deterministic,
+    so parallel execution must still be bit-identical -- including the
+    determinism digest of the faulted run."""
+    fault = FaultConfig(drop_rate=0.02, delay_rate=0.02, seed=1234)
+    specs = [
+        RunSpec.build("fft", machine, 4, preset="quick", fault=fault,
+                      digest=True)
+        for machine in ("target", "clogp")
+    ]
+    serial = drain(SerialBackend().run(specs))
+    with ProcessPoolBackend(2) as pool:
+        parallel = drain(pool.run(specs))
+    for key, serial_result in serial.items():
+        assert canonical(parallel[key]) == canonical(serial_result)
+        assert (parallel[key].check_report.digest
+                == serial_result.check_report.digest)
+        assert serial_result.check_report.digest is not None
+
+
+def test_pool_reports_point_failures_like_serial():
+    """A run that deterministically exhausts its ARQ retries must come
+    back as the same PointFailure from a worker process."""
+    fault = FaultConfig(drop_rate=0.9, max_retries=1, seed=42)
+    spec = RunSpec.build("fft", "clogp", 2, preset="quick", fault=fault)
+    serial = execute_spec(spec, retries=1)
+    with ProcessPoolBackend(2) as pool:
+        ((_, parallel),) = list(pool.run([spec], retries=1))
+    assert isinstance(serial, PointFailure)
+    assert parallel == serial
+
+
+# -- sweep-runner level parity -------------------------------------------------------
+
+
+def figure_fingerprint(runner: SweepRunner, experiment_id: str):
+    data = runner.run_experiment(get_experiment(experiment_id))
+    digests = {
+        label: [
+            None if isinstance(outcome, PointFailure)
+            else outcome.check_report.digest
+            for outcome in outcomes
+        ]
+        for label, outcomes in data.results.items()
+    }
+    return data.series, digests
+
+
+def test_sweep_runner_jobs2_matches_serial():
+    """A quick-preset figure under --jobs 2 must produce bit-identical
+    series values and per-run determinism digests to the serial path."""
+    with SweepRunner(preset="quick", processors=(1, 4),
+                     digest=True) as serial:
+        serial_series, serial_digests = figure_fingerprint(serial, "fig01")
+    with SweepRunner(preset="quick", processors=(1, 4), digest=True,
+                     jobs=2) as parallel:
+        parallel_series, parallel_digests = figure_fingerprint(
+            parallel, "fig01")
+    assert parallel_series == serial_series
+    assert parallel_digests == serial_digests
+    assert all(d is not None
+               for row in serial_digests.values() for d in row)
+
+
+def test_sweep_runner_jobs2_matches_serial_under_faults():
+    fault = FaultConfig(drop_rate=0.02, seed=9)
+    with SweepRunner(preset="quick", processors=(1, 4), digest=True,
+                     fault=fault) as serial:
+        serial_series, serial_digests = figure_fingerprint(serial, "fig03")
+    with SweepRunner(preset="quick", processors=(1, 4), digest=True,
+                     fault=fault, jobs=2) as parallel:
+        parallel_series, parallel_digests = figure_fingerprint(
+            parallel, "fig03")
+    assert parallel_series == serial_series
+    assert parallel_digests == serial_digests

@@ -1,0 +1,206 @@
+"""ResultStore: on-disk caching, corruption quarantine, cache bypass."""
+
+import json
+
+import pytest
+
+import repro.exec.backend as backend_module
+from repro import RunSpec
+from repro.exec import ResultStore
+from repro.exec.store import QUARANTINE_SUFFIX, STORE_SCHEMA
+from repro.experiments import SweepRunner, get_experiment, render_figure
+
+
+@pytest.fixture
+def counted_simulate(monkeypatch):
+    """Count real simulations so cache hits are directly observable."""
+    real_simulate = backend_module.simulate
+    calls = {"count": 0}
+
+    def counting(app, machine_name, config, **kwargs):
+        calls["count"] += 1
+        return real_simulate(app, machine_name, config, **kwargs)
+
+    monkeypatch.setattr(backend_module, "simulate", counting)
+    return calls
+
+
+def quick_spec(**overrides) -> RunSpec:
+    kwargs = dict(app="fft", machine="clogp", nprocs=2, preset="quick")
+    kwargs.update(overrides)
+    return RunSpec.build(**kwargs)
+
+
+# -- direct store behaviour ---------------------------------------------------------
+
+
+def test_get_put_round_trip(tmp_path):
+    from repro.core.runner import simulate_spec
+
+    store = ResultStore(tmp_path / "cache")
+    spec = quick_spec()
+    assert store.get(spec) is None
+    result = simulate_spec(spec)
+    store.put(spec, result)
+    cached = store.get(spec)
+    assert cached is not None
+    assert cached.to_dict() == result.to_dict()
+    assert store.stats() == {"hits": 1, "misses": 1, "stores": 1,
+                             "quarantined": 0}
+
+
+def test_entries_are_keyed_by_spec_digest(tmp_path):
+    from repro.core.runner import simulate_spec
+
+    store = ResultStore(tmp_path)
+    spec = quick_spec()
+    store.put(spec, simulate_spec(spec))
+    # A different seed is a different spec: no aliasing.
+    assert store.get(quick_spec(seed=999)) is None
+    digest = spec.spec_digest()
+    entry = tmp_path / digest[:2] / f"{digest}.json"
+    assert entry.exists()
+    payload = json.loads(entry.read_text())
+    assert payload["schema"] == STORE_SCHEMA
+    assert payload["spec_digest"] == digest
+    assert payload["spec"] == spec.to_dict()
+
+
+def test_corrupt_entry_is_quarantined_and_re_simulated(tmp_path,
+                                                       counted_simulate):
+    spec = quick_spec()
+    digest = spec.spec_digest()
+    with SweepRunner(preset="quick", cache_dir=tmp_path) as runner:
+        runner.run_batch([spec])
+    assert counted_simulate["count"] == 1
+    entry = tmp_path / digest[:2] / f"{digest}.json"
+    payload = entry.read_bytes()
+    entry.write_bytes(payload[: len(payload) // 2])  # truncate mid-write
+
+    with SweepRunner(preset="quick", cache_dir=tmp_path) as runner:
+        runner.run_batch([spec])
+        assert runner.store.quarantined == 1
+    # The corrupt file was moved aside, the point re-simulated exactly
+    # once, and the cache repaired with a fresh entry.
+    assert counted_simulate["count"] == 2
+    assert entry.with_name(entry.name + QUARANTINE_SUFFIX).exists()
+    assert entry.exists()
+    store = ResultStore(tmp_path)
+    assert store.get(spec) is not None
+
+
+def test_garbage_json_entry_is_quarantined(tmp_path):
+    from repro.core.runner import simulate_spec
+
+    store = ResultStore(tmp_path)
+    spec = quick_spec()
+    store.put(spec, simulate_spec(spec))
+    digest = spec.spec_digest()
+    entry = tmp_path / digest[:2] / f"{digest}.json"
+    entry.write_text("{not json")
+    fresh = ResultStore(tmp_path)
+    assert fresh.get(spec) is None
+    assert fresh.quarantined == 1
+    assert not entry.exists()
+
+
+def test_wrong_digest_entry_is_quarantined(tmp_path):
+    """An entry whose recorded digest disagrees with its path is
+    corrupt -- serving it would attribute a result to the wrong spec."""
+    from repro.core.runner import simulate_spec
+
+    store = ResultStore(tmp_path)
+    spec = quick_spec()
+    store.put(spec, simulate_spec(spec))
+    digest = spec.spec_digest()
+    entry = tmp_path / digest[:2] / f"{digest}.json"
+    payload = json.loads(entry.read_text())
+    payload["spec_digest"] = "0" * len(digest)
+    entry.write_text(json.dumps(payload))
+    fresh = ResultStore(tmp_path)
+    assert fresh.get(spec) is None
+    assert fresh.quarantined == 1
+
+
+def test_foreign_schema_entry_is_a_plain_miss(tmp_path):
+    """A different store schema is a version skew, not corruption: the
+    entry is left in place for the other version and overwritten here."""
+    from repro.core.runner import simulate_spec
+
+    store = ResultStore(tmp_path)
+    spec = quick_spec()
+    store.put(spec, simulate_spec(spec))
+    digest = spec.spec_digest()
+    entry = tmp_path / digest[:2] / f"{digest}.json"
+    payload = json.loads(entry.read_text())
+    payload["schema"] = STORE_SCHEMA + 1
+    entry.write_text(json.dumps(payload))
+    fresh = ResultStore(tmp_path)
+    assert fresh.get(spec) is None
+    assert fresh.quarantined == 0
+    assert entry.exists()  # not moved aside
+
+
+# -- sweep-runner integration -------------------------------------------------------
+
+
+def test_warm_store_performs_zero_simulations(tmp_path, counted_simulate):
+    """The acceptance check: a second invocation against a warm store
+    answers every point from disk and simulates nothing."""
+    experiment = get_experiment("fig01")
+    with SweepRunner(preset="quick", processors=(1, 4),
+                     cache_dir=tmp_path) as cold:
+        cold_data = cold.run_experiment(experiment)
+        assert cold.simulated == counted_simulate["count"] > 0
+
+    cold_count = counted_simulate["count"]
+    with SweepRunner(preset="quick", processors=(1, 4),
+                     cache_dir=tmp_path) as warm:
+        warm_data = warm.run_experiment(experiment)
+        assert warm.simulated == 0
+        assert warm.store.hits == cold_count
+    assert counted_simulate["count"] == cold_count  # zero new simulations
+    assert warm_data.series == cold_data.series
+    assert render_figure(warm_data) == render_figure(cold_data)
+
+
+def test_warm_store_serves_parallel_backend(tmp_path, counted_simulate):
+    """Cache entries written by a serial run satisfy a --jobs 2 run."""
+    experiment = get_experiment("fig01")
+    with SweepRunner(preset="quick", processors=(1, 4),
+                     cache_dir=tmp_path) as cold:
+        cold_data = cold.run_experiment(experiment)
+    cold_count = counted_simulate["count"]
+    with SweepRunner(preset="quick", processors=(1, 4), jobs=2,
+                     cache_dir=tmp_path) as warm:
+        warm_data = warm.run_experiment(experiment)
+        assert warm.simulated == 0
+    assert counted_simulate["count"] == cold_count
+    assert warm_data.series == cold_data.series
+
+
+def test_no_cache_dir_means_no_cache_files(tmp_path, counted_simulate):
+    with SweepRunner(preset="quick", processors=(1,)) as runner:
+        runner.run_point("fft", "clogp", "full", 1)
+        assert runner.store is None
+    assert list(tmp_path.iterdir()) == []
+    assert counted_simulate["count"] == 1
+
+
+def test_failures_are_not_cached(tmp_path, monkeypatch):
+    """Failures may be transient (host trouble, interrupted runs), so
+    only successful results are persisted."""
+    from repro.errors import RetryLimitError
+    from repro.exec import PointFailure
+
+    def dying(app, machine_name, config, **kwargs):
+        raise RetryLimitError(0, 1, 3, 12345)
+
+    monkeypatch.setattr(backend_module, "simulate", dying)
+    spec = quick_spec()
+    with SweepRunner(preset="quick", cache_dir=tmp_path) as runner:
+        runner.run_batch([spec])
+        assert isinstance(runner.outcome_of(spec), PointFailure)
+        assert runner.store.stores == 0
+    digest = spec.spec_digest()
+    assert not (tmp_path / digest[:2] / f"{digest}.json").exists()

@@ -1,0 +1,160 @@
+"""RunSpec: canonical serialization and the spec digest.
+
+The digest replaces the retired hand-maintained ``RunKey`` tuple as the
+identity of one simulation.  The tuple dropped fields it did not know
+about -- ``barrier`` and ``seed`` among them -- so two genuinely
+different runs could alias under one memo key.  The digest hashes the
+*entire* canonical serialization, so every configuration knob
+participates by construction.
+"""
+
+import pytest
+
+from repro import FaultConfig, RunSpec, SystemConfig
+from repro.errors import ConfigError
+from repro.faults import LinkFailure, NodeStall
+
+
+def spec(**overrides) -> RunSpec:
+    kwargs = dict(app="fft", machine="clogp", nprocs=4, topology="full",
+                  preset="quick")
+    kwargs.update(overrides)
+    return RunSpec.build(**kwargs)
+
+
+# -- digest stability ---------------------------------------------------------------
+
+
+def test_digest_is_stable_across_constructions():
+    assert spec().spec_digest() == spec().spec_digest()
+
+
+def test_digest_is_independent_of_params_dict_order():
+    first = RunSpec.build("is", "target", 4, params={"keys": 512, "buckets": 64})
+    second = RunSpec.build("is", "target", 4, params={"buckets": 64, "keys": 512})
+    assert first == second
+    assert first.spec_digest() == second.spec_digest()
+
+
+def test_digest_survives_serialization_round_trip():
+    original = spec(fault=FaultConfig(drop_rate=0.01, seed=7),
+                    barrier="tree", check="strict")
+    rebuilt = RunSpec.from_dict(original.to_dict())
+    assert rebuilt == original
+    assert rebuilt.spec_digest() == original.spec_digest()
+
+
+# -- every knob participates (the RunKey aliasing hazard) ---------------------------
+
+
+@pytest.mark.parametrize("overrides", [
+    {"app": "cg"},
+    {"machine": "target"},
+    {"topology": "mesh"},
+    {"nprocs": 8},
+    {"preset": "default"},
+    {"seed": 999},                      # RunKey dropped the seed
+    {"barrier": "tree"},                # RunKey dropped the barrier
+    {"protocol": "illinois"},
+    {"adaptive_g": True},
+    {"g_per_event_type": True},
+    {"digest": True},
+    {"max_events": 1_000_000},
+    {"fault": FaultConfig(drop_rate=0.05)},
+    {"fault": FaultConfig(seed=3)},
+    {"params": {"points": 1024}},
+])
+def test_every_field_changes_the_digest(overrides):
+    assert spec(**overrides).spec_digest() != spec().spec_digest()
+
+
+def test_check_level_changes_the_digest():
+    # Explicit levels on both sides: the omitted-check default tracks
+    # the ambient REPRO_CHECK, so it cannot anchor this comparison.
+    assert (spec(check="strict").spec_digest()
+            != spec(check="off").spec_digest())
+
+
+def test_fault_windows_change_the_digest():
+    windowed = spec(fault=FaultConfig(
+        link_failures=(LinkFailure(0, 1, 10, 20),),
+        node_stalls=(NodeStall(2, 5, 9),),
+    ))
+    assert windowed.spec_digest() != spec().spec_digest()
+    rebuilt = RunSpec.from_dict(windowed.to_dict())
+    assert rebuilt.config.fault.link_failures == (LinkFailure(0, 1, 10, 20),)
+    assert rebuilt.config.fault.node_stalls == (NodeStall(2, 5, 9),)
+    assert rebuilt.spec_digest() == windowed.spec_digest()
+
+
+def test_config_hardware_fields_change_the_digest():
+    custom = RunSpec(
+        app="fft", machine="target",
+        config=SystemConfig(processors=4, memory_cycles=20),
+        params={"points": 512}, preset="quick",
+    )
+    base = RunSpec(
+        app="fft", machine="target",
+        config=SystemConfig(processors=4),
+        params={"points": 512}, preset="quick",
+    )
+    assert custom.spec_digest() != base.spec_digest()
+
+
+# -- strict deserialization ---------------------------------------------------------
+
+
+def test_from_dict_rejects_unknown_config_fields():
+    payload = spec().to_dict()
+    payload["config"]["flux_capacitor"] = True
+    with pytest.raises(ConfigError, match="flux_capacitor"):
+        RunSpec.from_dict(payload)
+
+
+def test_from_dict_rejects_missing_config_fields():
+    payload = spec().to_dict()
+    del payload["config"]["barrier"]
+    with pytest.raises(ConfigError, match="barrier"):
+        RunSpec.from_dict(payload)
+
+
+def test_from_dict_rejects_wrong_schema():
+    payload = spec().to_dict()
+    payload["schema"] = 99
+    with pytest.raises(ConfigError, match="schema 99"):
+        RunSpec.from_dict(payload)
+
+
+def test_unknown_machine_rejected():
+    with pytest.raises(ConfigError, match="unknown machine"):
+        RunSpec(app="fft", machine="vax", config=SystemConfig(processors=4))
+
+
+def test_non_scalar_params_rejected():
+    with pytest.raises(ConfigError, match="JSON scalar"):
+        RunSpec(app="fft", machine="clogp",
+                config=SystemConfig(processors=4),
+                params={"points": [1, 2, 3]})
+
+
+# -- execution helpers --------------------------------------------------------------
+
+
+def test_make_application_returns_fresh_instances():
+    s = spec()
+    first = s.make_application()
+    second = s.make_application()
+    assert first is not second
+    assert first.name == "fft"
+    assert first.nprocs == 4
+
+
+def test_build_resolves_preset_params():
+    from repro.experiments.workloads import app_params
+
+    s = spec()
+    assert s.params_dict == app_params("fft", "quick")
+
+
+def test_describe_names_the_point():
+    assert spec().describe() == "fft/clogp/full/p=4 (quick)"

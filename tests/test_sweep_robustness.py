@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+import repro.exec.backend as backend_module
 import repro.experiments.runner as runner_module
 from repro.errors import ConfigError, ReproError, RetryLimitError
 from repro.experiments import get_experiment
@@ -12,8 +13,12 @@ from repro.experiments.runner import PointFailure, SweepRunner
 
 @pytest.fixture
 def failing_simulate(monkeypatch):
-    """Make every LogP-machine run die; other machines run normally."""
-    real_simulate = runner_module.simulate
+    """Make every LogP-machine run die; other machines run normally.
+
+    Execution lives in the backend layer now, so that is where the
+    simulation entry point is patched.
+    """
+    real_simulate = backend_module.simulate
     calls = {"failed": 0}
 
     def flaky(app, machine_name, config, **kwargs):
@@ -22,7 +27,7 @@ def failing_simulate(monkeypatch):
             raise RetryLimitError(0, 1, 3, 12345)
         return real_simulate(app, machine_name, config, **kwargs)
 
-    monkeypatch.setattr(runner_module, "simulate", flaky)
+    monkeypatch.setattr(backend_module, "simulate", flaky)
     return calls
 
 
@@ -66,7 +71,7 @@ def test_checkpoint_written_and_resumed(tmp_path, failing_simulate):
     first.run_experiment(get_experiment("fig01"))
     assert checkpoint.exists()
     payload = json.loads(checkpoint.read_text())
-    assert payload["version"] == 1
+    assert payload["version"] == runner_module.CHECKPOINT_SCHEMA
     assert payload["results"]  # completed points journaled
     assert payload["failures"]  # failed points journaled
     completed_before = len(payload["results"])
@@ -91,7 +96,7 @@ def test_checkpoint_resume_completes_partial_sweep(tmp_path):
                         checkpoint_path=checkpoint)
     first.run_point("fft", "clogp", "full", 1)
     runs = {"count": 0}
-    real_simulate = runner_module.simulate
+    real_simulate = backend_module.simulate
 
     def counting(app, machine_name, config, **kwargs):
         runs["count"] += 1
@@ -100,13 +105,13 @@ def test_checkpoint_resume_completes_partial_sweep(tmp_path):
     second = SweepRunner(preset="quick", processors=(1, 4),
                          checkpoint_path=checkpoint)
     try:
-        runner_module.simulate = counting
+        backend_module.simulate = counting
         second.run_point("fft", "clogp", "full", 1)  # resumed
         assert runs["count"] == 0
         second.run_point("fft", "clogp", "full", 4)  # new work
         assert runs["count"] == 1
     finally:
-        runner_module.simulate = real_simulate
+        backend_module.simulate = real_simulate
 
 
 def test_render_figure_marks_failed_points(failing_simulate):
@@ -162,7 +167,8 @@ def test_checkpoint_save_fsyncs_before_rename(tmp_path, monkeypatch):
     synced = []
     real_fsync = os_module.fsync
     monkeypatch.setattr(
-        runner_module.os, "fsync", lambda fd: synced.append(fd) or real_fsync(fd)
+        runner_module.os, "fsync",
+        lambda fd: synced.append(fd) or real_fsync(fd),
     )
     replaced = []
     real_replace = os_module.replace
@@ -176,3 +182,90 @@ def test_checkpoint_save_fsyncs_before_rename(tmp_path, monkeypatch):
                          checkpoint_path=tmp_path / "sweep.json")
     runner.run_point("fft", "ideal", "full", 2)
     assert replaced and all(replaced)
+
+
+# -- checkpoint schema versioning ----------------------------------------------------
+
+
+def test_stale_v1_checkpoint_is_rejected(tmp_path):
+    """A tuple-keyed (schema 1) checkpoint must be rejected loudly, not
+    silently resumed as the wrong points."""
+    checkpoint = tmp_path / "sweep.json"
+    checkpoint.write_text(json.dumps({
+        "version": 1,
+        "preset": "quick",
+        "seed": 12345,
+        "results": {
+            "fft|clogp|full|4|quick|False|False|berkeley": {"total_ns": 1},
+        },
+        "failures": {},
+    }))
+    with pytest.raises(ConfigError) as excinfo:
+        SweepRunner(preset="quick", checkpoint_path=checkpoint)
+    message = str(excinfo.value)
+    assert "schema version 1" in message
+    assert str(checkpoint) in message
+
+
+def test_versionless_checkpoint_is_rejected(tmp_path):
+    checkpoint = tmp_path / "sweep.json"
+    checkpoint.write_text(json.dumps({"results": {}, "failures": {}}))
+    with pytest.raises(ConfigError, match="schema version None"):
+        SweepRunner(preset="quick", checkpoint_path=checkpoint)
+
+
+def test_checkpoint_with_foreign_config_schema_is_rejected(tmp_path):
+    """An entry whose serialized config carries unknown fields (written
+    by a future schema) must raise, not resume with defaults."""
+    checkpoint = tmp_path / "sweep.json"
+    runner = SweepRunner(preset="quick", processors=(2,),
+                         checkpoint_path=checkpoint)
+    runner.run_point("fft", "ideal", "full", 2)
+    payload = json.loads(checkpoint.read_text())
+    (entry,) = payload["results"].values()
+    entry["spec"]["config"]["warp_factor"] = 9
+    checkpoint.write_text(json.dumps(payload))
+    with pytest.raises(ConfigError, match="warp_factor"):
+        SweepRunner(preset="quick", checkpoint_path=checkpoint)
+
+
+def test_checkpoint_digest_mismatch_is_rejected(tmp_path):
+    """A journaled spec that re-hashes to a different digest means the
+    file was tampered with or written by a different schema."""
+    checkpoint = tmp_path / "sweep.json"
+    runner = SweepRunner(preset="quick", processors=(2,),
+                         checkpoint_path=checkpoint)
+    runner.run_point("fft", "ideal", "full", 2)
+    payload = json.loads(checkpoint.read_text())
+    (entry,) = payload["results"].values()
+    entry["spec"]["config"]["seed"] = 999  # silently edited point
+    checkpoint.write_text(json.dumps(payload))
+    with pytest.raises(ConfigError, match="re-hashes"):
+        SweepRunner(preset="quick", checkpoint_path=checkpoint)
+
+
+def test_checkpoint_does_not_alias_differing_seeds(tmp_path):
+    """The retired RunKey dropped the seed, so a resumed sweep with a
+    different master seed silently reused the old seed's results.  The
+    digest keys must keep them apart."""
+    checkpoint = tmp_path / "sweep.json"
+    first = SweepRunner(preset="quick", processors=(2,), seed=1,
+                        checkpoint_path=checkpoint)
+    first.run_point("fft", "clogp", "full", 2)
+    second = SweepRunner(preset="quick", processors=(2,), seed=2,
+                         checkpoint_path=checkpoint)
+    spec = second.point_spec("fft", "clogp", "full", 2)
+    assert second.outcome_of(spec) is None  # different seed: not resumed
+    runs = {"count": 0}
+    real_simulate = backend_module.simulate
+
+    def counting(app, machine_name, config, **kwargs):
+        runs["count"] += 1
+        return real_simulate(app, machine_name, config, **kwargs)
+
+    try:
+        backend_module.simulate = counting
+        second.run_point("fft", "clogp", "full", 2)
+        assert runs["count"] == 1  # re-simulated under the new seed
+    finally:
+        backend_module.simulate = real_simulate
