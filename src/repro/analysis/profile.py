@@ -36,18 +36,18 @@ def profile_table(result: RunResult) -> str:
             "contention_us", "sync_us", "retry_us", "total_us",
         ),
     ]
-    for row in processor_profile(result):
-        lines.append(
-            "{:>5d} {:>12.1f} {:>10.1f} {:>10.1f} {:>12.1f} {:>10.1f} "
-            "{:>10.1f} {:>12.1f}".format(
-                row["pid"],
-                row["compute_us"],
-                row["memory_us"],
-                row["latency_us"],
-                row["contention_us"],
-                row["sync_us"],
-                row["retry_us"],
-                row["total_us"],
-            )
+    lines.extend(
+        "{:>5d} {:>12.1f} {:>10.1f} {:>10.1f} {:>12.1f} {:>10.1f} "
+        "{:>10.1f} {:>12.1f}".format(
+            row["pid"],
+            row["compute_us"],
+            row["memory_us"],
+            row["latency_us"],
+            row["contention_us"],
+            row["sync_us"],
+            row["retry_us"],
+            row["total_us"],
         )
+        for row in processor_profile(result)
+    )
     return "\n".join(lines)

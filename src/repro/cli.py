@@ -157,6 +157,7 @@ def _spec_from_args(args: argparse.Namespace, **overrides) -> RunSpec:
         barrier=getattr(args, "barrier", "central"),
         adaptive_g=getattr(args, "adaptive_g", False),
         g_per_event_type=getattr(args, "g_per_event_type", False),
+        batch_local=not getattr(args, "no_batch_local", False),
         fault=_fault_from_args(args) if hasattr(args, "fault_drop") else None,
     )
     build_kwargs.update(overrides)
@@ -193,8 +194,19 @@ def _cmd_params(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
-    result = simulate_spec(spec)
     config = spec.config
+    profile_engine = getattr(args, "profile_engine", False)
+    if profile_engine:
+        # simulate_spec discards the machine; keep it for the engine
+        # counters.
+        from .core.runner import simulate_full
+
+        result, machine = simulate_full(
+            spec.make_application(), spec.machine, config,
+            max_events=spec.max_events,
+        )
+    else:
+        result = simulate_spec(spec)
     print(result.summary())
     if result.check_report is not None:
         print(result.check_report.summary())
@@ -209,6 +221,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if config.fault.enabled:
             line += f" retry={ns_to_us(buckets.retry_ns):10.1f}us"
         print(line)
+    if profile_engine:
+        profile = machine.sim.engine_profile()
+        print("engine profile:")
+        for key, value in profile.items():
+            print(f"  {key:<18} {value}")
+        if result.wall_seconds > 0:
+            rate = profile["events_executed"] / result.wall_seconds
+            print(f"  events_per_sec     {rate:,.0f}")
     return 0 if result.verified else 1
 
 
@@ -358,6 +378,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="history-based g estimation (Section 7)")
     p_run.add_argument("--g-per-event-type", action="store_true",
                        help="apply g only between identical event types")
+    p_run.add_argument("--profile-engine", action="store_true",
+                       help="print the engine's internal activity "
+                            "counters (event counts by source, pooling "
+                            "stats, events/sec) after the run")
+    p_run.add_argument("--no-batch-local", action="store_true",
+                       help="release accumulated local time (compute "
+                            "quanta, cache hits) after every operation "
+                            "instead of batching until the next "
+                            "externally visible interaction")
     p_run.add_argument("--digest", action="store_true",
                        help="compute and print the determinism digest")
     p_run.set_defaults(func=_cmd_run)

@@ -134,6 +134,16 @@ class SystemConfig:
     #: tooling for why that matters).
     barrier: str = "central"
 
+    #: When True (default) consecutive purely-local progress -- compute
+    #: quanta and cache hits -- accumulates in the processor's pending
+    #: counter and reaches the engine as a *single* deferred timeout,
+    #: flushed before any externally visible interaction.  When False
+    #: every local quantum is released to the engine as its own timeout
+    #: (one event per hit), which is the behaviour the paper attributes
+    #: the LogP model's simulation slowness to.  Accounting is identical
+    #: either way; only event counts (and host speed) differ.
+    batch_local: bool = True
+
     #: Master seed for all deterministic random streams.
     seed: int = 12345
 

@@ -56,39 +56,38 @@ class CLogPMachine(Machine):
         self.memory = CoherentMemory(
             config, self.space, checkers=self.checkers, sim=self.sim
         )
+        # Hot-path constants (attribute chains cost on every access).
+        self._block_bytes = config.block_bytes
+        self._hit_ns = config.cache_hit_ns
+        self._fill_ns = config.cache_hit_ns + config.memory_ns
+        self._caches = self.memory.caches
 
     # -- memory interface ---------------------------------------------------------
 
     def try_fast(self, pid: int, addr: int, is_write: bool) -> Optional[int]:
-        config = self.config
-        block = addr // config.block_bytes
+        block = addr // self._block_bytes
         memory = self.memory
-        cache = memory.caches[pid]
-        state = cache.state_of(block)
+        cache = self._caches[pid]
+        if cache.probe(block, is_write):
+            return self._hit_ns
         if not is_write:
-            if state.is_valid:
-                cache.lookup(block)
-                return config.cache_hit_ns
             if memory.read_source(pid, block) is not None:
                 return None  # remote data: needs a round trip
             # Local fill from home memory: free of network, pays memory.
             memory.plan_read(pid, block)
-            return config.cache_hit_ns + config.memory_ns
-        if state.is_writable:
-            cache.lookup(block)
-            return config.cache_hit_ns
+            return self._fill_ns
         if memory.try_silent_upgrade(pid, block):
             cache.lookup(block)
-            return config.cache_hit_ns
-        if state.is_valid:
+            return self._hit_ns
+        if cache.state_of(block).is_valid:
             # Ownership upgrade: data already present, invalidations are
             # coherence overhead and cost nothing here.
             memory.plan_write(pid, block)
-            return config.cache_hit_ns
+            return self._hit_ns
         if memory.write_source(pid, block) is not None:
             return None
         memory.plan_write(pid, block)
-        return config.cache_hit_ns + config.memory_ns
+        return self._fill_ns
 
     def transact(self, pid: int, addr: int, is_write: bool):
         config = self.config
@@ -109,13 +108,13 @@ class CLogPMachine(Machine):
         if source is None or source == pid:
             # The source moved local while we flushed pending time.
             service = config.memory_ns
-            yield self.sim.timeout(service)
+            yield service
             return 0, service
         service = config.memory_ns if from_memory else config.cache_hit_ns
         trip = self.net.round_trip(pid, source, service_ns=service)
         if trip.retry_ns:
             self.record_retry(pid, trip.retry_ns)
-        yield self.sim.timeout(trip.total_ns)
+        yield trip.total_ns
         return trip.latency_ns, service
 
 
@@ -140,7 +139,7 @@ class CLogPMachine(Machine):
             if trip.retry_ns:
                 self.record_retry(pid, trip.retry_ns)
             remaining -= packet
-        yield self.sim.timeout(total)
+        yield total
         return latency, 0
 
     def message_count(self) -> int:

@@ -61,7 +61,7 @@ class LogPMachine(Machine):
         trip = self.net.round_trip(pid, home, service_ns=self.config.memory_ns)
         if trip.retry_ns:
             self.record_retry(pid, trip.retry_ns)
-        yield self.sim.timeout(trip.total_ns)
+        yield trip.total_ns
         return trip.latency_ns, trip.service_ns
 
 
@@ -86,7 +86,7 @@ class LogPMachine(Machine):
             if trip.retry_ns:
                 self.record_retry(pid, trip.retry_ns)
             remaining -= packet
-        yield self.sim.timeout(total)
+        yield total
         return latency, 0
 
     # -- spin model ---------------------------------------------------------------

@@ -248,7 +248,8 @@ class Machine(ABC):
 
     def op_lock(self, proc: "Processor", key: Hashable):
         """Acquire a lock with test-test&set semantics."""
-        yield from proc.flush()
+        if proc._pending_ns:
+            yield from proc.flush()
         lock = self._lock_var(key)
         while True:
             # Test: read the lock word (may miss -> network traffic).
@@ -269,7 +270,8 @@ class Machine(ABC):
 
     def op_unlock(self, proc: "Processor", key: Hashable):
         """Release a lock, waking all spinners (invalidation storm)."""
-        yield from proc.flush()
+        if proc._pending_ns:
+            yield from proc.flush()
         lock = self._lock_var(key)
         if lock.holder != proc.pid:
             raise SimulationError(
@@ -299,7 +301,8 @@ class Machine(ABC):
         its own node, so traffic follows tree edges -- O(log p) depth
         and no central hot spot.
         """
-        yield from proc.flush()
+        if proc._pending_ns:
+            yield from proc.flush()
         barrier = self._tree_barrier_var(key)
         pid = proc.pid
         generation = barrier.counts[pid] + 1
@@ -325,7 +328,8 @@ class Machine(ABC):
 
     def _op_central_barrier(self, proc: "Processor", key: Hashable):
         """Centralized sense-reversing barrier over all processors."""
-        yield from proc.flush()
+        if proc._pending_ns:
+            yield from proc.flush()
         barrier = self._barrier_var(key)
         yield from self.op_lock(proc, barrier.lock_key)
         # Fetch&increment of the arrival counter under the lock.
@@ -349,7 +353,8 @@ class Machine(ABC):
 
     def op_set_flag(self, proc: "Processor", addr: int, value: int):
         """Write a condition variable and wake its waiters."""
-        yield from proc.flush()
+        if proc._pending_ns:
+            yield from proc.flush()
         flag = self._flag_var(addr)
         # The store invalidates waiters' cached copies (on the target,
         # real invalidation traffic; on CLogP, a free transition).
@@ -362,7 +367,8 @@ class Machine(ABC):
     def op_wait_flag(self, proc: "Processor", addr: int, value: int,
                      cmp: str = "ge"):
         """Spin until the condition variable satisfies the test."""
-        yield from proc.flush()
+        if proc._pending_ns:
+            yield from proc.flush()
         flag = self._flag_var(addr)
         op = ops.WaitFlag(addr, value, cmp)
         while True:
@@ -392,7 +398,8 @@ class Machine(ABC):
         """Eager send: completes when the data has reached ``dst``."""
         if not 0 <= dst < self.nprocs:
             raise SimulationError(f"send to invalid processor {dst}")
-        yield from proc.flush()
+        if proc._pending_ns:
+            yield from proc.flush()
         sim = self.sim
         started = sim.now
         latency_ns, service_ns = yield from self.mp_transmit(
@@ -422,7 +429,8 @@ class Machine(ABC):
         """Blocking receive of one message from ``src`` with ``tag``."""
         if not 0 <= src < self.nprocs:
             raise SimulationError(f"receive from invalid processor {src}")
-        yield from proc.flush()
+        if proc._pending_ns:
+            yield from proc.flush()
         key = (src, proc.pid, tag)
         buffered = self._mp_buffered.get(key, 0)
         if buffered:
@@ -456,7 +464,8 @@ class Machine(ABC):
 class Processor:
     """One simulated processor: interprets an application generator."""
 
-    __slots__ = ("machine", "pid", "buckets", "_pending_ns", "finish_ns")
+    __slots__ = ("machine", "pid", "buckets", "_pending_ns", "finish_ns",
+                 "_batch")
 
     def __init__(self, machine: Machine, pid: int):
         if not 0 <= pid < machine.nprocs:
@@ -466,6 +475,7 @@ class Processor:
         self.buckets = OverheadBuckets()
         self._pending_ns = 0
         self.finish_ns = 0
+        self._batch = machine.config.batch_local
 
     # -- charging helpers ------------------------------------------------------------
 
@@ -473,7 +483,7 @@ class Processor:
         """Generator: release accumulated local time to the engine."""
         if self._pending_ns:
             delay, self._pending_ns = self._pending_ns, 0
-            yield self.machine.sim.timeout(delay)
+            yield delay
 
     def charge_spin(self, wait_ns: int, addr: int) -> None:
         """Attribute a blocked wait per the machine's spin model."""
@@ -493,26 +503,31 @@ class Processor:
         yield from self._access_slow(addr, is_write)
 
     def _access_slow(self, addr: int, is_write: bool):
-        yield from self.flush()
-        sim = self.machine.sim
-        started = sim.now
-        latency_ns, service_ns = yield from self.machine.transact(
+        machine = self.machine
+        sim = machine.sim
+        pending = self._pending_ns
+        if pending:
+            self._pending_ns = 0
+            yield pending
+        started = sim._now
+        latency_ns, service_ns = yield from machine.transact(
             self.pid, addr, is_write
         )
-        elapsed = sim.now - started
+        elapsed = sim._now - started
         # Contention-free time cannot exceed the observed window: when a
         # parallel leg (e.g. the target's invalidation round) overlaps
         # the data path completely, its charged latency is credited back
         # so that the buckets always sum to the elapsed time.
         if latency_ns + service_ns > elapsed:
             latency_ns = max(0, elapsed - service_ns)
-        retry_ns = self.machine.take_retry_ns(self.pid)
+        retry_ns = machine.take_retry_ns(self.pid)
         if retry_ns > elapsed - latency_ns - service_ns:
             retry_ns = max(0, elapsed - latency_ns - service_ns)
-        self.buckets.latency_ns += latency_ns
-        self.buckets.memory_ns += service_ns
-        self.buckets.retry_ns += retry_ns
-        self.buckets.contention_ns += (
+        buckets = self.buckets
+        buckets.latency_ns += latency_ns
+        buckets.memory_ns += service_ns
+        buckets.retry_ns += retry_ns
+        buckets.contention_ns += (
             elapsed - latency_ns - service_ns - retry_ns
         )
 
@@ -559,19 +574,65 @@ class Processor:
     # -- the interpreter ---------------------------------------------------------------
 
     def run(self, app_generator):
-        """Engine process: interpret the application's operation stream."""
+        """Engine process: interpret the application's operation stream.
+
+        Reads and writes that :meth:`Machine.try_fast` can satisfy are
+        charged inline -- no generator, no engine event -- so a run of
+        cache hits costs the engine nothing until the accumulated time
+        is flushed.  With ``config.batch_local`` off, the accumulated
+        local time is instead released after every operation.
+        """
         machine = self.machine
+        sim = machine.sim
+        try_fast = machine.try_fast
+        transact = machine.transact
+        take_retry = machine.take_retry_ns
         cycle_ns = machine.config.cpu_cycle_ns
+        buckets = self.buckets
+        pid = self.pid
+        batch = self._batch
         for op in app_generator:
             kind = type(op)
             if kind is ops.Compute:
                 duration = op.cycles * cycle_ns
                 self._pending_ns += duration
-                self.buckets.compute_ns += duration
-            elif kind is ops.Read:
-                yield from self.access(op.addr, False)
-            elif kind is ops.Write:
-                yield from self.access(op.addr, True)
+                buckets.compute_ns += duration
+                if batch:
+                    continue
+            elif kind is ops.Read or kind is ops.Write:
+                is_write = kind is ops.Write
+                cost = try_fast(pid, op.addr, is_write)
+                if cost is not None:
+                    self._pending_ns += cost
+                    buckets.memory_ns += cost
+                    if batch:
+                        continue
+                else:
+                    # ``_access_slow`` inlined: this is the hottest slow
+                    # path, and every resumption of the delegated
+                    # transaction walks the whole ``yield from`` chain,
+                    # so one less frame here pays on every send.
+                    pending = self._pending_ns
+                    if pending:
+                        self._pending_ns = 0
+                        yield pending
+                    started = sim._now
+                    latency_ns, service_ns = yield from transact(
+                        pid, op.addr, is_write
+                    )
+                    elapsed = sim._now - started
+                    if latency_ns + service_ns > elapsed:
+                        latency_ns = max(0, elapsed - service_ns)
+                    retry_ns = take_retry(pid)
+                    if retry_ns > elapsed - latency_ns - service_ns:
+                        retry_ns = max(0, elapsed - latency_ns - service_ns)
+                    buckets.latency_ns += latency_ns
+                    buckets.memory_ns += service_ns
+                    buckets.retry_ns += retry_ns
+                    buckets.contention_ns += (
+                        elapsed - latency_ns - service_ns - retry_ns
+                    )
+                    continue
             elif kind is ops.ReadRange:
                 yield from self._access_range(op.addr, op.count, op.stride, False)
             elif kind is ops.WriteRange:
@@ -598,7 +659,11 @@ class Processor:
                 raise SimulationError(
                     f"processor {self.pid} received unknown operation {op!r}"
                 )
-        yield from self.flush()
+            if not batch and self._pending_ns:
+                delay, self._pending_ns = self._pending_ns, 0
+                yield delay
+        if self._pending_ns:
+            yield from self.flush()
         self.finish_ns = machine.sim.now
 
     def __repr__(self) -> str:

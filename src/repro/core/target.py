@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..config import SystemConfig
-from ..engine.core import all_of
+from ..engine.core import TURN, all_of
 from ..engine.resource import Resource
 from ..faults.reliable import ReliableTransport, RetryPolicy
 from ..network.fabric import Fabric
@@ -65,6 +65,15 @@ class TargetMachine(Machine):
         self._data = config.data_message_bytes
         #: Contention-free time of one invalidation+ack round.
         self._inv_round_latency = 2 * config.control_message_ns
+        # Hot-path constants (attribute chains cost on every access).
+        self._block_bytes = config.block_bytes
+        self._hit_ns = config.cache_hit_ns
+        self._mem_ns = config.memory_ns
+        self._caches = self.memory.caches
+        if self.reliable is None:
+            # Fault-free: skip the retry-banking wrapper generator --
+            # ``_net_transmit(pid, msg)`` then IS ``fabric.transmit(msg)``.
+            self._net_transmit = self._net_transmit_plain
 
     def _net_transmit(self, pid: int, message: Message):
         """Generator: transmit on behalf of processor ``pid``.
@@ -73,28 +82,28 @@ class TargetMachine(Machine):
         enabled, banking its recovery time against ``pid``'s retry
         bucket; otherwise this is exactly ``fabric.transmit``.
         """
-        if self.reliable is None:
-            result = yield from self.fabric.transmit(message)
-        else:
-            result = yield from self.reliable.transmit(message)
-            if result.retry_ns:
-                self.record_retry(pid, result.retry_ns)
+        result = yield from self.reliable.transmit(message)
+        if result.retry_ns:
+            self.record_retry(pid, result.retry_ns)
         return result
+
+    def _net_transmit_plain(self, pid: int, message: Message):
+        # Returns the fabric's generator directly: ``yield from`` at the
+        # call sites delegates to it with no wrapper frame in between.
+        return self.fabric.transmit(message)
 
     # -- memory interface ---------------------------------------------------------
 
     def try_fast(self, pid: int, addr: int, is_write: bool) -> Optional[int]:
-        block = addr // self.config.block_bytes
-        cache = self.memory.caches[pid]
-        state = cache.state_of(block)
-        if (state.is_writable if is_write else state.is_valid):
-            cache.lookup(block)  # count the hit, touch LRU
-            return self.config.cache_hit_ns
+        block = addr // self._block_bytes
+        cache = self._caches[pid]
+        if cache.probe(block, is_write):
+            return self._hit_ns
         if is_write and self.memory.try_silent_upgrade(pid, block):
             # Illinois: EXCLUSIVE -> DIRTY without a directory
             # transaction -- the "fancier protocol" saving.
             cache.lookup(block)
-            return self.config.cache_hit_ns
+            return self._hit_ns
         return None
 
     def transact(self, pid: int, addr: int, is_write: bool):
@@ -106,17 +115,19 @@ class TargetMachine(Machine):
         launched the forward/reply -- but not through the reply's flight
         back to the requester, which real directories pipeline with the
         next request.
+
+        Returns the transaction generator directly (no wrapper frame:
+        every ``send`` into a ``yield from`` chain walks the whole
+        delegation stack, so one less frame here cheapens every
+        resumption of every transaction).
         """
-        config = self.config
-        block = addr // config.block_bytes
+        block = addr // self._block_bytes
         if is_write:
-            latency, service, writeback = yield from self._write_transaction(
-                pid, block
-            )
-        else:
-            latency, service, writeback = yield from self._read_transaction(
-                pid, block
-            )
+            return self._write_transaction(pid, block)
+        return self._read_transaction(pid, block)
+
+    def _post_writeback(self, pid: int, writeback) -> None:
+        """Launch an evicted victim's writeback message, if any."""
         if writeback is not None:
             victim_block, victim_home = writeback
             if victim_home != pid:
@@ -125,13 +136,11 @@ class TargetMachine(Machine):
                     Message(pid, victim_home, self._data, "wb"),
                     name=f"wb{victim_block}",
                 )
-        return latency, service
 
     # -- transactions ------------------------------------------------------------------
 
     def _read_transaction(self, pid: int, block: int):
         """Directory read-miss: request, (forward,) data reply."""
-        config = self.config
         latency = 0
         service = 0
         home = self.space.home_of_block(block)
@@ -141,14 +150,14 @@ class TargetMachine(Machine):
             )
             latency += result.latency_ns
         home_lock = self._home_lock(block)
-        yield home_lock.request()
+        yield TURN if home_lock.try_acquire() else home_lock.request()
         plan = self.memory.plan_read(pid, block)
         if plan.hit:  # raced with ourselves; cannot normally happen
             home_lock.release()
-            return 0, config.cache_hit_ns, None
+            return 0, self._hit_ns
         if plan.from_memory:
-            service += config.memory_ns
-            yield self.sim.timeout(config.memory_ns)
+            service += self._mem_ns
+            yield self._mem_ns
             home_lock.release()
             if home != pid:
                 result = yield from self._net_transmit(
@@ -164,8 +173,8 @@ class TargetMachine(Machine):
                 )
                 latency += result.latency_ns
             home_lock.release()
-            service += config.cache_hit_ns
-            yield self.sim.timeout(config.cache_hit_ns)
+            service += self._hit_ns
+            yield self._hit_ns
             result = yield from self._net_transmit(
                 pid, Message(source, pid, self._data, "data")
             )
@@ -177,11 +186,11 @@ class TargetMachine(Machine):
                     Message(source, home, self._data, "shwb"),
                     name=f"shwb{block}",
                 )
-        return latency, service, plan.writeback
+        self._post_writeback(pid, plan.writeback)
+        return latency, service
 
     def _write_transaction(self, pid: int, block: int):
         """Directory write/ownership miss with parallel invalidations."""
-        config = self.config
         sim = self.sim
         latency = 0
         service = 0
@@ -192,11 +201,11 @@ class TargetMachine(Machine):
             )
             latency += result.latency_ns
         home_lock = self._home_lock(block)
-        yield home_lock.request()
+        yield TURN if home_lock.try_acquire() else home_lock.request()
         plan = self.memory.plan_write(pid, block)
         if plan.fast:  # raced with ourselves; cannot normally happen
             home_lock.release()
-            return 0, config.cache_hit_ns, None
+            return 0, self._hit_ns
         # Invalidations go out in parallel with the home-side work.  The
         # previous owner (when it supplies the data) is invalidated by
         # the forwarded request itself, not a separate message.
@@ -208,8 +217,8 @@ class TargetMachine(Machine):
             for node in inv_targets
         ]
         if not plan.had_data and plan.from_memory:
-            service += config.memory_ns
-            yield sim.timeout(config.memory_ns)
+            service += self._mem_ns
+            yield self._mem_ns
         elif not plan.had_data:
             source = plan.source
             if home != source:
@@ -242,13 +251,14 @@ class TargetMachine(Machine):
                 latency += result.latency_ns
         else:
             source = plan.source
-            service += config.cache_hit_ns
-            yield sim.timeout(config.cache_hit_ns)
+            service += self._hit_ns
+            yield self._hit_ns
             result = yield from self._net_transmit(
                 pid, Message(source, pid, self._data, "data")
             )
             latency += result.latency_ns
-        return latency, service, plan.writeback
+        self._post_writeback(pid, plan.writeback)
+        return latency, service
 
     def _invalidation_round(self, pid: int, home: int, node: int):
         """Home -> sharer invalidation plus the returning ack.

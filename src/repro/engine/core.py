@@ -10,25 +10,77 @@ to a processor generator which delegates to cache/network generators.
 Design notes
 ------------
 * Time is an integer nanosecond count (see :mod:`repro.units`).
-* The event queue is a binary heap keyed by ``(time, sequence)`` so
-  same-time events fire in schedule order -- this makes every run
-  deterministic, which the tests rely on.
+* Pending *future* work lives in a binary heap keyed by
+  ``(time, sequence)`` so same-time events fire in schedule order --
+  this makes every run deterministic, which the tests rely on.
+* Work scheduled at the *current* time -- event dispatches from
+  :meth:`Event.succeed`, zero-delay timeouts, process start-ups --
+  bypasses the heap through a FIFO ring (a ``deque``).  This preserves
+  the exact ``(time, sequence)`` execution order of the heap-only
+  engine: every heap entry for time ``t`` was necessarily pushed while
+  ``now < t`` (once the clock reaches ``t`` a same-time schedule goes
+  to the ring instead), so its sequence number is smaller than that of
+  any ring entry created at ``t``.  The run loop therefore drains all
+  heap entries at ``now`` before touching the ring, and the ring is
+  FIFO, which is sequence order.
 * Events trigger *immediately* (callbacks run synchronously from
   ``succeed``) only if the engine is not mid-callback for that event;
-  to keep semantics simple we always defer callbacks through the queue
+  to keep semantics simple we always defer callbacks through the ring
   at the current time.  ``succeed`` is therefore safe to call from any
   context, including from inside another callback.
+* When sanitizer checkers attach engine hooks the engine runs the
+  legacy heap-only path so every action carries a real ``(time, seq)``
+  pair for the hooks; both paths execute identical event sequences.
+* ``Timeout`` objects created through :meth:`Simulator.timeout` are
+  pooled: after a timeout expires and its callbacks have run, the
+  object is recycled for the next ``timeout()`` call.  Internal code
+  never touches a timeout after resuming from it, which makes this
+  safe; holding a reference to an *expired* timeout (e.g. registering
+  a late callback on it) is not supported for pooled timeouts.
+* Two allocation-free yield forms exist for the hottest waits.  A
+  process may ``yield <int>`` for a plain sleep nobody else observes
+  (equivalent to ``yield sim.timeout(n)``, minus the Timeout object),
+  and may ``yield TURN`` after taking a free resource synchronously
+  via ``Resource.try_acquire`` (equivalent to yielding the granted
+  event).  Both re-enqueue the process at exactly the queue position
+  the event-based form would have used, so the executed event sequence
+  -- and therefore every simulated result -- is identical.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional
+from collections import deque
+from functools import partial
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from ..errors import DeadlockError, ReproError, SimulationError, WatchdogError
 
 #: Type alias for simulated-process generators.
 ProcessGenerator = Generator["Event", Any, Any]
+
+
+class _Turn:
+    """Sentinel a generator yields after a synchronous resource grant.
+
+    When a :class:`~repro.engine.resource.Resource` is free, the
+    requester may take it synchronously (``try_acquire``) and then
+    ``yield TURN`` instead of yielding a granted :class:`Event`.  The
+    engine re-enqueues the process at the exact queue position the
+    event's dispatch would have occupied -- the executed event sequence
+    is identical to the event-based grant -- but no Event, callback
+    list, or bound-method allocation happens.  The process resumes with
+    a value of ``0`` (the wait duration of an immediate grant).
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "TURN"
+
+
+#: The singleton yielded for synchronous grants (see :class:`_Turn`).
+TURN = _Turn()
 
 
 class Event:
@@ -82,7 +134,7 @@ class Event:
         """
         if self._callbacks is None:
             # Already dispatched: schedule a late joiner.
-            self.sim._schedule(self.sim.now, lambda: callback(self))
+            self.sim._schedule(self.sim._now, partial(callback, self))
         else:
             self._callbacks.append(callback)
 
@@ -98,17 +150,39 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers after a fixed simulated delay."""
+    """An event that triggers after a fixed simulated delay.
 
-    __slots__ = ()
+    Timeouts obtained from :meth:`Simulator.timeout` are recycled after
+    they expire (see the module design notes); constructing ``Timeout``
+    directly yields an unpooled one-shot object.
+    """
 
-    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+    __slots__ = ("_expire_bound",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None,
+                 _pooled: bool = False):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
-        super().__init__(sim)
+        self.sim = sim
+        self._callbacks = []
         self.triggered = True  # nobody may succeed() it again
         self.value = value
-        sim._schedule(sim.now + delay, self._dispatch)
+        self._exception = None
+        self._expire_bound = self._expire_pooled if _pooled else self._dispatch
+        sim._schedule(sim._now + delay, self._expire_bound)
+
+    def _expire_pooled(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+            callbacks.clear()
+        else:
+            callbacks = []
+        # Reset and return to the pool; the callbacks list is reused.
+        self._callbacks = callbacks
+        self.value = None
+        self.sim._timeout_pool.append(self)
 
 
 class Process(Event):
@@ -119,15 +193,31 @@ class Process(Event):
     Other processes can therefore ``yield`` a process to join it.
     """
 
-    __slots__ = ("_generator", "name")
+    __slots__ = ("_generator", "name", "_waiter", "_resume_zero",
+                 "_resume_none")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator,
                  name: str = "process"):
-        super().__init__(sim)
+        self.sim = sim
+        self._callbacks = []
+        self.triggered = False
+        self.value = None
+        self._exception = None
         self._generator = generator
         self.name = name
+        # Bind once: ``_step`` registers the waiter on every yielded
+        # event, and attribute access on a method would allocate a fresh
+        # bound method each time.
+        self._waiter = self._on_wait_done
+        # Reusable resumptions for ``yield TURN`` (immediate grants)
+        # and ``yield <int>`` (plain sleeps).
+        self._resume_zero = partial(self._step, 0, None)
+        self._resume_none = partial(self._step, None, None)
         sim._blocked += 1
-        sim._schedule(sim.now, lambda: self._step(None, None))
+        sim._schedule(sim._now, self._start)
+
+    def _start(self) -> None:
+        self._step(None, None)
 
     def _on_wait_done(self, event: Event) -> None:
         if event._exception is not None:
@@ -158,14 +248,35 @@ class Process(Event):
                 ) from exc
             self.fail(exc)
             return
-        if not isinstance(target, Event):
-            sim._blocked -= 1
-            error = SimulationError(
-                f"process {self.name!r} yielded {target!r}; processes must "
-                "yield Event objects"
-            )
-            raise error
-        target.add_callback(self._on_wait_done)
+        if type(target) is int:
+            # Plain sleep: resume ``target`` ns from now, at the queue
+            # position a Timeout's expiry action would have occupied --
+            # without allocating (or pooling) a Timeout at all.
+            if target < 0:
+                sim._blocked -= 1
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {target}"
+                )
+            sim._schedule(sim._now + target, self._resume_none)
+            return
+        if target is TURN:
+            # Synchronous grant: resume on the next queue step at the
+            # position an event dispatch would have taken.
+            sim._schedule(sim._now, self._resume_zero)
+            return
+        if isinstance(target, Event):
+            callbacks = target._callbacks
+            if callbacks is None:
+                # Already dispatched: resume on the next queue step.
+                sim._schedule(sim._now, partial(self._waiter, target))
+            else:
+                callbacks.append(self._waiter)
+            return
+        sim._blocked -= 1
+        raise SimulationError(
+            f"process {self.name!r} yielded {target!r}; processes must "
+            "yield an Event, an int delay, or TURN"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.triggered else "running"
@@ -191,8 +302,10 @@ class Simulator:
     def __init__(self, fail_fast: bool = True, checkers=()):
         self._now = 0
         self._queue: List = []
+        self._fifo: deque = deque()
         self._sequence = 0
         self._blocked = 0
+        self._timeout_pool: List[Timeout] = []
         #: When True (default) an exception escaping a process aborts the
         #: whole simulation immediately instead of failing the process
         #: event silently.
@@ -200,6 +313,13 @@ class Simulator:
         #: Count of low-level scheduler steps; exposed because the paper's
         #: "speed of simulation" comparison is about event counts.
         self.events_executed = 0
+        # Allocation-light profiling counters (always maintained; plain
+        # integer bumps are far cheaper than the allocations they count).
+        self._ring_scheduled = 0
+        self._timeouts_issued = 0
+        self._timeouts_pooled = 0
+        self._processes_spawned = 0
+        self._ring_executed = 0
         #: Sanitizer checkers observing this engine (see
         #: :mod:`repro.checkers`).  Only their engine-level hooks are
         #: dispatched here; machine models wire the rest.
@@ -215,6 +335,23 @@ class Simulator:
             if getattr(type(checker), "on_schedule", None)
             not in (None, Checker.on_schedule)
         )
+        #: The determinism checker (first checker exposing
+        #: ``state_digest``), resolved once so :meth:`state_digest` is a
+        #: plain delegation instead of a per-call ``getattr`` scan.
+        self._determinism = None
+        for checker in self.checkers:
+            if getattr(checker, "state_digest", None) is not None:
+                self._determinism = checker
+                break
+        #: True when engine-level hooks are attached: the engine then
+        #: runs the legacy heap-only path so every action carries a real
+        #: ``(time, seq)`` pair for the hooks.
+        self._instrumented = bool(self._event_hooks or self._schedule_hooks)
+        if not self._instrumented:
+            # Shadow the hooked scheduling methods with the ring-aware
+            # fast versions; instance attributes win over class methods.
+            self._schedule = self._schedule_fast
+            self._schedule_event = self._schedule_event_fast
 
     def state_digest(self) -> Optional[str]:
         """Rolling execution digest, or None without a determinism checker.
@@ -222,11 +359,28 @@ class Simulator:
         Two runs of the same seed and configuration must return the same
         value -- the property the golden-digest regression tests gate.
         """
-        for checker in self.checkers:
-            digest = getattr(checker, "state_digest", None)
-            if digest is not None:
-                return digest()
-        return None
+        if self._determinism is None:
+            return None
+        return self._determinism.state_digest()
+
+    def engine_profile(self) -> Dict[str, int]:
+        """Snapshot of the engine's internal activity counters.
+
+        Exposed behind the CLI's ``--profile-engine`` flag; the counters
+        themselves are maintained unconditionally (plain integer bumps).
+        """
+        return {
+            "events_executed": self.events_executed,
+            "ring_executed": self._ring_executed,
+            "heap_executed": self.events_executed - self._ring_executed,
+            "heap_pushes": self._sequence,
+            "ring_scheduled": self._ring_scheduled,
+            "timeouts_issued": self._timeouts_issued,
+            "timeouts_pooled": self._timeouts_pooled,
+            "timeout_pool_size": len(self._timeout_pool),
+            "processes_spawned": self._processes_spawned,
+            "instrumented": int(self._instrumented),
+        }
 
     # -- clock --------------------------------------------------------------
 
@@ -238,14 +392,28 @@ class Simulator:
     # -- scheduling primitives ----------------------------------------------
 
     def _schedule(self, at: int, action: Callable[[], None]) -> None:
-        if self._schedule_hooks:
-            for hook in self._schedule_hooks:
-                hook(at, self._now)
+        # Hooked (legacy) path: every action goes through the heap with
+        # a real sequence number.  Un-instrumented simulators shadow
+        # this with :meth:`_schedule_fast` in ``__init__``.
+        for hook in self._schedule_hooks:
+            hook(at, self._now)
         self._sequence += 1
         heapq.heappush(self._queue, (at, self._sequence, action))
 
+    def _schedule_fast(self, at: int, action: Callable[[], None]) -> None:
+        if at == self._now:
+            self._ring_scheduled += 1
+            self._fifo.append(action)
+        else:
+            self._sequence += 1
+            heapq.heappush(self._queue, (at, self._sequence, action))
+
     def _schedule_event(self, event: Event) -> None:
         self._schedule(self._now, event._dispatch)
+
+    def _schedule_event_fast(self, event: Event) -> None:
+        self._ring_scheduled += 1
+        self._fifo.append(event._dispatch)
 
     # -- public API ----------------------------------------------------------
 
@@ -255,10 +423,21 @@ class Simulator:
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         """Create an event that triggers ``delay`` ns from now."""
-        return Timeout(self, delay, value)
+        self._timeouts_issued += 1
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay}")
+            self._timeouts_pooled += 1
+            timeout = pool.pop()
+            timeout.value = value
+            self._schedule(self._now + delay, timeout._expire_bound)
+            return timeout
+        return Timeout(self, delay, value, _pooled=True)
 
     def spawn(self, generator: ProcessGenerator, name: str = "process") -> Process:
         """Start a new simulated process."""
+        self._processes_spawned += 1
         return Process(self, generator, name)
 
     def run(self, until: Optional[int] = None,
@@ -288,6 +467,105 @@ class Simulator:
             raise SimulationError(
                 f"max_events must be positive, got {max_events}"
             )
+        if self._instrumented:
+            return self._run_hooked(until, max_events)
+        if until is None and max_events is None:
+            return self._run_fast()
+        return self._run_guarded(until, max_events)
+
+    def _run_fast(self) -> int:
+        """Checker-free loop: no hook dispatch, no horizon/watchdog checks.
+
+        Heap entries at the current time run before ring entries (see
+        the module design notes for why that reproduces ``(time, seq)``
+        order exactly).
+        """
+        queue = self._queue
+        fifo = self._fifo
+        fifo_popleft = fifo.popleft
+        heappop = heapq.heappop
+        executed = 0
+        ring_executed = 0
+        now = self._now
+        try:
+            while True:
+                if queue:
+                    at = queue[0][0]
+                    if at <= now:
+                        if at < now:
+                            raise SimulationError(
+                                f"time went backwards: {at} < {now}"
+                            )
+                        action = heappop(queue)[2]
+                        executed += 1
+                        action()
+                        continue
+                    if not fifo:
+                        action = heappop(queue)[2]
+                        now = self._now = at
+                        executed += 1
+                        action()
+                        continue
+                elif not fifo:
+                    break
+                action = fifo_popleft()
+                executed += 1
+                ring_executed += 1
+                action()
+        finally:
+            self.events_executed += executed
+            self._ring_executed += ring_executed
+        if self._blocked > 0:
+            raise DeadlockError(self._blocked, self._now)
+        return self._now
+
+    def _run_guarded(self, until: Optional[int],
+                     max_events: Optional[int]) -> int:
+        """Ring-aware loop with horizon and watchdog checks (no hooks)."""
+        queue = self._queue
+        fifo = self._fifo
+        executed = 0
+        now = self._now
+        while True:
+            if queue:
+                at = queue[0][0]
+                use_ring = at > now and bool(fifo)
+            elif fifo:
+                use_ring = True
+            else:
+                break
+            if use_ring:
+                at = now
+            if until is not None and at > until:
+                self._now = until
+                return until
+            if max_events is not None and executed >= max_events:
+                raise WatchdogError(
+                    self._now, executed, self._blocked,
+                    len(queue) + len(fifo)
+                )
+            if use_ring:
+                action = fifo.popleft()
+                self._ring_executed += 1
+            else:
+                if at < now:
+                    raise SimulationError(
+                        f"time went backwards: {at} < {now}"
+                    )
+                action = heapq.heappop(queue)[2]
+                now = self._now = at
+            self.events_executed += 1
+            executed += 1
+            action()
+        if until is None and self._blocked > 0:
+            raise DeadlockError(self._blocked, self._now)
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def _run_hooked(self, until: Optional[int],
+                    max_events: Optional[int]) -> int:
+        """Legacy heap-only loop dispatching sanitizer hooks per event."""
         queue = self._queue
         event_hooks = self._event_hooks
         executed = 0
@@ -332,21 +610,18 @@ def all_of(sim: Simulator, events: List[Event]) -> Event:
         done.succeed([])
         return done
     values: List[Any] = [None] * remaining
-    state = {"left": remaining}
+    left = [remaining]
 
-    def make_callback(index: int) -> Callable[[Event], None]:
-        def callback(event: Event) -> None:
-            if event._exception is not None:
-                if not done.triggered:
-                    done.fail(event._exception)
-                return
-            values[index] = event.value
-            state["left"] -= 1
-            if state["left"] == 0 and not done.triggered:
-                done.succeed(values)
-
-        return callback
+    def on_done(index: int, event: Event) -> None:
+        if event._exception is not None:
+            if not done.triggered:
+                done.fail(event._exception)
+            return
+        values[index] = event.value
+        left[0] -= 1
+        if left[0] == 0 and not done.triggered:
+            done.succeed(values)
 
     for i, event in enumerate(events):
-        event.add_callback(make_callback(i))
+        event.add_callback(partial(on_done, i))
     return done

@@ -53,6 +53,23 @@ class Resource:
         """True when a request issued now would be granted immediately."""
         return self.in_use < self.capacity and not self._waiters
 
+    def try_acquire(self) -> bool:
+        """Take one unit synchronously when the resource is free.
+
+        Returns True (unit taken) when a :meth:`request` issued now
+        would be granted immediately.  The caller must then ``yield``
+        :data:`~repro.engine.core.TURN` so the engine re-enqueues it at
+        the position the grant event's dispatch would have occupied --
+        keeping the executed event sequence identical to the event-based
+        grant while skipping the Event allocation.  Returns False when
+        the unit is busy; the caller falls back to :meth:`request`.
+        """
+        if self.in_use < self.capacity and not self._waiters:
+            self.in_use += 1
+            self.grants += 1
+            return True
+        return False
+
     def request(self) -> Event:
         """Ask for one unit; the returned event triggers when granted.
 

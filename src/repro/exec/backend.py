@@ -100,7 +100,7 @@ def execute_spec(spec: RunSpec, retries: int = 1) -> PointOutcome:
             return simulate(
                 app, spec.machine, spec.config, max_events=spec.max_events
             )
-        except ReproError as exc:
+        except ReproError as exc:  # noqa: PERF203 -- intentional retry loop
             if attempts <= retries:
                 continue
             return PointFailure(

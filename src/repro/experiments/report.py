@@ -47,8 +47,7 @@ def render_figure(data: FigureData) -> str:
             else:
                 row += f"{value:14.1f}"
         lines.append(row)
-    for failure in data.failures:
-        lines.append(f"  FAILED {failure.summary()}")
+    lines.extend(f"  FAILED {failure.summary()}" for failure in data.failures)
     sanitizer = _sanitizer_line(data)
     if sanitizer is not None:
         lines.append(sanitizer)
@@ -87,19 +86,19 @@ def render_run_table(results: Iterable[RunResult]) -> str:
             "contention_us", "messages", "ok",
         )
     ]
-    for result in results:
-        lines.append(
-            "  {:9s} {:7s} {:5s} {:>4d} {:>14.1f} {:>12.1f} {:>12.1f} "
-            "{:>10d} {:>4s}".format(
-                result.app,
-                result.machine,
-                result.topology,
-                result.nprocs,
-                result.total_us,
-                result.mean_latency_us,
-                result.mean_contention_us,
-                result.messages,
-                "yes" if result.verified else "NO",
-            )
+    lines.extend(
+        "  {:9s} {:7s} {:5s} {:>4d} {:>14.1f} {:>12.1f} {:>12.1f} "
+        "{:>10d} {:>4s}".format(
+            result.app,
+            result.machine,
+            result.topology,
+            result.nprocs,
+            result.total_us,
+            result.mean_latency_us,
+            result.mean_contention_us,
+            result.messages,
+            "yes" if result.verified else "NO",
         )
+        for result in results
+    )
     return "\n".join(lines)

@@ -130,7 +130,7 @@ class ReliableTransport:
                     message.src, message.dst, failed_attempts, sim.now
                 )
             self.retransmissions += 1
-            yield sim.timeout(policy.backoff_ns(failed_attempts))
+            yield policy.backoff_ns(failed_attempts)
         elapsed = sim.now - start
         retry_ns = max(0, elapsed - base_latency - base_contention)
         return TransferResult(

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..errors import AddressError, ConfigError
 
@@ -112,6 +112,9 @@ class AddressSpace:
         self._next_base = block_bytes  # keep address 0 unused
         self._regions: List[Region] = []
         self._bases: List[int] = []
+        #: block id -> home node memo (coherence asks for the same hot
+        #: blocks constantly; invalidated whenever a region is added).
+        self._home_cache: Dict[int, int] = {}
 
     # -- allocation --------------------------------------------------------------
 
@@ -167,6 +170,7 @@ class AddressSpace:
         self._next_base = region.end
         self._regions.append(region)
         self._bases.append(base)
+        self._home_cache.clear()
         return SharedArray(region, self)
 
     def _check_distribution(self, distribution: Distribution) -> None:
@@ -197,7 +201,10 @@ class AddressSpace:
         return self.home_of_block(self.block_of(addr), self.region_of(addr))
 
     def home_of_block(self, block: int, region: Optional[Region] = None) -> int:
-        """Home node of a global block id."""
+        """Home node of a global block id (memoized)."""
+        home = self._home_cache.get(block)
+        if home is not None:
+            return home
         if region is None:
             region = self.region_of(block * self.block_bytes)
         rel = block - region.first_block
@@ -208,11 +215,13 @@ class AddressSpace:
         distribution = region.distribution
         if distribution == "blocked":
             per_node = -(-region.nblocks // self.nprocs)
-            return min(rel // per_node, self.nprocs - 1)
-        if distribution == "interleaved":
-            return rel % self.nprocs
-        # ("node", i)
-        return distribution[1]
+            home = min(rel // per_node, self.nprocs - 1)
+        elif distribution == "interleaved":
+            home = rel % self.nprocs
+        else:  # ("node", i)
+            home = distribution[1]
+        self._home_cache[block] = home
+        return home
 
     @property
     def regions(self) -> List[Region]:

@@ -11,20 +11,27 @@ exact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ProtocolError
 from .states import LineState
 
 
-@dataclass
 class CacheLine:
-    """One resident cache line."""
+    """One resident cache line: a (tag, state, LRU-stamp) triple."""
 
-    block: int
-    state: LineState
-    last_use: int
+    __slots__ = ("block", "state", "last_use")
+
+    def __init__(self, block: int, state: LineState, last_use: int):
+        self.block = block
+        self.state = state
+        self.last_use = last_use
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheLine(block={self.block}, state={self.state!r}, "
+            f"last_use={self.last_use})"
+        )
 
 
 class Cache:
@@ -69,6 +76,27 @@ class Cache:
         line.last_use = self._clock
         self.hits += 1
         return line
+
+    def probe(self, block: int, need_write: bool) -> bool:
+        """One-probe hit test for the machine fast paths.
+
+        When the resident line can satisfy the access (any valid state
+        for a read, ``DIRTY`` for a write) the LRU stamp is touched, the
+        hit is counted, and True is returned.  Otherwise False -- with
+        *no* miss counted, because the caller falls through to the full
+        transaction path which does its own accounting.  Equivalent to
+        ``state_of`` + ``lookup`` with a single dictionary probe.
+        """
+        line = self._by_block.get(block)
+        if line is None:
+            return False
+        if need_write:
+            if line.state is not LineState.DIRTY:
+                return False
+        self._clock += 1
+        line.last_use = self._clock
+        self.hits += 1
+        return True
 
     def contains(self, block: int) -> bool:
         """True when ``block`` is resident in a valid state."""

@@ -24,45 +24,60 @@ else the message spent in the network (waiting for links).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from ..engine.core import Simulator
+from ..engine.core import TURN, Simulator
 from ..errors import TopologyError
 from .link import Link
 from .message import Message
 from .topology import LinkId, Topology
 
 
-@dataclass(frozen=True)
 class TransferResult:
-    """Timing decomposition of one completed message transfer."""
+    """Timing decomposition of one completed message transfer.
 
-    #: Contention-free transmission time (charged to latency overhead).
-    latency_ns: int
+    A plain ``__slots__`` value class (one is allocated per transported
+    message, so its constructor is hot):
 
-    #: Time spent waiting for links (charged to contention overhead).
-    contention_ns: int
+    * ``latency_ns`` -- contention-free transmission time (charged to
+      latency overhead),
+    * ``contention_ns`` -- time spent waiting for links (charged to
+      contention overhead),
+    * ``delivered`` -- did the payload arrive intact?  Always True on a
+      fault-free fabric; with fault injection a dropped or corrupted
+      message still occupies the network but delivers nothing,
+    * ``fault_ns`` -- fault-injected time (stalls, extra delays) spent
+      by this transfer, excluded from both latency and contention so
+      the reliable-delivery layer can charge it to retry overhead,
+    * ``retry_ns`` -- reliable-delivery recovery time (set by the retry
+      layer only),
+    * ``attempts`` -- transmission attempts this result summarizes.
+    """
 
-    #: Did the payload arrive intact?  Always True on a fault-free
-    #: fabric; with fault injection a dropped or corrupted message
-    #: still occupies the network but delivers nothing.
-    delivered: bool = True
+    __slots__ = ("latency_ns", "contention_ns", "delivered", "fault_ns",
+                 "retry_ns", "attempts")
 
-    #: Fault-injected time (stalls, extra delays) spent by this
-    #: transfer -- excluded from both latency and contention so the
-    #: reliable-delivery layer can charge it to retry overhead.
-    fault_ns: int = 0
-
-    #: Reliable-delivery recovery time (set by the retry layer only).
-    retry_ns: int = 0
-
-    #: Transmission attempts this result summarizes.
-    attempts: int = 1
+    def __init__(self, latency_ns: int, contention_ns: int,
+                 delivered: bool = True, fault_ns: int = 0,
+                 retry_ns: int = 0, attempts: int = 1):
+        self.latency_ns = latency_ns
+        self.contention_ns = contention_ns
+        self.delivered = delivered
+        self.fault_ns = fault_ns
+        self.retry_ns = retry_ns
+        self.attempts = attempts
 
     @property
     def total_ns(self) -> int:
         return self.latency_ns + self.contention_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TransferResult(latency_ns={self.latency_ns}, "
+            f"contention_ns={self.contention_ns}, "
+            f"delivered={self.delivered}, fault_ns={self.fault_ns}, "
+            f"retry_ns={self.retry_ns}, attempts={self.attempts})"
+        )
 
 
 class Fabric:
@@ -86,11 +101,19 @@ class Fabric:
         self._links: Dict[LinkId, Link] = {
             link_id: Link(sim, *link_id) for link_id in topology.links()
         }
+        #: Deterministic routes resolved to Link tuples, filled lazily.
+        self._route_links: Dict[Tuple[int, int], Tuple[Link, ...]] = {}
         if injector is not None:
             for window in injector.fault.link_failures:
                 link = self._links.get((window.src, window.dst))
                 if link is not None:
                     link.fail_windows = link.fail_windows + (window,)
+        if injector is None and switch_delay_ns == 0 and not self._message_hooks:
+            # Fault-free, hook-free, zero switching delay: shadow the
+            # general transfer protocol with the lean path.  The event
+            # sequence (one grant per link, one transmission timeout)
+            # is identical; only per-message host work differs.
+            self.transmit = self._transmit_plain
         #: Total messages transported.
         self.messages = 0
         #: Total payload bytes transported.
@@ -135,16 +158,15 @@ class Fabric:
             stall = injector.stall_ns(message.src, sim.now)
             if stall:
                 fault_ns += stall
-                yield sim.timeout(stall)
+                yield stall
             fate = injector.fate(message.src, message.dst, sim.now)
         pre_circuit_fault = fault_ns
-        path = self.topology.route(message.src, message.dst)
+        path = self._route(message.src, message.dst)
         held: List[Link] = []
         switch_ns = self.switch_delay_ns
         # Build the circuit: acquire links in path order, paying the
         # per-hop switching delay while the circuit extends.
-        for link_id in path:
-            link = self._links[link_id]
+        for link in path:
             yield link.request()
             if injector is not None and link.is_failed(sim.now):
                 # The circuit head reached a dead link: the worm is
@@ -166,10 +188,10 @@ class Fabric:
                 )
             held.append(link)
             if switch_ns:
-                yield sim.timeout(switch_ns)
+                yield switch_ns
         circuit_done = sim.now
         transmit_ns = self.transmission_ns(message.nbytes)
-        yield sim.timeout(transmit_ns)
+        yield transmit_ns
         for link in held:
             link.record_transfer(message.nbytes, sim.now - circuit_done)
             link.release()
@@ -179,7 +201,7 @@ class Fabric:
             post = fate.delay_ns + injector.stall_ns(message.dst, sim.now)
             if post:
                 fault_ns += post
-                yield sim.timeout(post)
+                yield post
         # Contention-free, the message would have taken the switching
         # delays plus the serial transmission; anything beyond that was
         # queueing for links.
@@ -201,6 +223,62 @@ class Fabric:
             delivered=delivered,
             fault_ns=fault_ns,
         )
+
+    def _route(self, src: int, dst: int) -> Tuple[Link, ...]:
+        """The deterministic route as a cached tuple of Link objects."""
+        key = (src, dst)
+        path = self._route_links.get(key)
+        if path is None:
+            path = tuple(
+                self._links[link_id]
+                for link_id in self.topology.route(src, dst)
+            )
+            self._route_links[key] = path
+        return path
+
+    def _transmit_plain(self, message: Message):
+        """Generator: ``transmit`` specialized for the fault-free,
+        hook-free, zero-switch-delay fabric (the common case).
+
+        Yields the exact event sequence of the general path -- one link
+        grant per hop in path order, then one transmission timeout -- so
+        simulated results are bit-identical; it only strips per-message
+        host-side work (injector branches, hook dispatch, held-list
+        bookkeeping).
+        """
+        src = message.src
+        dst = message.dst
+        if src == dst:
+            return TransferResult(0, 0)
+        sim = self.sim
+        start = sim._now
+        path = self._route_links.get((src, dst))
+        if path is None:
+            path = self._route(src, dst)
+        for link in path:
+            # Inlined Resource.try_acquire: capacity is always 1 here.
+            if link.in_use == 0 and not link._waiters:
+                link.in_use = 1
+                link.grants += 1
+                yield TURN
+            else:
+                yield link.request()
+        circuit_done = sim._now
+        nbytes = message.nbytes
+        transmit_ns = nbytes * self.ns_per_byte
+        yield transmit_ns
+        held_ns = sim._now - circuit_done
+        for link in path:
+            link.messages += 1
+            link.bytes_carried += nbytes
+            link.busy_ns += held_ns
+            link.release()
+        contention = circuit_done - start
+        self.messages += 1
+        self.bytes_transported += nbytes
+        self.total_latency_ns += transmit_ns
+        self.total_contention_ns += contention
+        return TransferResult(transmit_ns, contention)
 
     def post(self, message: Message, name: Optional[str] = None):
         """Fire-and-forget transmit (used for evicted-block writebacks).

@@ -2,24 +2,43 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
-
-@dataclass(frozen=True)
 class Message:
     """One network message.
 
     ``kind`` is a free-form tag used only for instrumentation
     (e.g. ``"read_req"``, ``"data"``, ``"inv"``, ``"ack"``, ``"wb"``).
+
+    A plain ``__slots__`` value class rather than a dataclass: one is
+    allocated per simulated network message, which puts its constructor
+    on the simulator's hottest path.
     """
 
-    src: int
-    dst: int
-    nbytes: int
-    kind: str = "data"
+    __slots__ = ("src", "dst", "nbytes", "kind")
 
-    def __post_init__(self) -> None:
-        if self.nbytes <= 0:
-            raise ValueError(f"message size must be positive, got {self.nbytes}")
-        if self.src < 0 or self.dst < 0:
+    def __init__(self, src: int, dst: int, nbytes: int, kind: str = "data"):
+        if nbytes <= 0:
+            raise ValueError(f"message size must be positive, got {nbytes}")
+        if src < 0 or dst < 0:
             raise ValueError("node ids must be non-negative")
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.kind = kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(src={self.src}, dst={self.dst}, "
+            f"nbytes={self.nbytes}, kind={self.kind!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (
+            self.src == other.src and self.dst == other.dst
+            and self.nbytes == other.nbytes and self.kind == other.kind
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.src, self.dst, self.nbytes, self.kind))

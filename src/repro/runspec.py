@@ -119,6 +119,7 @@ class RunSpec:
         barrier: str = "central",
         adaptive_g: bool = False,
         g_per_event_type: bool = False,
+        batch_local: bool = True,
         max_events: Optional[int] = None,
     ) -> "RunSpec":
         """Assemble a spec from sweep-level arguments.
@@ -142,6 +143,7 @@ class RunSpec:
             barrier=barrier,
             adaptive_g=adaptive_g,
             g_per_event_type=g_per_event_type,
+            batch_local=batch_local,
             digest=digest,
             fault=fault if fault is not None else FaultConfig(),
             **({"check": check} if check is not None else {}),

@@ -172,7 +172,18 @@ def test_yielding_non_event_is_an_error():
     sim = Simulator()
 
     def bad():
-        yield 42
+        yield "not an event"
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_yielding_negative_delay_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield -5
 
     sim.spawn(bad())
     with pytest.raises(SimulationError):
