@@ -1,0 +1,154 @@
+"""Recovery overhead of the supervised execution tier.
+
+The supervisor's whole job is paying a bounded, measurable cost for
+surviving host faults.  This benchmark quantifies that cost on a quick
+figure sweep under ``--jobs 2``:
+
+* **baseline** -- the supervised pool with no injected faults: what
+  supervision itself costs over the bare pool (windowed submission,
+  host-side deadline polling);
+* **kill** -- the same sweep while one worker is SIGKILLed mid-run:
+  the price of a pool rebuild plus the resubmitted in-flight points;
+* **stall** -- the same sweep with one point stalled past its
+  per-point deadline: the price of a deadline expiry and the in-worker
+  retry.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py
+    PYTHONPATH=src python benchmarks/bench_chaos.py --rounds 5 --jobs 4
+
+Every scenario asserts the sweep still completed with zero point
+failures and series bit-identical to an undisturbed run, so a perf
+number is only ever reported for a *correct* recovery.
+
+This file is also collected by pytest (``bench_*.py``) when invoked
+explicitly; the test wrapper checks the scenarios run and stay
+bit-identical, it does not gate on timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import sys
+import time
+from typing import Dict, Optional, Tuple
+
+FIGURE = "fig01"
+PRESET = "quick"
+ROUNDS = 3
+#: Per-point deadline for the stall scenario; the injected stall sleeps
+#: far past it, so the measured overhead is ~one deadline expiry.
+DEADLINE_S = 2.0
+
+
+def _fingerprint(runner, figure: str):
+    from repro.experiments import get_experiment
+
+    data = runner.run_experiment(get_experiment(figure))
+    return data.series, len(data.failures)
+
+
+def _run_supervised(jobs: int, figure: str,
+                    plan: Optional[object] = None,
+                    deadline_s: Optional[float] = None):
+    """One supervised sweep; returns (series, failures, stats, wall)."""
+    from repro.chaos import ChaosMonkey, chaos_task
+    from repro.exec import RetryPolicy, SupervisedPoolBackend
+    from repro.experiments import SweepRunner
+
+    kwargs = {}
+    if plan is not None:
+        kwargs["task_fn"] = functools.partial(chaos_task, plan)
+        kwargs["observer"] = ChaosMonkey(plan)
+    backend = SupervisedPoolBackend(
+        jobs,
+        policy=RetryPolicy(max_retries=2, base_delay_s=0.05),
+        deadline_s=deadline_s,
+        **kwargs,
+    )
+    start = time.perf_counter()
+    with SweepRunner(preset=PRESET, backend=backend) as runner:
+        series, failures = _fingerprint(runner, figure)
+    wall = time.perf_counter() - start
+    return series, failures, backend.stats(), wall
+
+
+def _stall_digest(figure: str) -> str:
+    from repro.experiments import SweepRunner, get_experiment
+
+    with SweepRunner(preset=PRESET) as planner:
+        specs = planner.experiment_specs(get_experiment(figure))
+    digests = list(dict.fromkeys(spec.spec_digest() for spec in specs))
+    return digests[len(digests) // 2]
+
+
+def measure(jobs: int, figure: str, rounds: int) -> Dict[str, Dict]:
+    """Best-of-N wall time per scenario, with correctness asserted."""
+    from repro.chaos import ChaosPlan
+
+    scenarios: Dict[str, Dict] = {}
+    plans: Tuple[Tuple[str, Optional[ChaosPlan], Optional[float]], ...] = (
+        ("baseline", None, None),
+        ("kill", ChaosPlan(kill_at=(2,)), None),
+        ("stall", ChaosPlan(stall_digest=_stall_digest(figure),
+                            stall_s=60.0), DEADLINE_S),
+    )
+    reference = None
+    for name, plan, deadline_s in plans:
+        best = None
+        stats = None
+        for _ in range(rounds):
+            series, failures, stats, wall = _run_supervised(
+                jobs, figure, plan=plan, deadline_s=deadline_s
+            )
+            assert failures == 0, f"{name}: {failures} point failure(s)"
+            if reference is None:
+                reference = series
+            assert series == reference, f"{name}: series diverged"
+            best = wall if best is None else min(best, wall)
+        scenarios[name] = {"wall_seconds": round(best, 3), **stats}
+    return scenarios
+
+
+def report(scenarios: Dict[str, Dict], jobs: int) -> None:
+    base = scenarios["baseline"]["wall_seconds"]
+    print(f"supervised {FIGURE} sweep, preset={PRESET}, jobs={jobs} "
+          f"(best-of-N wall seconds):")
+    for name, stats in scenarios.items():
+        overhead = stats["wall_seconds"] - base
+        print(f"  {name:<9} {stats['wall_seconds']:7.3f}s"
+              f"  (+{max(overhead, 0.0):.3f}s vs baseline,"
+              f" rebuilds={stats['rebuilds']},"
+              f" degraded={bool(stats['degraded'])})")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="measure supervised-pool recovery overhead")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="pool workers (default 2)")
+    parser.add_argument("--figure", default=FIGURE,
+                        help=f"figure to sweep (default {FIGURE})")
+    parser.add_argument("--rounds", type=int, default=ROUNDS,
+                        help=f"rounds per scenario, best kept "
+                             f"(default {ROUNDS})")
+    args = parser.parse_args(argv)
+    report(measure(args.jobs, args.figure, args.rounds), args.jobs)
+    return 0
+
+
+# -- pytest wrapper ------------------------------------------------------------------
+
+
+def test_recovery_scenarios_stay_bit_identical():
+    """One round per scenario: recovery must not move a series value."""
+    scenarios = measure(jobs=2, figure=FIGURE, rounds=1)
+    assert set(scenarios) == {"baseline", "kill", "stall"}
+    assert scenarios["kill"]["rebuilds"] >= 1
+    assert all(s["wall_seconds"] > 0 for s in scenarios.values())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,9 @@ from .exec import (
     PointFailure,
     ProcessPoolBackend,
     ResultStore,
+    RetryPolicy,
     SerialBackend,
+    SupervisedPoolBackend,
     execute_spec,
     make_backend,
 )
@@ -44,13 +46,17 @@ from .apps import APPLICATIONS, Application, make_app
 from .errors import (
     ApplicationError,
     ConfigError,
+    DeadlineExpiredError,
     DeadlockError,
+    PermanentError,
     ProtocolError,
     ReproError,
     RetryLimitError,
     SimulationError,
     TopologyError,
+    TransientError,
     WatchdogError,
+    WorkerCrashError,
 )
 from .faults import FaultConfig, LinkFailure, NodeStall
 from .network import make_topology
@@ -74,6 +80,8 @@ __all__ = [
     "PointFailure",
     "SerialBackend",
     "ProcessPoolBackend",
+    "SupervisedPoolBackend",
+    "RetryPolicy",
     "execute_spec",
     "make_backend",
     "ResultStore",
@@ -87,11 +95,15 @@ __all__ = [
     "LinkFailure",
     "NodeStall",
     "ReproError",
+    "TransientError",
+    "PermanentError",
     "ConfigError",
     "SimulationError",
     "DeadlockError",
     "WatchdogError",
     "RetryLimitError",
+    "DeadlineExpiredError",
+    "WorkerCrashError",
     "ProtocolError",
     "TopologyError",
     "ApplicationError",

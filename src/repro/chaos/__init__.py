@@ -1,0 +1,29 @@
+"""Host-fault chaos harness for the supervised execution tier.
+
+Deterministically kills pool workers, stalls points past their
+deadlines, and corrupts result-store entries mid-sweep, then asserts
+the sweep still completes bit-identical to an undisturbed serial run.
+Run the self-contained smoke check with::
+
+    PYTHONPATH=src python -m repro.chaos --preset quick --jobs 2
+
+See :mod:`repro.chaos.harness` for the injection seams.
+"""
+
+from .harness import (
+    ChaosMonkey,
+    ChaosPlan,
+    ChaosReport,
+    chaos_task,
+    figure_fingerprint,
+    run_chaos_sweep,
+)
+
+__all__ = [
+    "ChaosMonkey",
+    "ChaosPlan",
+    "ChaosReport",
+    "chaos_task",
+    "figure_fingerprint",
+    "run_chaos_sweep",
+]

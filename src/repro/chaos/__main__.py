@@ -1,0 +1,64 @@
+"""Chaos smoke check: ``python -m repro.chaos``.
+
+Runs one quick figure sweep three times -- serial reference, supervised
+pool under injected host faults (worker SIGKILL, deadline stall, cache
+byte flip), and a warm pass over the corrupted store -- and exits
+non-zero unless every pass is bit-identical to the reference.  This is
+the CI chaos job's entry point and a one-command local repro.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from typing import List, Optional
+
+from .harness import run_chaos_sweep
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="self-healing smoke check for the execution tier",
+    )
+    parser.add_argument("--figure", default="fig01", metavar="FIG",
+                        help="experiment to sweep (default fig01)")
+    parser.add_argument("--preset", default="quick",
+                        help="workload preset (default quick)")
+    parser.add_argument("--jobs", type=int, default=2, metavar="N",
+                        help="pool workers (default 2)")
+    parser.add_argument("--deadline-s", type=float, default=5.0, metavar="S",
+                        help="per-point wall-clock deadline (default 5)")
+    parser.add_argument("--stall-s", type=float, default=30.0, metavar="S",
+                        help="injected stall length; must exceed the "
+                             "deadline to trigger expiry (default 30)")
+    parser.add_argument("--processors", default=None, metavar="P,P,...",
+                        help="override the preset's processor sweep")
+    args = parser.parse_args(argv)
+
+    processors = (
+        tuple(int(p) for p in args.processors.split(","))
+        if args.processors else None
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as cache_dir:
+        report = run_chaos_sweep(
+            experiment_id=args.figure,
+            preset=args.preset,
+            processors=processors,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            deadline_s=args.deadline_s,
+            stall_s=args.stall_s,
+        )
+    print(report.summary())
+    if report.kills == 0:
+        print("chaos: warning: no worker kill was delivered "
+              "(sweep too short for the kill schedule?)", file=sys.stderr)
+    if report.corruptions == 0:
+        print("chaos: warning: no cache entry was corrupted", file=sys.stderr)
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,291 @@
+"""Host-level chaos harness: prove the execution tier self-heals.
+
+The fault-injection subsystem (PR 1) attacks the *simulated* system;
+this harness attacks the *host*: it SIGKILLs pool workers mid-sweep,
+stalls a chosen point past its wall-clock deadline, and flips bytes in
+result-store entries -- then asserts the sweep still completes with
+results **bit-identical** (series values and determinism digests) to an
+undisturbed serial run.  That is the whole robustness claim of the
+supervised execution tier, stated as an executable check.
+
+Injection is deterministic, like everything else in this repo: the
+:class:`ChaosPlan` names *which* completion counts trigger a kill or a
+corruption, *which* spec digest stalls, and a seed that picks victims
+-- no wall-clock or PRNG coupling, so a chaos run is reproducible.
+
+Three seams carry the chaos into the supervised backend
+(:class:`~repro.exec.supervisor.SupervisedPoolBackend`):
+
+* ``task_fn`` -- :func:`chaos_task` runs in the worker and stalls the
+  planned spec on its first attempt (inside the deadline guard, so the
+  alarm converts the stall into a retryable
+  :class:`~repro.errors.DeadlineExpiredError`);
+* ``observer`` -- :class:`ChaosMonkey` runs in the parent after every
+  completed point and delivers worker kills / cache corruption at the
+  planned counts;
+* the result store root -- corruption flips a byte in a committed
+  entry, exercising checksum quarantine on the next read.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from ..exec.backend import PointFailure, PointOutcome, execute_spec
+from ..exec.policy import RetryPolicy
+from ..exec.store import ResultStore
+from ..exec.supervisor import SupervisedPoolBackend
+from ..experiments import SweepRunner, get_experiment, render_figure
+from ..runspec import RunSpec
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Deterministic schedule of host faults for one sweep.
+
+    Frozen and picklable: the worker-side stall rule ships to pool
+    workers next to each spec.
+    """
+
+    #: Completion counts after which one live worker is SIGKILLed.
+    kill_at: Tuple[int, ...] = ()
+    #: Completion counts after which one store entry gets a byte flip.
+    corrupt_at: Tuple[int, ...] = ()
+    #: Spec digest whose first attempt stalls in the worker.
+    stall_digest: Optional[str] = None
+    #: How long the stalled attempt sleeps (set it past the deadline).
+    stall_s: float = 30.0
+    #: Victim selection seed (worker index, entry index).
+    seed: int = 0
+
+
+#: Per-worker-process record of digests already stalled, so a retried
+#: attempt (in the same worker) and a resubmitted attempt (in a fresh
+#: worker after the first one was reclaimed) both make progress.
+_STALLED: set = set()
+
+
+def _maybe_stall(plan: ChaosPlan, spec: RunSpec, attempt: int) -> None:
+    """Worker-side pre-attempt hook: stall the planned spec once."""
+    digest = spec.spec_digest()
+    if plan.stall_digest == digest and attempt == 1 and digest not in _STALLED:
+        _STALLED.add(digest)
+        time.sleep(plan.stall_s)
+
+
+def chaos_task(
+    plan: ChaosPlan,
+    spec: RunSpec,
+    policy: RetryPolicy,
+    deadline_s: Optional[float],
+) -> PointOutcome:
+    """Worker task that injects the plan's stall, then executes."""
+    return execute_spec(
+        spec,
+        policy=policy,
+        deadline_s=deadline_s,
+        before_attempt=functools.partial(_maybe_stall, plan),
+    )
+
+
+class ChaosMonkey:
+    """Parent-side observer delivering worker kills and cache rot."""
+
+    def __init__(self, plan: ChaosPlan, store_root: Optional[Union[str, Path]] = None):
+        self.plan = plan
+        self.store_root = Path(store_root) if store_root is not None else None
+        #: Workers SIGKILLed so far.
+        self.kills = 0
+        #: Store entries corrupted so far.
+        self.corruptions = 0
+
+    def __call__(self, backend: SupervisedPoolBackend, completed: int) -> None:
+        if completed in self.plan.kill_at:
+            self.kill_worker(backend)
+        if completed in self.plan.corrupt_at:
+            self.corrupt_entry()
+
+    def kill_worker(self, backend: SupervisedPoolBackend) -> bool:
+        """SIGKILL one live pool worker (seed-selected)."""
+        pids = backend.worker_pids()
+        if not pids:
+            return False
+        victim = pids[self.plan.seed % len(pids)]
+        try:
+            os.kill(victim, signal.SIGKILL)
+        except (OSError, ProcessLookupError):  # pragma: no cover - raced exit
+            return False
+        self.kills += 1
+        return True
+
+    def corrupt_entry(self) -> Optional[Path]:
+        """Flip one byte in the middle of a committed store entry."""
+        if self.store_root is None:
+            return None
+        entries = ResultStore(self.store_root).entry_paths()
+        if not entries:
+            return None
+        target = entries[self.plan.seed % len(entries)]
+        data = bytearray(target.read_bytes())
+        if not data:  # pragma: no cover - zero-length entry
+            return None
+        data[len(data) // 2] ^= 0xFF
+        target.write_bytes(bytes(data))
+        self.corruptions += 1
+        return target
+
+
+# -- end-to-end chaos sweeps --------------------------------------------------------
+
+
+def figure_fingerprint(runner: SweepRunner, experiment_id: str):
+    """(series, digests, rendered text) of one figure under a runner."""
+    data = runner.run_experiment(get_experiment(experiment_id))
+    digests = {
+        label: [
+            None if isinstance(outcome, PointFailure)
+            else outcome.check_report.digest
+            for outcome in outcomes
+        ]
+        for label, outcomes in data.results.items()
+    }
+    return data.series, digests, render_figure(data)
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos run proved (or failed to prove)."""
+
+    experiment_id: str
+    #: Serial-reference fingerprint matched bit-for-bit?
+    identical: bool
+    #: Warm re-read of the corrupted store also matched?
+    warm_identical: bool
+    kills: int
+    corruptions: int
+    stalled: bool
+    rebuilds: int
+    degraded: bool
+    #: Corrupt entries quarantined during the warm pass.
+    quarantined: int
+    failures: int
+    chaos_wall_s: float
+    serial_wall_s: float
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.identical
+            and self.warm_identical
+            and self.failures == 0
+        )
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"chaos sweep {self.experiment_id}: {status} -- "
+            f"{self.kills} worker kill(s), {self.corruptions} corrupted "
+            f"entr{'y' if self.corruptions == 1 else 'ies'}, "
+            f"stalled={self.stalled}, {self.rebuilds} pool rebuild(s), "
+            f"degraded={self.degraded}, {self.quarantined} quarantined, "
+            f"{self.failures} point failure(s); bit-identical to serial: "
+            f"chaos={self.identical} warm={self.warm_identical} "
+            f"({self.chaos_wall_s:.1f}s vs {self.serial_wall_s:.1f}s serial)"
+        )
+
+
+def run_chaos_sweep(
+    experiment_id: str = "fig01",
+    preset: str = "quick",
+    processors: Optional[Tuple[int, ...]] = None,
+    jobs: int = 2,
+    cache_dir: Union[str, Path, None] = None,
+    deadline_s: float = 10.0,
+    stall_s: float = 60.0,
+    kill_at: Tuple[int, ...] = (2,),
+    corrupt_at: Tuple[int, ...] = (4,),
+    stall_index: int = 1,
+    seed: int = 0,
+    max_retries: int = 2,
+) -> ChaosReport:
+    """One full self-healing demonstration.
+
+    Three phases: (1) an undisturbed serial run establishes the
+    reference fingerprint; (2) the same figure runs on a supervised
+    pool while the harness kills a worker, stalls one point past its
+    deadline, and flips a byte in a committed cache entry; (3) a fresh
+    warm runner re-reads the (corrupted) store, which must quarantine
+    the rot, re-simulate exactly that point, and again match the
+    reference bit-for-bit.
+    """
+    if cache_dir is None:
+        raise ValueError("run_chaos_sweep needs a cache_dir for phase 3")
+    cache_dir = Path(cache_dir)
+
+    # Phase 1: the undisturbed serial reference.
+    serial_start = time.perf_counter()
+    with SweepRunner(preset=preset, processors=processors,
+                     digest=True) as serial:
+        reference = figure_fingerprint(serial, experiment_id)
+    serial_wall = time.perf_counter() - serial_start
+
+    # Pick the stalled victim from the sweep's own spec list, so the
+    # plan adapts to any figure/preset without hard-coded digests.
+    with SweepRunner(preset=preset, processors=processors,
+                     digest=True) as planner:
+        specs = planner.experiment_specs(get_experiment(experiment_id))
+    digests = list(dict.fromkeys(spec.spec_digest() for spec in specs))
+    stall_digest = digests[stall_index % len(digests)] if digests else None
+
+    plan = ChaosPlan(
+        kill_at=kill_at,
+        corrupt_at=corrupt_at,
+        stall_digest=stall_digest,
+        stall_s=stall_s,
+        seed=seed,
+    )
+    monkey = ChaosMonkey(plan, store_root=cache_dir)
+    policy = RetryPolicy(max_retries=max_retries, base_delay_s=0.05, seed=seed)
+
+    # Phase 2: the same figure under fire.
+    backend = SupervisedPoolBackend(
+        jobs,
+        policy=policy,
+        deadline_s=deadline_s,
+        task_fn=functools.partial(chaos_task, plan),
+        observer=monkey,
+    )
+    chaos_start = time.perf_counter()
+    with SweepRunner(preset=preset, processors=processors, digest=True,
+                     backend=backend, cache_dir=cache_dir) as chaotic:
+        chaos_fp = figure_fingerprint(chaotic, experiment_id)
+        chaos_failures = len(chaotic.failures)
+    chaos_wall = time.perf_counter() - chaos_start
+
+    # Phase 3: warm pass over the corrupted store -- quarantine + heal.
+    with SweepRunner(preset=preset, processors=processors, digest=True,
+                     jobs=jobs, cache_dir=cache_dir) as warm:
+        warm_fp = figure_fingerprint(warm, experiment_id)
+        warm_failures = len(warm.failures)
+        quarantined = warm.store.quarantined if warm.store else 0
+
+    return ChaosReport(
+        experiment_id=experiment_id,
+        identical=chaos_fp == reference,
+        warm_identical=warm_fp == reference,
+        kills=monkey.kills,
+        corruptions=monkey.corruptions,
+        stalled=stall_digest is not None,
+        rebuilds=backend.rebuilds,
+        degraded=backend.degraded,
+        quarantined=quarantined,
+        failures=chaos_failures + warm_failures,
+        chaos_wall_s=chaos_wall,
+        serial_wall_s=serial_wall,
+    )

@@ -11,6 +11,7 @@
     repro profile --app is -p 8             # per-processor overhead profile
     repro trace record --app fft -p 4 --out fft.trace.json
     repro trace replay fft.trace.json --machine target
+    repro cache verify --cache-dir .repro-cache [--repair]
 
 (Equivalently: ``python -m repro ...``.)
 
@@ -20,7 +21,11 @@ Sweep commands (``figure``, ``all``, ``scalability``) accept
 to persist completed results in a content-addressed
 :class:`~repro.exec.store.ResultStore`, so re-running a command skips
 already-simulated points; ``--no-cache`` disables both reading and
-writing the store.
+writing the store.  Parallel sweeps are supervised (DESIGN.md §11):
+``--deadline-s`` bounds each point's wall-clock, ``--max-retries``
+re-attempts transient failures with deterministic backoff, and sweep
+exit codes separate "completed with failed points" (3) from "aborted"
+(1) and "interrupted" (130).
 
 Flags shared between subcommands (``--preset``, ``--topology``, ``-p``,
 ``--protocol``, ``--barrier``, the fault-injection group, ...) are
@@ -40,6 +45,9 @@ from .checkers import CHECK_LEVELS
 from .config import BARRIERS, MACHINES, PROTOCOLS, TOPOLOGIES, SystemConfig
 from .core.params import derive_logp
 from .core.runner import simulate, simulate_spec
+from .errors import ConfigError, ReproError
+from .exec.policy import RetryPolicy
+from .exec.store import ResultStore
 from .experiments import SweepRunner, experiment_ids, get_experiment, render_figure
 from .faults import FaultConfig
 from .runspec import RunSpec
@@ -47,6 +55,14 @@ from .units import ns_to_us
 
 #: Workload presets selectable from the command line.
 PRESETS = ("default", "quick")
+
+#: Exit codes of the sweep commands.  Distinct codes let automation
+#: tell "the sweep finished but some points failed" (retryable by
+#: re-running with --resume) from "the sweep aborted" (needs a human).
+EXIT_OK = 0
+EXIT_ABORTED = 1
+EXIT_POINT_FAILURES = 3
+EXIT_INTERRUPTED = 130
 
 
 def _parent(*adders) -> argparse.ArgumentParser:
@@ -117,6 +133,19 @@ def _add_sweep_exec(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--resume", metavar="CHECKPOINT", default=None,
                         help="sweep checkpoint JSON: completed points are "
                              "loaded from it and new points appended")
+    parser.add_argument("--deadline-s", type=float, default=None,
+                        metavar="S",
+                        help="per-point wall-clock deadline: a hung point "
+                             "is converted into a retryable failure "
+                             "in-worker, and a truly wedged worker is "
+                             "reclaimed by a pool rebuild (default: "
+                             "unbounded)")
+    parser.add_argument("--max-retries", type=int, default=1, metavar="N",
+                        help="re-attempts for a point failing with a "
+                             "transient error (worker crash, expired "
+                             "deadline, exhausted ARQ); exponential "
+                             "backoff with deterministic seeded jitter "
+                             "(default 1)")
 
 
 def _check_kwargs(args: argparse.Namespace) -> dict:
@@ -237,40 +266,79 @@ def _make_sweep_runner(
     processors: Optional[List[int]] = None,
 ) -> SweepRunner:
     fault = _fault_from_args(args)
+    max_retries = getattr(args, "max_retries", 1)
     return SweepRunner(
         preset=args.preset,
         processors=processors,
         seed=args.seed,
         fault=fault if fault.enabled else None,
+        run_retries=max_retries,
         checkpoint_path=args.resume,
         check=getattr(args, "check", None),
         jobs=args.jobs,
         cache_dir=_cache_dir_from_args(args),
+        deadline_s=getattr(args, "deadline_s", None),
+        retry_policy=RetryPolicy(max_retries=max_retries,
+                                 base_delay_s=0.05, seed=args.seed),
     )
 
 
-def _cmd_figure(args: argparse.Namespace) -> int:
-    experiments = [get_experiment(experiment_id) for experiment_id in args.ids]
+def _sweep_exit(runner: SweepRunner) -> int:
+    """Sweep exit code: clean, or completed-with-point-failures."""
+    failures = runner.failures
+    if not failures:
+        return EXIT_OK
+    print(f"repro: sweep completed with {len(failures)} failed point(s):",
+          file=sys.stderr)
+    for failure in failures:
+        print(f"  {failure.summary()}", file=sys.stderr)
+    return EXIT_POINT_FAILURES
+
+
+def _run_figures(args: argparse.Namespace, experiment_ids_list) -> int:
+    experiments = [get_experiment(eid) for eid in experiment_ids_list]
     with _make_sweep_runner(args) as runner:
-        # One batch across every requested figure keeps all --jobs
-        # workers busy; rendering below is pure memo lookups.
-        runner.prefetch(experiments)
-        for experiment in experiments:
-            print(render_figure(runner.run_experiment(experiment)))
-            print()
-    return 0
+        try:
+            # One batch across every requested figure keeps all --jobs
+            # workers busy; rendering below is pure memo lookups.
+            runner.prefetch(experiments)
+            for experiment in experiments:
+                print(render_figure(runner.run_experiment(experiment)))
+                print()
+        except KeyboardInterrupt:
+            # The runner flushed its checkpoint on the way out, so
+            # --resume picks the sweep back up without losing points.
+            print("repro: interrupted; completed points are checkpointed",
+                  file=sys.stderr)
+            return EXIT_INTERRUPTED
+        except ReproError as exc:
+            print(f"repro: sweep aborted: {exc}", file=sys.stderr)
+            return EXIT_ABORTED
+        return _sweep_exit(runner)
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    return _run_figures(args, args.ids)
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
-    experiments = [
-        get_experiment(experiment_id) for experiment_id in experiment_ids()
-    ]
-    with _make_sweep_runner(args) as runner:
-        runner.prefetch(experiments)
-        for experiment in experiments:
-            print(render_figure(runner.run_experiment(experiment)))
-            print()
-    return 0
+    return _run_figures(args, experiment_ids())
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+    if cache_dir is None:
+        raise ConfigError(
+            "no cache directory to verify; pass --cache-dir or set "
+            "REPRO_CACHE_DIR"
+        )
+    store = ResultStore(cache_dir)
+    report = store.verify(repair=args.repair)
+    print(report.summary())
+    if report.corrupt and not args.repair:
+        print("repro: corrupt entries were quarantined; re-run with "
+              "--repair to re-simulate them", file=sys.stderr)
+    return EXIT_OK if report.healthy else EXIT_ABORTED
 
 
 def _cmd_scalability(args: argparse.Namespace) -> int:
@@ -425,6 +493,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--app", choices=sorted(APPLICATIONS), required=True)
     p_prof.add_argument("--machine", choices=MACHINES, default="target")
     p_prof.set_defaults(func=_cmd_profile)
+
+    p_cache = sub.add_parser("cache", help="result-store maintenance")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_verify = cache_sub.add_parser(
+        "verify",
+        help="audit every store entry's checksum; quarantine "
+             "(and with --repair re-simulate) corrupt entries",
+    )
+    p_verify.add_argument("--cache-dir", metavar="DIR", default=None,
+                          help="store to audit (default: REPRO_CACHE_DIR)")
+    p_verify.add_argument("--repair", action="store_true",
+                          help="re-simulate quarantined entries from their "
+                               "embedded specs and rewrite them")
+    p_verify.set_defaults(func=_cmd_cache_verify)
 
     p_trace = sub.add_parser("trace", help="record / replay traces")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)

@@ -3,6 +3,22 @@
 Every error deliberately raised by the simulator derives from
 :class:`ReproError` so callers can catch simulator problems without
 swallowing genuine programming errors (``TypeError`` etc.).
+
+The hierarchy is a *taxonomy*, not just a namespace: below
+:class:`ReproError` every concrete error is classified as either
+
+* :class:`TransientError` -- the condition may clear on a re-attempt
+  (a message exhausted its ARQ budget under fault injection, a worker
+  process was killed by the host, a wall-clock deadline expired, a
+  livelock tripped the watchdog), or
+* :class:`PermanentError` -- retrying the identical spec is guaranteed
+  to reproduce the failure (bad configuration, a deterministic
+  deadlock, a violated invariant, failed verification).
+
+The execution tier's retry policy (:mod:`repro.exec.policy`) keys off
+exactly this split: only transient errors are ever re-attempted, so a
+mis-configured sweep fails fast instead of burning its retry budget on
+a failure that cannot change.
 """
 
 from __future__ import annotations
@@ -12,7 +28,23 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 
 
-class ConfigError(ReproError):
+class TransientError(ReproError):
+    """An error that may clear if the run is re-attempted.
+
+    The retry policy (:class:`repro.exec.policy.RetryPolicy`) only ever
+    retries errors in this branch of the taxonomy.
+    """
+
+
+class PermanentError(ReproError):
+    """An error that will deterministically recur on a re-attempt.
+
+    Retrying is pointless: the failing condition is a property of the
+    spec (configuration, workload, protocol), not of the host.
+    """
+
+
+class ConfigError(PermanentError):
     """A configuration value is invalid or inconsistent."""
 
 
@@ -20,7 +52,7 @@ class SimulationError(ReproError):
     """The discrete-event engine detected an inconsistent state."""
 
 
-class DeadlockError(SimulationError):
+class DeadlockError(SimulationError, PermanentError):
     """The event queue drained while simulated processes were still blocked."""
 
     def __init__(self, blocked: int, now: int):
@@ -31,13 +63,15 @@ class DeadlockError(SimulationError):
         )
 
 
-class WatchdogError(SimulationError):
+class WatchdogError(SimulationError, TransientError):
     """The engine exceeded its event budget without finishing.
 
     Distinct from :class:`DeadlockError`: the simulation is still making
     scheduler progress, just not *completing* -- typically a livelock
-    (e.g. an unbounded retransmission loop).  Carries progress
-    diagnostics so the stuck state can be triaged without re-running.
+    (e.g. an unbounded retransmission loop).  Classified transient
+    because livelocks arise under fault injection, where the historical
+    behaviour was to re-attempt the run.  Carries progress diagnostics
+    so the stuck state can be triaged without re-running.
     """
 
     def __init__(self, now: int, events: int, blocked: int, queued: int):
@@ -52,7 +86,7 @@ class WatchdogError(SimulationError):
         )
 
 
-class RetryLimitError(ReproError):
+class RetryLimitError(TransientError):
     """Reliable delivery gave up: a message exhausted its retry budget."""
 
     def __init__(self, src: int, dst: int, attempts: int, now: int):
@@ -66,7 +100,45 @@ class RetryLimitError(ReproError):
         )
 
 
-class InvariantError(ReproError):
+class DeadlineExpiredError(TransientError):
+    """A run exceeded its host-side wall-clock deadline.
+
+    Raised from the deadline guard (:func:`repro.exec.policy.deadline_guard`)
+    inside the executing process, converting a hung point into a
+    structured, retryable failure instead of blocking the sweep forever.
+    """
+
+    def __init__(self, deadline_s: float, elapsed_s: float):
+        self.deadline_s = deadline_s
+        self.elapsed_s = elapsed_s
+        super().__init__(
+            f"run exceeded its {deadline_s:g} s wall-clock deadline "
+            f"(ran for {elapsed_s:.2f} s)"
+        )
+
+
+class WorkerCrashError(TransientError):
+    """A pool worker process died while executing a spec.
+
+    Raised host-side by the supervisor when a worker is killed
+    (``BrokenProcessPool``) and the in-flight spec has exhausted its
+    resubmission budget.
+    """
+
+    def __init__(self, describe: str, resubmits: int):
+        self.describe = describe
+        self.resubmits = resubmits
+        super().__init__(
+            f"worker executing {describe} died; point resubmitted "
+            f"{resubmits} time(s) without completing"
+        )
+
+
+class StoreIntegrityError(PermanentError):
+    """A result-store operation could not be completed soundly."""
+
+
+class InvariantError(PermanentError):
     """A runtime sanitizer checker detected a violated invariant.
 
     Carries the checker's name, the simulated time of the violation and
@@ -83,17 +155,17 @@ class InvariantError(ReproError):
         )
 
 
-class ProtocolError(ReproError):
+class ProtocolError(PermanentError):
     """A cache-coherence protocol invariant was violated."""
 
 
-class TopologyError(ReproError):
+class TopologyError(PermanentError):
     """An interconnection-network topology was used incorrectly."""
 
 
-class AddressError(ReproError):
+class AddressError(PermanentError):
     """A simulated memory address is outside any allocated region."""
 
 
-class ApplicationError(ReproError):
+class ApplicationError(PermanentError):
     """An application produced an invalid operation or failed verification."""

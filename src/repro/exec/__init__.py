@@ -1,6 +1,6 @@
 """Execution layer: where :class:`~repro.runspec.RunSpec`\\ s run.
 
-The run path is layered (see DESIGN.md, Section 9):
+The run path is layered (see DESIGN.md, Sections 9 and 11):
 
 ``RunSpec`` (:mod:`repro.runspec`)
     frozen, canonically-serializable description of one simulation,
@@ -8,13 +8,20 @@ The run path is layered (see DESIGN.md, Section 9):
     executes batches of specs -- :class:`SerialBackend` in-process,
     :class:`ProcessPoolBackend` across worker processes -- streaming
     completed points back for incremental checkpointing,
+``SupervisedPoolBackend`` (:mod:`repro.exec.supervisor`)
+    the parallel backend sweeps actually get: detects worker death and
+    hung points, rebuilds the pool, resubmits in-flight specs, and
+    degrades to serial execution when the pool cannot be kept alive,
+``RetryPolicy`` (:mod:`repro.exec.policy`)
+    transient-only retries with exponential backoff and deterministic
+    seeded jitter, shared by every backend,
 ``ResultStore`` (:mod:`repro.exec.store`)
-    on-disk content-addressed cache keyed by spec digest, so repeated
-    invocations skip already-simulated points.
+    on-disk content-addressed cache keyed by spec digest with per-entry
+    content checksums and an eager ``verify``/``repair`` audit.
 
 The determinism digests (PR 2) are the contract that makes this safe:
 a run is a pure function of its spec, so results may be computed on
-any worker and cached indefinitely.
+any worker, recomputed after any crash, and cached indefinitely.
 """
 
 from .backend import (
@@ -23,17 +30,28 @@ from .backend import (
     ProcessPoolBackend,
     SerialBackend,
     execute_spec,
+    failure_from,
     make_backend,
 )
-from .store import STORE_SCHEMA, ResultStore
+from .policy import RetryPolicy, deadline_guard, legacy_policy
+from .store import STORE_SCHEMA, ResultStore, VerifyReport, entry_checksum
+from .supervisor import SupervisedPoolBackend, supervised_task
 
 __all__ = [
     "ExecutionBackend",
     "PointFailure",
     "ProcessPoolBackend",
     "SerialBackend",
+    "SupervisedPoolBackend",
+    "RetryPolicy",
+    "deadline_guard",
+    "legacy_policy",
     "execute_spec",
+    "failure_from",
     "make_backend",
+    "supervised_task",
     "ResultStore",
+    "VerifyReport",
+    "entry_checksum",
     "STORE_SCHEMA",
 ]

@@ -23,14 +23,16 @@ that legitimately differs between backends is the measured
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 from ..core.accounting import RunResult
 from ..core.runner import simulate
 from ..errors import ConfigError, ReproError
 from ..runspec import RunSpec
+from .policy import RetryPolicy, deadline_guard
 
 
 @dataclass(frozen=True)
@@ -82,36 +84,65 @@ class PointFailure:
 PointOutcome = Union[RunResult, PointFailure]
 
 
-def execute_spec(spec: RunSpec, retries: int = 1) -> PointOutcome:
+def failure_from(spec: RunSpec, exc: BaseException, attempts: int) -> PointFailure:
+    """The structured failure record of ``spec`` dying with ``exc``."""
+    return PointFailure(
+        app=spec.app,
+        machine=spec.machine,
+        topology=spec.config.topology,
+        nprocs=spec.config.processors,
+        error=type(exc).__name__,
+        message=str(exc),
+        attempts=attempts,
+    )
+
+
+def execute_spec(
+    spec: RunSpec,
+    retries: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    deadline_s: Optional[float] = None,
+    before_attempt: Optional[Callable[[RunSpec, int], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> PointOutcome:
     """Execute one spec with graceful failure handling.
 
-    A failing run (any :class:`~repro.errors.ReproError`, most
+    A run failing with a :class:`~repro.errors.TransientError` (most
     interestingly :class:`~repro.errors.RetryLimitError` under fault
-    injection) is re-attempted ``retries`` times with a *fresh*
-    application instance; if it still fails, a :class:`PointFailure`
-    is returned instead of raising, so the rest of a sweep continues.
+    injection, or :class:`~repro.errors.DeadlineExpiredError` from the
+    deadline guard) is re-attempted per ``policy`` with a *fresh*
+    application instance, sleeping the policy's deterministic backoff
+    delay between attempts.  Permanent errors, and transient errors
+    that exhaust the budget, are returned as a :class:`PointFailure`
+    instead of raising, so the rest of a sweep continues.
     Non-simulation errors (bugs) propagate.
+
+    ``policy`` wins over the legacy ``retries`` count; ``deadline_s``
+    arms a per-attempt wall-clock deadline.  ``before_attempt`` is a
+    test/chaos seam invoked inside the deadline guard, before the
+    simulation, with ``(spec, attempt_number)``.
     """
+    if policy is None:
+        policy = RetryPolicy(max_retries=retries)
+    key = spec.spec_digest()
     attempts = 0
     while True:
         attempts += 1
         app = spec.make_application()
         try:
-            return simulate(
-                app, spec.machine, spec.config, max_events=spec.max_events
-            )
+            with deadline_guard(deadline_s):
+                if before_attempt is not None:
+                    before_attempt(spec, attempts)
+                return simulate(
+                    app, spec.machine, spec.config, max_events=spec.max_events
+                )
         except ReproError as exc:  # noqa: PERF203 -- intentional retry loop
-            if attempts <= retries:
+            if policy.should_retry(exc, attempts):
+                delay = policy.delay_s(attempts, key)
+                if delay > 0:
+                    sleep(delay)
                 continue
-            return PointFailure(
-                app=spec.app,
-                machine=spec.machine,
-                topology=spec.config.topology,
-                nprocs=spec.config.processors,
-                error=type(exc).__name__,
-                message=str(exc),
-                attempts=attempts,
-            )
+            return failure_from(spec, exc, attempts)
 
 
 class ExecutionBackend:
@@ -119,11 +150,23 @@ class ExecutionBackend:
 
     ``run`` lazily yields ``(spec, outcome)`` pairs as points complete
     (not necessarily in submission order), so callers can checkpoint
-    each point the moment it finishes.
+    each point the moment it finishes.  Backends may carry a
+    :class:`~repro.exec.policy.RetryPolicy` and a per-point deadline;
+    a policy set on the backend wins over the legacy per-call
+    ``retries`` count.
     """
 
     #: Worker parallelism the backend provides.
     jobs: int = 1
+    #: Retry policy applied to every point (None: derive from ``retries``).
+    policy: Optional[RetryPolicy] = None
+    #: Per-point wall-clock deadline in seconds (None: unbounded).
+    deadline_s: Optional[float] = None
+
+    def _effective_policy(self, retries: int) -> RetryPolicy:
+        if self.policy is not None:
+            return self.policy
+        return RetryPolicy(max_retries=retries)
 
     def run(
         self, specs: Sequence[RunSpec], retries: int = 1
@@ -146,11 +189,22 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
     jobs = 1
 
+    def __init__(
+        self,
+        policy: Optional[RetryPolicy] = None,
+        deadline_s: Optional[float] = None,
+    ):
+        self.policy = policy
+        self.deadline_s = deadline_s
+
     def run(
         self, specs: Sequence[RunSpec], retries: int = 1
     ) -> Iterator[Tuple[RunSpec, PointOutcome]]:
+        policy = self._effective_policy(retries)
         for spec in specs:
-            yield spec, execute_spec(spec, retries)
+            yield spec, execute_spec(
+                spec, policy=policy, deadline_s=self.deadline_s
+            )
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -185,9 +239,11 @@ class ProcessPoolBackend(ExecutionBackend):
         specs = list(specs)
         if not specs:
             return
+        policy = self._effective_policy(retries)
         pool = self._ensure_pool()
         futures = {
-            pool.submit(execute_spec, spec, retries): spec for spec in specs
+            pool.submit(execute_spec, spec, policy=policy): spec
+            for spec in specs
         }
         for future in as_completed(futures):
             yield futures[future], future.result()
@@ -198,11 +254,31 @@ class ProcessPoolBackend(ExecutionBackend):
             self._pool = None
 
 
-def make_backend(jobs: int = 1) -> ExecutionBackend:
-    """Backend for the requested parallelism (``jobs <= 1``: serial)."""
+def make_backend(
+    jobs: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    deadline_s: Optional[float] = None,
+    supervise: bool = True,
+) -> ExecutionBackend:
+    """Backend for the requested parallelism (``jobs <= 1``: serial).
+
+    Parallel backends are *supervised* by default: worker death and
+    expired deadlines are recovered by pool rebuilds instead of
+    aborting the sweep (see :mod:`repro.exec.supervisor`).  Pass
+    ``supervise=False`` for the bare pool, which propagates
+    ``BrokenProcessPool`` -- useful as the reference in tests.
+    """
     if jobs <= 1:
-        return SerialBackend()
-    return ProcessPoolBackend(jobs)
+        return SerialBackend(policy=policy, deadline_s=deadline_s)
+    if supervise:
+        # Imported lazily: the supervisor builds on this module.
+        from .supervisor import SupervisedPoolBackend
+
+        return SupervisedPoolBackend(jobs, policy=policy, deadline_s=deadline_s)
+    backend = ProcessPoolBackend(jobs)
+    backend.policy = policy
+    backend.deadline_s = deadline_s
+    return backend
 
 
 def drain(

@@ -1,0 +1,148 @@
+"""Retry policy and wall-clock deadline enforcement for spec execution.
+
+Two host-level robustness primitives shared by every execution backend:
+
+* :class:`RetryPolicy` -- how many times a failing point is
+  re-attempted and how long to wait between attempts.  Only
+  :class:`~repro.errors.TransientError`\\ s are ever retried (see the
+  taxonomy in :mod:`repro.errors`); the backoff schedule is exponential
+  with *deterministic seeded jitter*, so two runs of the same sweep
+  produce bit-identical retry timing -- the same property the simulator
+  itself guarantees for its results.
+* :func:`deadline_guard` -- a context manager that converts a run
+  exceeding its wall-clock budget into a structured
+  :class:`~repro.errors.DeadlineExpiredError` raised *inside* the
+  executing process (via ``SIGALRM``), interrupting even a hung engine
+  loop.  Truly wedged processes that never deliver the signal are
+  reclaimed one level up by the supervisor's host-side timer
+  (:mod:`repro.exec.supervisor`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..errors import ConfigError, DeadlineExpiredError, TransientError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) a failing point is re-attempted.
+
+    The policy is a frozen, picklable value object: backends ship it to
+    worker processes next to the spec, so in-worker retries follow the
+    same schedule the parent would have applied.
+    """
+
+    #: Re-attempts after the first try (0 disables retrying).
+    max_retries: int = 1
+    #: First backoff delay; 0 disables sleeping entirely (the default,
+    #: matching the historical immediate-retry behaviour and keeping
+    #: tests fast).
+    base_delay_s: float = 0.0
+    #: Multiplier applied per additional attempt.
+    backoff_factor: float = 2.0
+    #: Ceiling on any single delay.
+    max_delay_s: float = 30.0
+    #: Fraction of each delay that is jittered (0..1).  Jitter is
+    #: *deterministic*: derived from (seed, key, attempt) by BLAKE2b,
+    #: never from a global RNG.
+    jitter: float = 0.5
+    #: Seed of the jitter stream.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay_s < 0:
+            raise ConfigError(f"base_delay_s must be >= 0, got {self.base_delay_s}")
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def should_retry(self, exc: BaseException, attempts: int) -> bool:
+        """Whether to re-attempt after ``attempts`` tries raised ``exc``.
+
+        Only transient errors are retried: a permanent error (bad
+        config, deterministic deadlock, violated invariant) reproduces
+        identically on every attempt, so retrying it only hides the
+        diagnosis behind a delay.
+        """
+        return isinstance(exc, TransientError) and attempts <= self.max_retries
+
+    def delay_s(self, attempt: int, key: str = "") -> float:
+        """Backoff delay before re-attempt number ``attempt``.
+
+        ``key`` (typically the spec digest) decorrelates the jitter of
+        different points retrying in the same window, so a mass failure
+        does not resubmit everything in lockstep.
+        """
+        if self.base_delay_s <= 0:
+            return 0.0
+        raw = min(
+            self.base_delay_s * self.backoff_factor ** max(attempt - 1, 0),
+            self.max_delay_s,
+        )
+        if self.jitter <= 0:
+            return raw
+        token = f"{self.seed}:{key}:{attempt}".encode("utf-8")
+        digest = hashlib.blake2b(token, digest_size=8).digest()
+        fraction = int.from_bytes(digest, "big") / 2.0 ** 64
+        return raw * (1.0 - self.jitter + self.jitter * fraction)
+
+    def schedule(self, key: str = "") -> List[float]:
+        """Every delay the policy would apply for one point, in order."""
+        return [self.delay_s(attempt, key)
+                for attempt in range(1, self.max_retries + 1)]
+
+
+#: Policy equivalent to the historical hard-coded behaviour: one
+#: immediate re-attempt, no sleeping.
+def legacy_policy(retries: int = 1) -> RetryPolicy:
+    """The pre-supervision behaviour (``retries`` immediate attempts)."""
+    return RetryPolicy(max_retries=retries, base_delay_s=0.0)
+
+
+def _deadline_supported() -> bool:
+    """SIGALRM-based deadlines need POSIX and the process main thread."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def deadline_guard(deadline_s: Optional[float]) -> Iterator[bool]:
+    """Raise :class:`DeadlineExpiredError` if the body outlives ``deadline_s``.
+
+    Yields ``True`` when the guard is armed, ``False`` when it cannot be
+    (no deadline requested, non-POSIX host, or not the main thread --
+    worker processes always execute on their main thread, so the guard
+    is armed everywhere it matters).  The previous ``SIGALRM``
+    disposition is restored on exit, so guards nest safely with other
+    alarm users as long as they do the same.
+    """
+    if deadline_s is None or deadline_s <= 0 or not _deadline_supported():
+        yield False
+        return
+    start = time.monotonic()
+
+    def _expire(signum, frame):
+        raise DeadlineExpiredError(deadline_s, time.monotonic() - start)
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, deadline_s)
+    try:
+        yield True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

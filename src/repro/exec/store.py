@@ -3,20 +3,26 @@
 Entries are keyed by :meth:`~repro.runspec.RunSpec.spec_digest` and
 live at ``<root>/<digest[:2]>/<digest>.json``; each entry carries a
 schema version, the digest it claims to be, the full serialized spec
-(for auditing -- the digest alone is not human-readable), and the
-serialized :class:`~repro.core.accounting.RunResult`.
+(for auditing -- the digest alone is not human-readable), the
+serialized :class:`~repro.core.accounting.RunResult`, and a BLAKE2b
+*content checksum* over the canonical JSON of everything else.
 
 Durability and integrity:
 
 * writes are atomic: a unique temp file is flushed, fsynced, then
   renamed over the final path, so a crash leaves either the old entry
   or the new one, never a torn file;
-* reads validate schema version and digest; an unreadable, truncated,
-  or mismatched entry is *quarantined* (renamed aside with a
-  ``.quarantined`` suffix) and reported as a miss, so one corrupt file
-  costs exactly one re-simulation -- it can never poison results;
+* reads validate schema version, content checksum, and digest; an
+  unreadable, truncated, bit-flipped, or mismatched entry is
+  *quarantined* (renamed aside with a ``.quarantined`` suffix) and
+  reported as a miss, so one corrupt file costs exactly one
+  re-simulation -- it can never poison results;
 * entries written under a different schema version are plain misses
-  (overwritten on the next ``put``), not corruption.
+  (overwritten on the next ``put``), not corruption;
+* :meth:`ResultStore.verify` audits the whole store eagerly (``repro
+  cache verify``) instead of waiting for a lookup to stumble over rot,
+  and with ``repair=True`` re-simulates every corrupt entry whose
+  embedded spec is still recoverable.
 
 Caching is sound because a run is a pure function of its spec: the
 determinism checker's golden digests (PR 2) gate exactly the property
@@ -27,20 +33,73 @@ wall time of the run that produced it.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.accounting import RunResult
-from ..runspec import RunSpec
+from ..runspec import RunSpec, canonical_json
 
 #: Entry schema version.  Bump when the entry layout changes; stale
 #: entries then read as misses and are overwritten in place.
-STORE_SCHEMA = 1
+#: Version 2 added the per-entry content checksum.
+STORE_SCHEMA = 2
 
 #: Suffix given to corrupt entries moved out of the cache's way.
 QUARANTINE_SUFFIX = ".quarantined"
+
+
+def entry_checksum(payload: Dict) -> str:
+    """BLAKE2b over the canonical JSON of the payload sans checksum.
+
+    Canonical JSON (sorted keys, minimal separators) makes the checksum
+    representation-independent: it survives a JSON round trip, so the
+    reader can recompute it from the parsed entry.
+    """
+    body = {key: value for key, value in payload.items() if key != "checksum"}
+    return hashlib.blake2b(
+        canonical_json(body).encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one :meth:`ResultStore.verify` scan."""
+
+    #: Entries examined (quarantined and temp files are skipped).
+    scanned: int = 0
+    #: Entries that validated end-to-end.
+    ok: int = 0
+    #: Entries written under a different schema (left in place).
+    stale: int = 0
+    #: Digests of corrupt entries (all were quarantined).
+    corrupt: List[str] = field(default_factory=list)
+    #: Digests re-simulated and rewritten (subset of ``corrupt``).
+    repaired: List[str] = field(default_factory=list)
+    #: Digests whose embedded spec was unrecoverable (subset of
+    #: ``corrupt``; only populated when repairing).
+    unrepairable: List[str] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """True when the store holds no unrepaired corruption."""
+        return len(self.corrupt) == len(self.repaired)
+
+    def summary(self) -> str:
+        parts = [
+            f"scanned {self.scanned} entr{'y' if self.scanned == 1 else 'ies'}",
+            f"{self.ok} ok",
+            f"{self.stale} stale",
+            f"{len(self.corrupt)} corrupt",
+        ]
+        if self.repaired:
+            parts.append(f"{len(self.repaired)} repaired")
+        if self.unrepairable:
+            parts.append(f"{len(self.unrepairable)} unrepairable")
+        return "result store verify: " + ", ".join(parts)
 
 
 class ResultStore:
@@ -69,6 +128,64 @@ class ResultStore:
             pass
         self.quarantined += 1
 
+    # -- validation ----------------------------------------------------------
+
+    @staticmethod
+    def _read_entry(
+        path: Path, digest: str
+    ) -> Tuple[Optional[Dict], Optional[RunResult], Optional[str]]:
+        """Parse and validate one entry file.
+
+        Returns ``(data, result, problem)`` where ``problem`` is None
+        for a valid entry, ``"missing"``, ``"stale"`` (foreign schema,
+        not corruption), or ``"corrupt"``.  ``data`` is whatever JSON
+        parsed, even for corrupt entries -- repair mines it for a
+        recoverable spec.
+        """
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None, None, "missing"
+        except (OSError, UnicodeDecodeError):
+            return None, None, "corrupt"
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError:
+            return None, None, "corrupt"
+        if not isinstance(data, dict):
+            return None, None, "corrupt"
+        if data.get("schema") != STORE_SCHEMA:
+            # A different (older/newer) store version: a legitimate
+            # miss, not corruption; ``put`` will overwrite it.
+            return data, None, "stale"
+        if data.get("checksum") != entry_checksum(data):
+            return data, None, "corrupt"
+        if data.get("spec_digest") != digest:
+            return data, None, "corrupt"
+        try:
+            result = RunResult.from_dict(data["result"])
+        except (KeyError, TypeError, ValueError):
+            return data, None, "corrupt"
+        return data, result, None
+
+    @staticmethod
+    def _recover_spec(data: Optional[Dict], digest: str) -> Optional[RunSpec]:
+        """The embedded spec of a damaged entry, if still trustworthy.
+
+        Recovery demands the spec re-hash to the entry's own digest, so
+        a corrupt entry can only ever be repaired into the result it
+        was supposed to hold.
+        """
+        if not isinstance(data, dict):
+            return None
+        try:
+            spec = RunSpec.from_dict(data.get("spec"))
+        except Exception:
+            return None
+        if spec.spec_digest() != digest:
+            return None
+        return spec
+
     # -- lookups -------------------------------------------------------------
 
     def get(self, spec: RunSpec) -> Optional[RunResult]:
@@ -79,42 +196,14 @@ class ResultStore:
         """
         digest = spec.spec_digest()
         path = self._entry_path(digest)
-        try:
-            raw = path.read_text(encoding="utf-8")
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except (OSError, UnicodeDecodeError):
+        _data, result, problem = self._read_entry(path, digest)
+        if problem is None:
+            self.hits += 1
+            return result
+        if problem == "corrupt":
             self._quarantine(path)
-            self.misses += 1
-            return None
-        try:
-            data = json.loads(raw)
-        except json.JSONDecodeError:
-            self._quarantine(path)
-            self.misses += 1
-            return None
-        if not isinstance(data, dict):
-            self._quarantine(path)
-            self.misses += 1
-            return None
-        if data.get("schema") != STORE_SCHEMA:
-            # A different (older/newer) store version: a legitimate
-            # miss, not corruption; ``put`` will overwrite it.
-            self.misses += 1
-            return None
-        if data.get("spec_digest") != digest:
-            self._quarantine(path)
-            self.misses += 1
-            return None
-        try:
-            result = RunResult.from_dict(data["result"])
-        except (KeyError, TypeError, ValueError):
-            self._quarantine(path)
-            self.misses += 1
-            return None
-        self.hits += 1
-        return result
+        self.misses += 1
+        return None
 
     # -- writes --------------------------------------------------------------
 
@@ -129,6 +218,7 @@ class ResultStore:
             "spec": spec.to_dict(),
             "result": result.to_dict(),
         }
+        payload["checksum"] = entry_checksum(payload)
         # PID-unique temp name: concurrent invocations sharing a cache
         # directory each rename their own complete file into place.
         tmp = path.with_name(f".{digest}.{os.getpid()}.tmp")
@@ -138,6 +228,86 @@ class ResultStore:
             os.fsync(handle.fileno())
         os.replace(tmp, path)
         self.stores += 1
+
+    # -- integrity audit -----------------------------------------------------
+
+    def entry_paths(self) -> List[Path]:
+        """Every live entry file, sorted for deterministic scans."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            path for path in self.root.glob("*/*.json")
+            if not path.name.startswith(".")
+        )
+
+    def quarantined_paths(self) -> List[Path]:
+        """Entries moved aside by earlier reads or verify scans."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob(f"*/*.json{QUARANTINE_SUFFIX}"))
+
+    def verify(self, repair: bool = False, simulate=None) -> VerifyReport:
+        """Audit every entry; quarantine (and optionally heal) rot.
+
+        Each entry is re-validated end-to-end (parse, schema, content
+        checksum, digest, result shape).  Corrupt entries are
+        quarantined; with ``repair=True`` each one whose embedded spec
+        still re-hashes to the entry's digest is re-simulated and
+        rewritten, so the store comes back bit-identical (the
+        determinism contract) minus only entries damaged beyond spec
+        recovery.  Repair also revisits entries *already* quarantined
+        by earlier reads or verify-only scans, so ``verify`` followed by
+        ``verify --repair`` heals everything a single ``--repair`` pass
+        would have.  Quarantine files are kept as forensic evidence
+        (their digest now has a healthy live entry, so later scans skip
+        them).  ``simulate`` overrides the simulation entry point
+        (tests); it takes a :class:`RunSpec` and returns a
+        :class:`RunResult`.
+        """
+        if simulate is None:
+            from ..core.runner import simulate_spec as simulate
+        report = VerifyReport()
+        stash = self.quarantined_paths() if repair else []
+        live = set()
+        for path in self.entry_paths():
+            digest = path.stem
+            live.add(digest)
+            data, _result, problem = self._read_entry(path, digest)
+            report.scanned += 1
+            if problem is None:
+                report.ok += 1
+                continue
+            if problem == "stale":
+                report.stale += 1
+                continue
+            self._quarantine(path)
+            report.corrupt.append(digest)
+            if not repair:
+                continue
+            spec = self._recover_spec(data, digest)
+            if spec is None:
+                report.unrepairable.append(digest)
+                continue
+            self.put(spec, simulate(spec))
+            report.repaired.append(digest)
+        for path in stash:
+            # "<digest>.json.quarantined" -> "<digest>".
+            digest = Path(path.stem).stem
+            if digest in live:
+                continue  # a healthy entry superseded this quarantine
+            report.scanned += 1
+            report.corrupt.append(digest)
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+                data = None
+            spec = self._recover_spec(data, digest)
+            if spec is None:
+                report.unrepairable.append(digest)
+                continue
+            self.put(spec, simulate(spec))
+            report.repaired.append(digest)
+        return report
 
     # -- reporting -----------------------------------------------------------
 

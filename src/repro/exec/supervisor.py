@@ -1,0 +1,289 @@
+"""Supervised parallel execution: worker death and hangs are survivable.
+
+:class:`SupervisedPoolBackend` wraps a
+:class:`concurrent.futures.ProcessPoolExecutor` with the supervision a
+long sweep needs to outlive host-level trouble:
+
+* **Worker death.**  A SIGKILL'd or crashed worker breaks the whole
+  executor (``BrokenProcessPool``); the bare pool backend would abort
+  the sweep and lose every in-flight point.  The supervisor detects the
+  breakage, tears the dead pool down, rebuilds it, and resubmits only
+  the specs that were in flight -- completed points already streamed
+  back and are never re-run.
+* **Hung points.**  With a ``deadline_s`` every attempt is bounded two
+  ways: worker-side, :func:`~repro.exec.policy.deadline_guard` raises a
+  structured :class:`~repro.errors.DeadlineExpiredError` inside the run
+  (retryable in place); host-side, a timer watches for workers too
+  wedged to deliver their own alarm (e.g. stuck in C code) and reclaims
+  them by killing the pool, converting the overdue point into a
+  resubmission or a :class:`~repro.exec.backend.PointFailure`.
+* **Resubmission budget.**  Which spec crashed a worker is not
+  observable from the parent, so every in-flight spec of a broken pool
+  is charged one resubmission; a spec exceeding the policy's retry
+  budget is failed with :class:`~repro.errors.WorkerCrashError` (or
+  ``DeadlineExpiredError`` if it was the overdue one) instead of
+  crash-looping the pool forever.
+* **Graceful degradation.**  After ``max_rebuilds`` *consecutive*
+  rebuilds with no completed point in between, the pool is abandoned
+  and the remaining specs run serially in-process -- slower, but a
+  sweep always terminates with an answer for every point.
+
+Submission is windowed to exactly ``jobs`` outstanding futures (the
+bare backend submits everything up front), so a future's submission
+time approximates its execution start and host-side deadlines measure
+run time, not queue time.  Results still stream back in completion
+order; the consumer contract is unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor
+from concurrent.futures import wait as wait_futures
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import DeadlineExpiredError, WorkerCrashError
+from ..runspec import RunSpec
+from .backend import (
+    PointOutcome,
+    ProcessPoolBackend,
+    execute_spec,
+    failure_from,
+)
+from .policy import RetryPolicy
+
+#: Task executed in the worker: (spec, policy, deadline_s) -> outcome.
+TaskFn = Callable[[RunSpec, RetryPolicy, Optional[float]], PointOutcome]
+
+#: Parent-side hook invoked after every completed point with
+#: (backend, completed_count) -- the chaos harness's injection seam.
+Observer = Callable[["SupervisedPoolBackend", int], None]
+
+
+def supervised_task(
+    spec: RunSpec, policy: RetryPolicy, deadline_s: Optional[float]
+) -> PointOutcome:
+    """Default worker-side task: execute with policy and deadline."""
+    return execute_spec(spec, policy=policy, deadline_s=deadline_s)
+
+
+@dataclass
+class _InFlight:
+    """Bookkeeping of one submitted, not-yet-completed spec."""
+
+    spec: RunSpec
+    #: Times this spec was already re-dispatched after pool trouble.
+    resubmits: int
+    #: ``time.monotonic()`` at submission (~execution start; see module
+    #: docstring on windowed submission).
+    submitted_at: float
+
+
+class SupervisedPoolBackend(ProcessPoolBackend):
+    """A process-pool backend that survives worker crashes and hangs."""
+
+    name = "supervised"
+
+    def __init__(
+        self,
+        jobs: int,
+        policy: Optional[RetryPolicy] = None,
+        deadline_s: Optional[float] = None,
+        max_rebuilds: int = 3,
+        deadline_grace_s: float = 5.0,
+        task_fn: Optional[TaskFn] = None,
+        observer: Optional[Observer] = None,
+        wait_tick_s: float = 0.1,
+    ):
+        super().__init__(jobs)
+        self.policy = policy
+        self.deadline_s = deadline_s
+        #: Consecutive rebuilds tolerated before degrading to serial.
+        self.max_rebuilds = max_rebuilds
+        #: Host-side slack past ``deadline_s`` before a worker is
+        #: presumed wedged (its own alarm should have fired already).
+        self.deadline_grace_s = deadline_grace_s
+        self._task_fn = task_fn if task_fn is not None else supervised_task
+        self._observer = observer
+        self._wait_tick_s = wait_tick_s
+        #: Total pool rebuilds over the backend's lifetime.
+        self.rebuilds = 0
+        #: Points that streamed back (results and worker-side failures).
+        self.completed = 0
+        #: True once the backend fell back to in-process execution.
+        self.degraded = False
+        self._consecutive_rebuilds = 0
+        self._rebuild_listeners: List[Callable[[], None]] = []
+
+    # -- introspection -------------------------------------------------------
+
+    def add_rebuild_listener(self, listener: Callable[[], None]) -> None:
+        """Call ``listener()`` right before every pool rebuild.
+
+        The sweep runner registers its checkpoint flush here, so a
+        rebuild never races a half-journaled sweep state.
+        """
+        self._rebuild_listeners.append(listener)
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live pool workers (empty before first submit)."""
+        pool = self._pool
+        processes = getattr(pool, "_processes", None) if pool else None
+        if not processes:
+            return []
+        return sorted(pid for pid, proc in processes.items() if proc.is_alive())
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "rebuilds": self.rebuilds,
+            "completed": self.completed,
+            "degraded": int(self.degraded),
+        }
+
+    # -- supervision internals -----------------------------------------------
+
+    def _teardown_pool(self) -> None:
+        """Shut the (possibly broken) pool down hard, killing stragglers."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            if proc.is_alive():
+                # A wedged worker ignores cooperative shutdown; SIGKILL
+                # is the only reclamation that always works.
+                proc.kill()
+        for proc in processes:
+            proc.join(timeout=1.0)
+
+    def _host_deadline_s(self) -> Optional[float]:
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s + self.deadline_grace_s
+
+    def _overdue(self, inflight: Dict) -> Set[str]:
+        """Digests of in-flight specs past the host-side deadline."""
+        limit = self._host_deadline_s()
+        if limit is None:
+            return set()
+        now = time.monotonic()
+        return {
+            entry.spec.spec_digest()
+            for entry in inflight.values()
+            if now - entry.submitted_at > limit
+        }
+
+    def _rebuild(
+        self,
+        inflight: Dict,
+        queue: deque,
+        policy: RetryPolicy,
+        overdue: Set[str],
+    ) -> Iterator[Tuple[RunSpec, PointOutcome]]:
+        """Recover from a broken/wedged pool.
+
+        Flushes listeners (checkpoint), kills the old pool, requeues
+        every in-flight spec with one resubmission charged, fails specs
+        over budget, and arms degradation if rebuilds are not making
+        progress.  Yields the failure records of over-budget specs.
+        """
+        self.rebuilds += 1
+        self._consecutive_rebuilds += 1
+        for listener in list(self._rebuild_listeners):
+            listener()
+        self._teardown_pool()
+        entries = list(inflight.values())
+        inflight.clear()
+        for entry in entries:
+            resubmits = entry.resubmits + 1
+            if resubmits > policy.max_retries:
+                digest = entry.spec.spec_digest()
+                if digest in overdue:
+                    exc: Exception = DeadlineExpiredError(
+                        self.deadline_s or 0.0,
+                        time.monotonic() - entry.submitted_at,
+                    )
+                else:
+                    exc = WorkerCrashError(entry.spec.describe(), resubmits)
+                yield entry.spec, failure_from(entry.spec, exc, resubmits)
+            else:
+                queue.append((entry.spec, resubmits))
+        if self._consecutive_rebuilds >= self.max_rebuilds:
+            self.degraded = True
+
+    def _completed_one(self) -> None:
+        self.completed += 1
+        self._consecutive_rebuilds = 0
+        if self._observer is not None:
+            self._observer(self, self.completed)
+
+    # -- the supervised run loop ---------------------------------------------
+
+    def run(
+        self, specs: Sequence[RunSpec], retries: int = 1
+    ) -> Iterator[Tuple[RunSpec, PointOutcome]]:
+        specs = list(specs)
+        if not specs:
+            return
+        policy = self._effective_policy(retries)
+        queue: deque = deque((spec, 0) for spec in specs)
+        inflight: Dict = {}
+        while queue or inflight:
+            if self.degraded:
+                # Serial fallback: correctness over throughput.  Only
+                # reachable with an empty in-flight set (degradation is
+                # armed inside _rebuild, which drains it).
+                while queue:
+                    spec, _resubmits = queue.popleft()
+                    yield spec, execute_spec(
+                        spec, policy=policy, deadline_s=self.deadline_s
+                    )
+                    self._completed_one()
+                return
+            # Top up to exactly `jobs` outstanding submissions.
+            submit_broken = False
+            while queue and len(inflight) < self.jobs:
+                spec, resubmits = queue[0]
+                try:
+                    future = self._ensure_pool().submit(
+                        self._task_fn, spec, policy, self.deadline_s
+                    )
+                except BrokenExecutor:
+                    submit_broken = True
+                    break
+                queue.popleft()
+                inflight[future] = _InFlight(spec, resubmits, time.monotonic())
+            if submit_broken:
+                yield from self._rebuild(inflight, queue, policy, set())
+                continue
+            timeout = (
+                self._wait_tick_s if self._host_deadline_s() is not None
+                else None
+            )
+            done, _pending = wait_futures(
+                set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                overdue = self._overdue(inflight)
+                if overdue:
+                    yield from self._rebuild(inflight, queue, policy, overdue)
+                continue
+            crashed: Dict = {}
+            for future in done:
+                entry = inflight.pop(future)
+                try:
+                    outcome = future.result()
+                except BrokenExecutor:
+                    crashed[future] = entry
+                else:
+                    self._completed_one()
+                    yield entry.spec, outcome
+            if crashed:
+                inflight.update(crashed)
+                yield from self._rebuild(inflight, queue, policy, set())
+
+    def close(self) -> None:
+        self._teardown_pool()

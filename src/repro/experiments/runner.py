@@ -50,6 +50,7 @@ from ..exec.backend import (
     PointOutcome,
     make_backend,
 )
+from ..exec.policy import RetryPolicy
 from ..exec.store import ResultStore
 from ..faults.config import FaultConfig
 from ..runspec import RunSpec
@@ -116,6 +117,8 @@ class SweepRunner:
         backend: Optional[ExecutionBackend] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         store: Optional[ResultStore] = None,
+        deadline_s: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.preset = preset
         self.processors: Tuple[int, ...] = tuple(
@@ -135,10 +138,25 @@ class SweepRunner:
         self.check = check
         #: Attach the determinism-digest checker to every run.
         self.digest = digest
+        #: Per-point wall-clock deadline forwarded to the backend.
+        self.deadline_s = deadline_s
+        #: Retry policy applied by the backend (None: derived from
+        #: ``run_retries`` -- immediate transient-only re-attempts).
+        self.retry_policy = (
+            retry_policy if retry_policy is not None
+            else RetryPolicy(max_retries=run_retries)
+        )
         #: Execution backend (explicit instance wins over ``jobs``).
         self.backend: ExecutionBackend = (
-            backend if backend is not None else make_backend(jobs)
+            backend if backend is not None
+            else make_backend(jobs, policy=self.retry_policy,
+                              deadline_s=deadline_s)
         )
+        # Supervised backends flush the checkpoint before every pool
+        # rebuild, so a crash mid-recovery never loses streamed points.
+        add_listener = getattr(self.backend, "add_rebuild_listener", None)
+        if add_listener is not None:
+            add_listener(self._save_checkpoint)
         #: Result store (explicit instance wins over ``cache_dir``;
         #: both None -> no cross-invocation caching).
         self.store: Optional[ResultStore] = (
@@ -322,17 +340,23 @@ class SweepRunner:
             self._save_checkpoint()
         if not pending:
             return
-        for spec, outcome in self.backend.run(pending, self.run_retries):
-            key = spec.spec_digest()
-            self._specs[key] = spec
-            if isinstance(outcome, PointFailure):
-                self._failures[key] = outcome
-            else:
-                self.simulated += 1
-                self._cache[key] = outcome
-                if self.store is not None:
-                    self.store.put(spec, outcome)
+        try:
+            for spec, outcome in self.backend.run(pending, self.run_retries):
+                key = spec.spec_digest()
+                self._specs[key] = spec
+                if isinstance(outcome, PointFailure):
+                    self._failures[key] = outcome
+                else:
+                    self.simulated += 1
+                    self._cache[key] = outcome
+                    if self.store is not None:
+                        self.store.put(spec, outcome)
+                self._save_checkpoint()
+        except KeyboardInterrupt:
+            # Ctrl-C mid-batch: flush everything that streamed back, so
+            # --resume after the interrupt re-runs only unfinished points.
             self._save_checkpoint()
+            raise
 
     def run_point(
         self,

@@ -1,0 +1,142 @@
+"""Chaos harness: deterministic host faults, end-to-end self-healing.
+
+The end-to-end test here is the PR's acceptance criterion: a quick
+figure sweep on a supervised pool completes bit-identical to an
+undisturbed serial run while the harness SIGKILLs a worker, stalls one
+point past its wall-clock deadline, and flips a byte in a committed
+cache entry.
+"""
+
+import json
+
+import pytest
+
+import repro.chaos.harness as harness_module
+from repro import RunSpec
+from repro.chaos import ChaosMonkey, ChaosPlan, run_chaos_sweep
+from repro.chaos.harness import _maybe_stall
+from repro.exec import ResultStore
+from repro.exec.store import QUARANTINE_SUFFIX
+
+
+def quick_spec(**overrides) -> RunSpec:
+    kwargs = dict(app="fft", machine="clogp", nprocs=2, preset="quick")
+    kwargs.update(overrides)
+    return RunSpec.build(**kwargs)
+
+
+# -- injection seams -----------------------------------------------------------------
+
+
+def test_stall_fires_once_per_worker_and_only_on_first_attempt(monkeypatch):
+    naps = []
+    monkeypatch.setattr(harness_module.time, "sleep", naps.append)
+    monkeypatch.setattr(harness_module, "_STALLED", set())
+    spec = quick_spec()
+    plan = ChaosPlan(stall_digest=spec.spec_digest(), stall_s=7.0)
+
+    _maybe_stall(plan, quick_spec(seed=999), attempt=1)  # different spec
+    assert naps == []
+    _maybe_stall(plan, spec, attempt=2)  # retry, not first attempt
+    assert naps == []
+    _maybe_stall(plan, spec, attempt=1)  # the planned stall
+    assert naps == [7.0]
+    _maybe_stall(plan, spec, attempt=1)  # resubmitted to the same worker
+    assert naps == [7.0]
+
+
+def test_monkey_corrupts_a_committed_entry(tmp_path):
+    from repro.core.runner import simulate_spec
+
+    store = ResultStore(tmp_path)
+    spec = quick_spec()
+    store.put(spec, simulate_spec(spec))
+    monkey = ChaosMonkey(ChaosPlan(corrupt_at=(1,)), store_root=tmp_path)
+    target = monkey.corrupt_entry()
+    assert target is not None and monkey.corruptions == 1
+    # The flipped byte must trip the content checksum on the next read.
+    fresh = ResultStore(tmp_path)
+    assert fresh.get(spec) is None
+    assert fresh.quarantined == 1
+    assert target.with_name(target.name + QUARANTINE_SUFFIX).exists()
+
+
+def test_monkey_ignores_an_empty_store(tmp_path):
+    monkey = ChaosMonkey(ChaosPlan(), store_root=tmp_path / "nothing")
+    assert monkey.corrupt_entry() is None
+    assert monkey.corruptions == 0
+
+
+def test_plan_is_picklable():
+    import pickle
+
+    plan = ChaosPlan(kill_at=(2,), corrupt_at=(4,), stall_digest="ab" * 32)
+    assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+# -- the acceptance criterion --------------------------------------------------------
+
+
+def test_chaos_sweep_completes_bit_identical(tmp_path):
+    """Worker SIGKILL + deadline stall + cache byte flip, one sweep:
+    results and determinism digests must match serial exactly."""
+    report = run_chaos_sweep(
+        experiment_id="fig01",
+        preset="quick",
+        processors=(1, 4),
+        jobs=2,
+        cache_dir=tmp_path,
+        deadline_s=2.0,
+        stall_s=60.0,
+        max_retries=2,
+    )
+    assert report.kills == 1
+    assert report.corruptions == 1
+    assert report.stalled
+    assert report.rebuilds >= 1
+    assert report.quarantined >= 1
+    assert report.failures == 0
+    assert report.identical and report.warm_identical
+    assert report.passed
+    summary = report.summary()
+    assert "PASS" in summary and "bit-identical" in summary
+
+
+def test_chaos_sweep_requires_a_cache_dir():
+    with pytest.raises(ValueError, match="cache_dir"):
+        run_chaos_sweep(cache_dir=None)
+
+
+def test_report_fails_on_divergence_or_point_failures():
+    kwargs = dict(
+        experiment_id="fig01", identical=True, warm_identical=True,
+        kills=1, corruptions=1, stalled=True, rebuilds=1, degraded=False,
+        quarantined=1, failures=0, chaos_wall_s=1.0, serial_wall_s=1.0,
+    )
+    from repro.chaos import ChaosReport
+
+    assert ChaosReport(**kwargs).passed
+    assert not ChaosReport(**{**kwargs, "identical": False}).passed
+    assert not ChaosReport(**{**kwargs, "warm_identical": False}).passed
+    failed = ChaosReport(**{**kwargs, "failures": 2})
+    assert not failed.passed
+    assert "FAIL" in failed.summary()
+
+
+def test_corrupted_entry_json_fails_checksum(tmp_path):
+    """The byte flip lands inside the JSON payload: either it breaks
+    parsing outright or the content checksum catches it -- both read as
+    'corrupt', never as a silently different result."""
+    from repro.core.runner import simulate_spec
+    from repro.exec.store import entry_checksum
+
+    store = ResultStore(tmp_path)
+    spec = quick_spec()
+    store.put(spec, simulate_spec(spec))
+    monkey = ChaosMonkey(ChaosPlan(), store_root=tmp_path)
+    target = monkey.corrupt_entry()
+    try:
+        payload = json.loads(target.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return  # unreadable: quarantined on read, nothing more to check
+    assert payload.get("checksum") != entry_checksum(payload)

@@ -221,5 +221,119 @@ def test_exec_flags_have_help_text():
         with redirect_stdout(buffer):
             build_parser().parse_args(["figure", "--help"])
     help_text = buffer.getvalue()
-    for flag in ("--jobs", "--cache-dir", "--no-cache", "--resume"):
+    for flag in ("--jobs", "--cache-dir", "--no-cache", "--resume",
+                 "--deadline-s", "--max-retries"):
         assert flag in help_text
+
+
+# -- supervision: exit codes, deadlines, cache verify -------------------------------
+
+
+def test_figure_exit_code_distinguishes_point_failures(capsys, monkeypatch):
+    """A sweep that finishes with failed points exits 3 ('completed
+    with point failures'), distinct from 0 (clean) and 1 (aborted)."""
+    import repro.exec.backend as backend_module
+    from repro.cli import EXIT_POINT_FAILURES
+    from repro.errors import RetryLimitError
+
+    real_simulate = backend_module.simulate
+
+    def flaky(app, machine_name, config, **kwargs):
+        if machine_name == "logp":
+            raise RetryLimitError(0, 1, 3, 12345)
+        return real_simulate(app, machine_name, config, **kwargs)
+
+    monkeypatch.setattr(backend_module, "simulate", flaky)
+    code = main(["figure", "fig01", "--preset", "quick"])
+    assert code == EXIT_POINT_FAILURES == 3
+    captured = capsys.readouterr()
+    assert "fig01" in captured.out  # the figure still rendered
+    assert "failed point(s)" in captured.err
+    assert "RetryLimitError" in captured.err
+
+
+def test_figure_deadline_flag_converts_hang_into_point_failure(
+        capsys, monkeypatch):
+    """--deadline-s bounds every point: a hung simulation surfaces as a
+    DeadlineExpiredError point failure, not a stuck process."""
+    import time as time_module
+
+    import repro.exec.backend as backend_module
+    from repro.cli import EXIT_POINT_FAILURES
+
+    real_simulate = backend_module.simulate
+
+    def hanging(app, machine_name, config, **kwargs):
+        if machine_name == "logp":
+            time_module.sleep(60)
+        return real_simulate(app, machine_name, config, **kwargs)
+
+    monkeypatch.setattr(backend_module, "simulate", hanging)
+    code = main([
+        "figure", "fig01", "--preset", "quick",
+        "--deadline-s", "0.2", "--max-retries", "0",
+    ])
+    assert code == EXIT_POINT_FAILURES
+    assert "DeadlineExpiredError" in capsys.readouterr().err
+
+
+def test_cache_verify_healthy_store_exits_clean(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    assert main(["figure", "fig03", "--preset", "quick",
+                 "--cache-dir", cache]) == 0
+    capsys.readouterr()
+    assert main(["cache", "verify", "--cache-dir", cache]) == 0
+    out = capsys.readouterr().out
+    assert "result store verify" in out and "0 corrupt" in out
+
+
+def test_cache_verify_and_repair_corruption(capsys, tmp_path):
+    from repro.exec import ResultStore
+
+    cache = tmp_path / "cache"
+    assert main(["figure", "fig03", "--preset", "quick",
+                 "--cache-dir", str(cache)]) == 0
+    cold_out = capsys.readouterr().out
+    # Silent bit rot: a result value changed, checksum now stale, but
+    # the embedded spec intact -- exactly the repairable case.
+    import json
+
+    entry = ResultStore(cache).entry_paths()[0]
+    payload = json.loads(entry.read_text())
+    payload["result"]["total_ns"] = 1
+    entry.write_text(json.dumps(payload))
+
+    # Verify alone: corruption found and quarantined, non-zero exit.
+    assert main(["cache", "verify", "--cache-dir", str(cache)]) == 1
+    captured = capsys.readouterr()
+    assert "1 corrupt" in captured.out
+    assert "--repair" in captured.err
+
+    # Repair: the missing point is re-simulated and the store healthy.
+    assert main(["cache", "verify", "--cache-dir", str(cache),
+                 "--repair"]) == 0
+    assert "1 repaired" in capsys.readouterr().out
+    assert main(["cache", "verify", "--cache-dir", str(cache)]) == 0
+    capsys.readouterr()
+
+    # The repaired store serves the figure identically.
+    assert main(["figure", "fig03", "--preset", "quick",
+                 "--cache-dir", str(cache)]) == 0
+    assert capsys.readouterr().out == cold_out
+
+
+def test_cache_verify_requires_a_directory(monkeypatch):
+    from repro.errors import ConfigError
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    with pytest.raises(ConfigError, match="--cache-dir"):
+        main(["cache", "verify"])
+
+
+def test_cache_verify_reads_env_var(capsys, tmp_path, monkeypatch):
+    cache = tmp_path / "cache"
+    assert main(["figure", "fig03", "--preset", "quick",
+                 "--cache-dir", str(cache)]) == 0
+    capsys.readouterr()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+    assert main(["cache", "verify"]) == 0

@@ -119,6 +119,23 @@ def test_execute_spec_recovers_on_retry(monkeypatch):
     assert outcome.verified
 
 
+def test_point_failure_round_trips_through_dict():
+    """Failures are journaled to checkpoints as JSON; the round trip
+    must be lossless."""
+    failure = PointFailure(
+        app="fft", machine="logp", topology="mesh", nprocs=8,
+        error="DeadlineExpiredError",
+        message="run exceeded its 5 s wall-clock deadline",
+        attempts=3,
+    )
+    restored = PointFailure.from_dict(failure.to_dict())
+    assert restored == failure
+    # And through actual JSON text, as the checkpoint file does it.
+    rehydrated = PointFailure.from_dict(json.loads(json.dumps(failure.to_dict())))
+    assert rehydrated == failure
+    assert "DeadlineExpiredError" in failure.summary()
+
+
 # -- serial vs process-pool parity (satellite: parallel determinism) -----------------
 
 

@@ -1,0 +1,210 @@
+"""Retry policy, error taxonomy, and wall-clock deadline enforcement.
+
+The supervision tier only works if its primitives are deterministic:
+the backoff schedule must be a pure function of (policy, spec key,
+attempt) so two runs of the same sweep retry identically, and only
+*transient* errors may ever be retried -- a permanent error reproduces
+on every attempt, so retrying it just delays the diagnosis.
+"""
+
+import signal
+import time
+
+import pytest
+
+import repro.exec.backend as backend_module
+from repro import RunSpec
+from repro.errors import (
+    ApplicationError,
+    ConfigError,
+    DeadlineExpiredError,
+    DeadlockError,
+    InvariantError,
+    PermanentError,
+    ReproError,
+    RetryLimitError,
+    TransientError,
+    WatchdogError,
+    WorkerCrashError,
+)
+from repro.exec import PointFailure, execute_spec
+from repro.exec.policy import RetryPolicy, deadline_guard, legacy_policy
+
+
+def quick_spec(**overrides) -> RunSpec:
+    kwargs = dict(app="fft", machine="ideal", nprocs=2, preset="quick")
+    kwargs.update(overrides)
+    return RunSpec.build(**kwargs)
+
+
+# -- error taxonomy ------------------------------------------------------------------
+
+
+def test_transient_errors_are_transient():
+    """The retryable class: host trouble and exhausted-but-legitimate
+    protocol retries, all worth a second attempt."""
+    transients = [
+        RetryLimitError(0, 1, 3, 12345),
+        WatchdogError(10, 1000, 2, 5),
+        DeadlineExpiredError(5.0, 6.2),
+        WorkerCrashError("fft/clogp/full/p=2", 2),
+    ]
+    for exc in transients:
+        assert isinstance(exc, TransientError), exc
+        assert isinstance(exc, ReproError), exc
+        assert not isinstance(exc, PermanentError), exc
+
+
+def test_permanent_errors_are_permanent():
+    """Deterministic failures: same spec, same outcome, every time."""
+    permanents = [
+        ConfigError("bad knob"),
+        DeadlockError(1, 500),
+        InvariantError("coherence.swmr", 500, "two writers"),
+        ApplicationError("bad phase"),
+    ]
+    for exc in permanents:
+        assert isinstance(exc, PermanentError), exc
+        assert not isinstance(exc, TransientError), exc
+
+
+def test_should_retry_only_transients_within_budget():
+    policy = RetryPolicy(max_retries=2)
+    transient = RetryLimitError(0, 1, 3, 12345)
+    assert policy.should_retry(transient, attempts=1)
+    assert policy.should_retry(transient, attempts=2)
+    assert not policy.should_retry(transient, attempts=3)  # budget spent
+    assert not policy.should_retry(ConfigError("nope"), attempts=1)
+    assert not policy.should_retry(DeadlockError(1, 500), attempts=1)
+
+
+# -- backoff schedule ----------------------------------------------------------------
+
+
+def test_backoff_schedule_is_deterministic():
+    """Same (policy, key) -> bit-identical delays, like everything else."""
+    policy = RetryPolicy(max_retries=4, base_delay_s=0.1, seed=7)
+    assert policy.schedule("abc123") == policy.schedule("abc123")
+    twin = RetryPolicy(max_retries=4, base_delay_s=0.1, seed=7)
+    assert twin.schedule("abc123") == policy.schedule("abc123")
+
+
+def test_backoff_jitter_decorrelates_keys_and_seeds():
+    """Different points (and different seeds) must not retry in
+    lockstep, or a mass failure resubmits everything simultaneously."""
+    policy = RetryPolicy(max_retries=3, base_delay_s=0.1, seed=7)
+    assert policy.schedule("pointA") != policy.schedule("pointB")
+    reseeded = RetryPolicy(max_retries=3, base_delay_s=0.1, seed=8)
+    assert reseeded.schedule("pointA") != policy.schedule("pointA")
+
+
+def test_backoff_is_exponential_with_ceiling():
+    policy = RetryPolicy(max_retries=6, base_delay_s=1.0, backoff_factor=2.0,
+                         max_delay_s=5.0, jitter=0.0)
+    assert policy.schedule() == [1.0, 2.0, 4.0, 5.0, 5.0, 5.0]
+
+
+def test_jitter_stays_within_the_configured_fraction():
+    policy = RetryPolicy(max_retries=1, base_delay_s=1.0, jitter=0.5, seed=3)
+    for key in ("a", "b", "c", "d"):
+        delay = policy.delay_s(1, key)
+        assert 0.5 <= delay <= 1.0
+
+
+def test_zero_base_delay_means_immediate_retries():
+    """The historical behaviour (and the test-suite default): retry
+    without sleeping at all."""
+    policy = legacy_policy(retries=3)
+    assert policy.schedule("anything") == [0.0, 0.0, 0.0]
+
+
+def test_policy_validates_its_fields():
+    with pytest.raises(ConfigError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ConfigError):
+        RetryPolicy(base_delay_s=-0.1)
+    with pytest.raises(ConfigError):
+        RetryPolicy(backoff_factor=0.5)
+    with pytest.raises(ConfigError):
+        RetryPolicy(jitter=1.5)
+
+
+def test_execute_spec_sleeps_the_policy_delays(monkeypatch):
+    """The retry loop must apply exactly the policy's schedule."""
+    def dying(app, machine_name, config, **kwargs):
+        raise RetryLimitError(0, 1, 3, 12345)
+
+    monkeypatch.setattr(backend_module, "simulate", dying)
+    policy = RetryPolicy(max_retries=2, base_delay_s=0.1, seed=5)
+    slept = []
+    spec = quick_spec()
+    outcome = execute_spec(spec, policy=policy, sleep=slept.append)
+    assert isinstance(outcome, PointFailure)
+    assert outcome.attempts == 3
+    assert slept == policy.schedule(spec.spec_digest())
+
+
+def test_execute_spec_does_not_retry_permanent_errors(monkeypatch):
+    calls = {"count": 0}
+
+    def misconfigured(app, machine_name, config, **kwargs):
+        calls["count"] += 1
+        raise ConfigError("deterministically broken")
+
+    monkeypatch.setattr(backend_module, "simulate", misconfigured)
+    outcome = execute_spec(quick_spec(), retries=5)
+    assert isinstance(outcome, PointFailure)
+    assert outcome.error == "ConfigError"
+    assert outcome.attempts == 1
+    assert calls["count"] == 1
+
+
+# -- deadline guard ------------------------------------------------------------------
+
+
+def test_deadline_guard_interrupts_an_overlong_body():
+    with pytest.raises(DeadlineExpiredError) as excinfo:
+        with deadline_guard(0.05) as armed:
+            assert armed
+            time.sleep(5.0)
+    assert excinfo.value
+    assert "0.05" in str(excinfo.value)
+
+
+def test_deadline_guard_unarmed_without_a_deadline():
+    with deadline_guard(None) as armed:
+        assert not armed
+    with deadline_guard(0.0) as armed:
+        assert not armed
+
+
+def test_deadline_guard_restores_the_previous_handler():
+    previous = signal.getsignal(signal.SIGALRM)
+    with deadline_guard(10.0):
+        assert signal.getsignal(signal.SIGALRM) is not previous
+    assert signal.getsignal(signal.SIGALRM) is previous
+    # The timer itself is disarmed too: nothing fires later.
+    assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+
+
+def test_deadline_expiry_is_retried_then_recorded(monkeypatch):
+    """An attempt blowing its deadline is transient: execute_spec
+    retries it, and only budget exhaustion records the failure."""
+    calls = {"count": 0}
+
+    def slow(app, machine_name, config, **kwargs):
+        calls["count"] += 1
+        time.sleep(5.0)
+
+    monkeypatch.setattr(backend_module, "simulate", slow)
+    outcome = execute_spec(quick_spec(), retries=1, deadline_s=0.05)
+    assert isinstance(outcome, PointFailure)
+    assert outcome.error == "DeadlineExpiredError"
+    assert outcome.attempts == 2
+    assert calls["count"] == 2
+
+
+def test_deadline_guard_leaves_a_fast_run_alone():
+    spec = quick_spec()
+    outcome = execute_spec(spec, deadline_s=60.0)
+    assert not isinstance(outcome, PointFailure)

@@ -141,6 +141,181 @@ def test_foreign_schema_entry_is_a_plain_miss(tmp_path):
     assert entry.exists()  # not moved aside
 
 
+# -- integrity audit: checksums, verify, repair -------------------------------------
+
+
+def test_entries_carry_a_content_checksum(tmp_path):
+    from repro.core.runner import simulate_spec
+    from repro.exec.store import entry_checksum
+
+    store = ResultStore(tmp_path)
+    spec = quick_spec()
+    store.put(spec, simulate_spec(spec))
+    digest = spec.spec_digest()
+    payload = json.loads((tmp_path / digest[:2] / f"{digest}.json").read_text())
+    # The checksum is recomputable from the parsed JSON: it survives the
+    # round trip through text, which is what makes reads verifiable.
+    assert payload["checksum"] == entry_checksum(payload)
+
+
+def test_bit_flip_anywhere_in_the_result_is_caught(tmp_path):
+    """The checksum covers the result values themselves -- a flipped
+    digit in a metric is corruption, even though the JSON still parses
+    and the spec digest still matches."""
+    from repro.core.runner import simulate_spec
+
+    store = ResultStore(tmp_path)
+    spec = quick_spec()
+    store.put(spec, simulate_spec(spec))
+    digest = spec.spec_digest()
+    entry = tmp_path / digest[:2] / f"{digest}.json"
+    payload = json.loads(entry.read_text())
+    payload["result"]["total_ns"] = payload["result"]["total_ns"] + 1
+    entry.write_text(json.dumps(payload))
+    fresh = ResultStore(tmp_path)
+    assert fresh.get(spec) is None
+    assert fresh.quarantined == 1
+
+
+def test_verify_reports_a_healthy_store(tmp_path):
+    from repro.core.runner import simulate_spec
+
+    store = ResultStore(tmp_path)
+    for seed in (1, 2, 3):
+        spec = quick_spec(seed=seed)
+        store.put(spec, simulate_spec(spec))
+    report = store.verify()
+    assert report.scanned == 3 and report.ok == 3
+    assert report.healthy
+    assert not report.corrupt
+    assert "3 ok" in report.summary()
+
+
+def test_verify_quarantines_corruption_without_repair(tmp_path):
+    from repro.core.runner import simulate_spec
+
+    store = ResultStore(tmp_path)
+    spec = quick_spec()
+    store.put(spec, simulate_spec(spec))
+    digest = spec.spec_digest()
+    entry = tmp_path / digest[:2] / f"{digest}.json"
+    data = bytearray(entry.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    entry.write_bytes(bytes(data))
+
+    report = ResultStore(tmp_path).verify(repair=False)
+    assert report.corrupt == [digest]
+    assert not report.repaired and not report.healthy
+    assert not entry.exists()  # moved aside
+    assert entry.with_name(entry.name + QUARANTINE_SUFFIX).exists()
+
+
+def test_verify_repair_restores_bit_identical_entries(tmp_path):
+    """--repair re-simulates a corrupt entry from its embedded spec and
+    the rewritten entry is bit-identical (determinism) to the original,
+    modulo the host-measured wall time."""
+    from repro.core.runner import simulate_spec
+
+    store = ResultStore(tmp_path)
+    spec = quick_spec()
+    store.put(spec, simulate_spec(spec))
+    digest = spec.spec_digest()
+    entry = tmp_path / digest[:2] / f"{digest}.json"
+    original = json.loads(entry.read_text())
+    # Corrupt only the result values; the embedded spec stays intact,
+    # which is what makes the entry repairable.
+    damaged = dict(original)
+    damaged["result"] = dict(original["result"], total_ns=0)
+    entry.write_text(json.dumps(damaged))
+
+    resimulated = []
+
+    def counting_simulate(recovered_spec):
+        resimulated.append(recovered_spec.spec_digest())
+        return simulate_spec(recovered_spec)
+
+    report = ResultStore(tmp_path).verify(repair=True,
+                                          simulate=counting_simulate)
+    assert report.corrupt == [digest]
+    assert report.repaired == [digest]
+    assert not report.unrepairable
+    assert report.healthy
+    assert resimulated == [digest]  # exactly the damaged point, once
+    repaired = json.loads(entry.read_text())
+    original["result"].pop("wall_seconds")
+    repaired["result"].pop("wall_seconds")
+    assert repaired["result"] == original["result"]
+    assert ResultStore(tmp_path).get(spec) is not None
+
+
+def test_verify_repair_reports_unrepairable_garbage(tmp_path):
+    from repro.core.runner import simulate_spec
+
+    store = ResultStore(tmp_path)
+    spec = quick_spec()
+    store.put(spec, simulate_spec(spec))
+    digest = spec.spec_digest()
+    entry = tmp_path / digest[:2] / f"{digest}.json"
+    entry.write_text("{totally-not-json")  # no spec left to recover
+
+    report = ResultStore(tmp_path).verify(repair=True)
+    assert report.corrupt == [digest]
+    assert report.unrepairable == [digest]
+    assert not report.repaired
+    assert not report.healthy
+    assert "unrepairable" in report.summary()
+
+
+def test_repair_recovers_entries_quarantined_by_an_earlier_scan(tmp_path):
+    """verify-then-repair must heal as much as a single --repair pass:
+    the first scan quarantines the rot, the second mines the
+    quarantined file for its spec and re-simulates."""
+    from repro.core.runner import simulate_spec
+
+    store = ResultStore(tmp_path)
+    spec = quick_spec()
+    store.put(spec, simulate_spec(spec))
+    digest = spec.spec_digest()
+    entry = tmp_path / digest[:2] / f"{digest}.json"
+    payload = json.loads(entry.read_text())
+    payload["result"]["total_ns"] = 0  # checksum now fails
+    entry.write_text(json.dumps(payload))
+
+    first = ResultStore(tmp_path).verify(repair=False)
+    assert first.corrupt == [digest] and not first.healthy
+    assert not entry.exists()
+
+    second = ResultStore(tmp_path).verify(repair=True)
+    assert second.corrupt == [digest]
+    assert second.repaired == [digest]
+    assert second.healthy
+    assert entry.exists()
+    assert ResultStore(tmp_path).get(spec) is not None
+
+
+def test_verify_skips_quarantined_and_foreign_schema_files(tmp_path):
+    from repro.core.runner import simulate_spec
+
+    store = ResultStore(tmp_path)
+    good = quick_spec(seed=1)
+    store.put(good, simulate_spec(good))
+    stale = quick_spec(seed=2)
+    store.put(stale, simulate_spec(stale))
+    digest = stale.spec_digest()
+    entry = tmp_path / digest[:2] / f"{digest}.json"
+    payload = json.loads(entry.read_text())
+    payload["schema"] = STORE_SCHEMA + 1
+    entry.write_text(json.dumps(payload))
+    # A leftover quarantine file from an earlier incident.
+    (entry.parent / ("dead.json" + QUARANTINE_SUFFIX)).write_text("junk")
+
+    report = ResultStore(tmp_path).verify()
+    assert report.scanned == 2
+    assert report.ok == 1
+    assert report.stale == 1
+    assert report.healthy
+
+
 # -- sweep-runner integration -------------------------------------------------------
 
 

@@ -184,6 +184,49 @@ def test_checkpoint_save_fsyncs_before_rename(tmp_path, monkeypatch):
     assert replaced and all(replaced)
 
 
+def test_keyboard_interrupt_flushes_streamed_points(tmp_path):
+    """Ctrl-C mid-batch must journal every point that already streamed
+    back, so --resume re-runs only the unfinished remainder."""
+    from repro.exec.backend import SerialBackend, execute_spec
+
+    class InterruptingBackend(SerialBackend):
+        """Completes the first point, then simulates a Ctrl-C."""
+
+        def run(self, specs, retries=1):
+            yield specs[0], execute_spec(specs[0])
+            raise KeyboardInterrupt
+
+    checkpoint = tmp_path / "sweep.json"
+    runner = SweepRunner(preset="quick", processors=(1, 4),
+                         checkpoint_path=checkpoint,
+                         backend=InterruptingBackend())
+    specs = [runner.point_spec("fft", "ideal", "full", p) for p in (1, 4)]
+    with pytest.raises(KeyboardInterrupt):
+        runner.run_batch(specs)
+    # The completed point made it to disk before the interrupt escaped.
+    payload = json.loads(checkpoint.read_text())
+    assert len(payload["results"]) == 1
+    resumed = SweepRunner(preset="quick", processors=(1, 4),
+                          checkpoint_path=checkpoint)
+    assert resumed.outcome_of(specs[0]) is not None
+    assert resumed.outcome_of(specs[1]) is None
+
+
+def test_supervised_backend_checkpoints_before_pool_rebuild(tmp_path):
+    """The runner registers its checkpoint flush as a rebuild listener,
+    so recovery from a worker crash never races the journal."""
+    from repro.exec import SupervisedPoolBackend
+
+    backend = SupervisedPoolBackend(2)
+    try:
+        runner = SweepRunner(preset="quick", processors=(1, 4),
+                             checkpoint_path=tmp_path / "sweep.json",
+                             backend=backend)
+        assert runner._save_checkpoint in backend._rebuild_listeners
+    finally:
+        backend.close()
+
+
 # -- checkpoint schema versioning ----------------------------------------------------
 
 
