@@ -1,0 +1,437 @@
+"""Replay benchmark (and chaos harness) for ``repro serve``.
+
+Drives a real daemon subprocess over real sockets with thousands of
+mixed warm/cold requests and records the serving profile the service
+PR promises:
+
+* **cold** -- every unique quick-preset point of the fig01 sweep,
+  posted before any cache exists: the price of a simulation plus the
+  HTTP round trip;
+* **replay** -- >= 1000 requests drawn from that spec universe by a
+  deterministic RNG over persistent keep-alive connections, the mix a
+  result-serving daemon actually sees (mostly warm, occasional cold);
+* **burst** -- one identical cold spec posted from many threads at
+  once: the single-flight coalescing path under contention.
+
+Every 200 body -- cold, warm, coalesced, with or without chaos -- is
+asserted byte-identical to a serial in-process reference before any
+number is reported, and the run ends with SIGTERM and asserts the
+daemon drains with exit code 0.  ``--chaos`` additionally SIGKILLs
+pool workers while a cold burst is in flight (the PR 6 chaos harness
+aimed at the daemon): correctness assertions are identical.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --requests 2000 --chaos
+
+Writes ``BENCH_service.json`` next to the repo's other benchmark
+records.  Also collected by pytest when invoked explicitly; the test
+wrapper runs a reduced request count and skips nothing correctness
+related, it just does not gate on timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC))
+
+from repro import RunSpec                                  # noqa: E402
+from repro.core.runner import simulate_spec                # noqa: E402
+from repro.runspec import canonical_json                   # noqa: E402
+from repro.service.app import result_payload               # noqa: E402
+
+#: The replayed spec universe: the quick fig01 sweep (fft on the full
+#: topology across every machine model and processor count).
+MACHINES = ("target", "logp", "clogp")
+PROCESSORS = (1, 4, 16)
+DEFAULT_REQUESTS = 1200
+BURST_WIDTH = 32
+
+
+def spec_universe() -> List[Dict]:
+    return [
+        {"app": "fft", "machine": machine, "nprocs": nprocs,
+         "preset": "quick"}
+        for machine in MACHINES
+        for nprocs in PROCESSORS
+    ]
+
+
+def reference_bodies(builds: List[Dict]) -> Dict[str, bytes]:
+    """Serial in-process reference: digest -> exact servable bytes."""
+    references = {}
+    for build in builds:
+        spec = RunSpec.build(**build)
+        result = simulate_spec(spec)
+        digest = spec.spec_digest()
+        references[digest] = canonical_json(
+            result_payload(digest, result)
+        ).encode("utf-8")
+    return references
+
+
+# -- daemon subprocess ---------------------------------------------------------------
+
+
+class DaemonProcess:
+    """A ``repro serve`` subprocess plus the address it bound."""
+
+    def __init__(self, cache_dir: str, jobs: int = 2,
+                 extra_args: Optional[List[str]] = None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port", "0", "--jobs", str(jobs),
+             "--cache-dir", cache_dir,
+             "--request-timeout-s", "120",
+             *(extra_args or [])],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        line = self.proc.stdout.readline()
+        if "listening on" not in line:
+            self.proc.kill()
+            raise RuntimeError(f"daemon failed to start: {line!r}")
+        address = line.split("listening on ", 1)[1].split()[0]
+        self.host, port = address.split(":")
+        self.port = int(port)
+
+    def worker_pids(self) -> List[int]:
+        """The daemon's pool workers (direct children, via /proc)."""
+        children = []
+        for entry in os.listdir("/proc"):
+            if not entry.isdigit():
+                continue
+            try:
+                with open(f"/proc/{entry}/stat") as handle:
+                    fields = handle.read().split()
+            except OSError:  # noqa: PERF203 -- process raced away
+                continue
+            # stat field 4 is ppid (comm may contain spaces, but it is
+            # parenthesised and pool workers are plain python).
+            try:
+                ppid = int(fields[3])
+            except (IndexError, ValueError):  # noqa: PERF203
+                continue
+            if ppid == self.proc.pid:
+                children.append(int(entry))
+        return children
+
+    def terminate_and_wait(self, timeout: float = 30.0) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            raise AssertionError(
+                "daemon did not drain within the deadline after SIGTERM"
+            )
+        return self.proc.returncode
+
+
+class Client:
+    """One persistent keep-alive connection to the daemon."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0):
+        self.conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def post(self, path: str, payload) -> Tuple[int, bytes, str]:
+        body = json.dumps(payload).encode("utf-8")
+        self.conn.request("POST", path, body=body,
+                          headers={"Content-Type": "application/json"})
+        response = self.conn.getresponse()
+        data = response.read()
+        return (response.status, data,
+                response.getheader("x-repro-source", ""))
+
+    def get_json(self, path: str):
+        self.conn.request("GET", path)
+        response = self.conn.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+    def close(self):
+        self.conn.close()
+
+
+def percentile(samples: List[float], p: float) -> Optional[float]:
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      round(p / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def latency_summary(samples: List[float]) -> Dict:
+    return {
+        "count": len(samples),
+        "p50_ms": None if not samples else round(
+            percentile(samples, 50) * 1000, 3),
+        "p99_ms": None if not samples else round(
+            percentile(samples, 99) * 1000, 3),
+        "max_ms": None if not samples else round(max(samples) * 1000, 3),
+    }
+
+
+# -- phases --------------------------------------------------------------------------
+
+
+def run_cold_phase(client: Client, builds, references) -> Dict:
+    latencies = []
+    for build in builds:
+        digest = RunSpec.build(**build).spec_digest()
+        start = time.perf_counter()
+        status, body, source = client.post("/run", {"build": build})
+        latencies.append(time.perf_counter() - start)
+        assert status == 200, f"cold request failed: {status} {body[:200]!r}"
+        assert body == references[digest], (
+            f"cold body diverged from serial reference for {build}"
+        )
+        assert source == "simulated", source
+    return {"latency": latency_summary(latencies)}
+
+
+def run_replay_phase(daemon, builds, references, requests: int,
+                     connections: int = 4) -> Dict:
+    """Mixed warm/cold replay over several persistent connections."""
+    rng = random.Random(20260808)
+    schedule: List[List[Dict]] = [[] for _ in range(connections)]
+    for index in range(requests):
+        schedule[index % connections].append(rng.choice(builds))
+
+    results: List[Tuple[int, float, bool]] = []
+    lock = threading.Lock()
+
+    def worker(plan: List[Dict]):
+        client = Client(daemon.host, daemon.port)
+        local = []
+        try:
+            for build in plan:
+                digest = RunSpec.build(**build).spec_digest()
+                start = time.perf_counter()
+                status, body, _source = client.post("/run", {"build": build})
+                elapsed = time.perf_counter() - start
+                identical = (status != 200) or (body == references[digest])
+                local.append((status, elapsed, identical))
+        finally:
+            client.close()
+        with lock:
+            results.extend(local)
+
+    threads = [threading.Thread(target=worker, args=(plan,))
+               for plan in schedule]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+
+    assert all(identical for _s, _e, identical in results), (
+        "a 200 body diverged from the serial reference during replay"
+    )
+    statuses = sorted({status for status, _e, _i in results})
+    assert statuses == [200], f"replay saw non-200 statuses: {statuses}"
+    samples = [elapsed for _s, elapsed, _i in results]
+    return {
+        "requests": len(results),
+        "connections": connections,
+        "wall_s": round(wall, 3),
+        "requests_per_sec": round(len(results) / wall, 1),
+        "latency": latency_summary(samples),
+    }
+
+
+def run_coalesce_burst(daemon, references, width: int = BURST_WIDTH,
+                       seed_tag: int = 1) -> Dict:
+    """``width`` identical cold requests at once: one simulation."""
+    build = {"app": "fft", "machine": "target", "nprocs": 4,
+             "preset": "quick", "seed": 7000 + seed_tag}
+    spec = RunSpec.build(**build)
+    digest = spec.spec_digest()
+    result = simulate_spec(spec)
+    reference = canonical_json(result_payload(digest, result)).encode()
+    references[digest] = reference
+
+    outcomes = []
+    lock = threading.Lock()
+    gate = threading.Barrier(width)
+
+    def one_shot():
+        client = Client(daemon.host, daemon.port)
+        try:
+            gate.wait()
+            start = time.perf_counter()
+            status, body, source = client.post("/run", {"build": build})
+            elapsed = time.perf_counter() - start
+        finally:
+            client.close()
+        with lock:
+            outcomes.append((status, body, source, elapsed))
+
+    threads = [threading.Thread(target=one_shot) for _ in range(width)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert len(outcomes) == width
+    assert {status for status, _b, _s, _e in outcomes} == {200}
+    assert {body for _s, body, _src, _e in outcomes} == {reference}, (
+        "coalesced burst bodies diverged"
+    )
+    sources = sorted({source for _s, _b, source, _e in outcomes})
+    return {
+        "width": width,
+        "sources_seen": sources,
+        "latency": latency_summary([e for _s, _b, _src, e in outcomes]),
+    }
+
+
+def run_chaos_phase(daemon, references, kills: int = 3) -> Dict:
+    """SIGKILL pool workers while cold bursts are in flight."""
+    killed = []
+    stop = threading.Event()
+
+    def killer():
+        while not stop.is_set() and len(killed) < kills:
+            for pid in daemon.worker_pids():
+                if len(killed) >= kills:
+                    break
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                    killed.append(pid)
+                except OSError:  # noqa: PERF203 -- worker already gone
+                    continue
+                time.sleep(0.3)
+            time.sleep(0.05)
+
+    thread = threading.Thread(target=killer, daemon=True)
+    thread.start()
+    bursts = []
+    try:
+        for tag in range(2, 5):  # three fresh cold bursts under fire
+            bursts.append(
+                run_coalesce_burst(daemon, references, width=8,
+                                   seed_tag=tag)
+            )
+    finally:
+        stop.set()
+        thread.join(timeout=5)
+    return {
+        "workers_killed": len(killed),
+        "bursts": bursts,
+    }
+
+
+# -- entry points --------------------------------------------------------------------
+
+
+def run_benchmark(requests: int = DEFAULT_REQUESTS, chaos: bool = False,
+                  out: Optional[Path] = None) -> Dict:
+    builds = spec_universe()
+    references = reference_bodies(builds)
+    record: Dict = {
+        "benchmark": "service",
+        "preset": "quick",
+        "spec_universe": len(builds),
+        "python": sys.version.split()[0],
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as cache:
+        daemon = DaemonProcess(cache)
+        client = Client(daemon.host, daemon.port)
+        try:
+            record["cold"] = run_cold_phase(client, builds, references)
+            record["replay"] = run_replay_phase(
+                daemon, builds, references, requests
+            )
+            record["coalesce_burst"] = run_coalesce_burst(daemon, references)
+            if chaos:
+                record["chaos"] = run_chaos_phase(daemon, references)
+            status, stats = client.get_json("/stats")
+            assert status == 200
+            record["server_stats"] = stats
+            simulated = stats["simulated"]
+            # Every simulation the daemon ran is accounted for: the
+            # unique cold universe, the burst, and (under chaos) the
+            # chaos bursts -- replay added zero.
+            expected = len(references)
+            assert simulated == expected, (
+                f"daemon simulated {simulated} points; expected {expected} "
+                f"(coalescing or caching regressed)"
+            )
+        finally:
+            client.close()
+            exit_code = daemon.terminate_and_wait()
+        record["drain_exit_code"] = exit_code
+        assert exit_code == 0, f"SIGTERM drain exited {exit_code}"
+    if out is not None:
+        out.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+    return record
+
+
+def test_service_replay_is_byte_identical_and_drains_cleanly():
+    """Pytest wrapper: reduced load, full correctness assertions."""
+    record = run_benchmark(requests=120, chaos=False, out=None)
+    assert record["drain_exit_code"] == 0
+    assert record["replay"]["requests"] == 120
+    assert record["server_stats"]["simulated"] == record["spec_universe"] + 1
+
+
+def test_service_survives_worker_kills_bit_identically():
+    record = run_benchmark(requests=60, chaos=True, out=None)
+    assert record["drain_exit_code"] == 0
+    assert record["chaos"]["workers_killed"] >= 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--requests", type=int, default=DEFAULT_REQUESTS,
+                        help=f"replay request count "
+                             f"(default {DEFAULT_REQUESTS})")
+    parser.add_argument("--chaos", action="store_true",
+                        help="SIGKILL pool workers under live load")
+    parser.add_argument("--out", default=str(REPO_ROOT /
+                                             "BENCH_service.json"),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    record = run_benchmark(
+        requests=args.requests, chaos=args.chaos, out=Path(args.out)
+    )
+    replay = record["replay"]
+    print(f"service bench: {replay['requests']} replayed requests at "
+          f"{replay['requests_per_sec']}/s "
+          f"(warm p50 {replay['latency']['p50_ms']} ms, "
+          f"p99 {replay['latency']['p99_ms']} ms)")
+    print(f"cold p50 {record['cold']['latency']['p50_ms']} ms over "
+          f"{record['spec_universe']} unique specs; "
+          f"coalesce burst x{record['coalesce_burst']['width']} -> "
+          f"1 simulation")
+    if "chaos" in record:
+        print(f"chaos: {record['chaos']['workers_killed']} worker(s) "
+              f"SIGKILLed; every 200 byte-identical")
+    print(f"drain exit code {record['drain_exit_code']}; wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

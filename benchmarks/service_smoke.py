@@ -1,0 +1,70 @@
+"""CI smoke test for ``repro serve``: the full daemon lifecycle once.
+
+Starts a real daemon subprocess, performs one cold and one warm request
+(asserting the warm body is byte-identical to the cold one and both
+match a serial in-process reference), hits every health endpoint, sends
+SIGTERM, and asserts a clean drain with exit code 0.  Small enough for
+a CI job, end-to-end enough to catch a broken wire format, a dead
+dispatcher, or a drain that hangs.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_service import Client, DaemonProcess, reference_bodies  # noqa: E402
+from repro import RunSpec                                          # noqa: E402
+
+
+def main() -> int:
+    import tempfile
+
+    build = {"app": "fft", "machine": "target", "nprocs": 4,
+             "preset": "quick"}
+    digest = RunSpec.build(**build).spec_digest()
+    reference = reference_bodies([build])[digest]
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-store-") as cache:
+        daemon = DaemonProcess(cache)
+        client = Client(daemon.host, daemon.port)
+        try:
+            status, ready = client.get_json("/readyz")
+            assert status == 200 and ready["ready"], f"not ready: {ready}"
+
+            status, cold, source = client.post("/run", {"build": build})
+            assert status == 200, f"cold request: {status}"
+            assert source == "simulated", source
+            assert cold == reference, "cold body diverged from reference"
+
+            status, warm, source = client.post("/run", {"build": build})
+            assert status == 200, f"warm request: {status}"
+            assert source in ("memo", "store"), source
+            assert warm == cold, "warm body diverged from cold body"
+
+            status, health = client.get_json("/healthz")
+            assert (status, health) == (200, {"status": "ok"})
+            status, stats = client.get_json("/stats")
+            assert status == 200
+            assert stats["simulated"] == 1, stats["simulated"]
+            assert stats["warm_hits"] == 1, stats["warm_hits"]
+        finally:
+            client.close()
+            exit_code = daemon.terminate_and_wait()
+        assert exit_code == 0, f"drain exited {exit_code}"
+
+    print("service smoke: cold==warm==serial reference; "
+          "healthz/readyz/stats ok; SIGTERM drained with exit 0")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

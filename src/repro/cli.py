@@ -51,6 +51,7 @@ from .exec.store import ResultStore
 from .experiments import SweepRunner, experiment_ids, get_experiment, render_figure
 from .faults import FaultConfig
 from .runspec import RunSpec
+from .signals import raise_keyboard_interrupt_on_sigterm
 from .units import ns_to_us
 
 #: Workload presets selectable from the command line.
@@ -297,7 +298,11 @@ def _sweep_exit(runner: SweepRunner) -> int:
 
 def _run_figures(args: argparse.Namespace, experiment_ids_list) -> int:
     experiments = [get_experiment(eid) for eid in experiment_ids_list]
-    with _make_sweep_runner(args) as runner:
+    # SIGTERM (daemons, CI runners, process supervisors) takes the
+    # same unwind path as Ctrl-C: checkpoint flushed, pool torn down,
+    # exit code 130.
+    with raise_keyboard_interrupt_on_sigterm(), \
+            _make_sweep_runner(args) as runner:
         try:
             # One batch across every requested figure keeps all --jobs
             # workers busy; rendering below is pure memo lookups.
@@ -325,6 +330,59 @@ def _cmd_all(args: argparse.Namespace) -> int:
     return _run_figures(args, experiment_ids())
 
 
+def _parse_bytes(text: str) -> int:
+    """A byte count with an optional K/M/G suffix (e.g. ``512M``)."""
+    scales = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    raw = text.strip()
+    scale = 1
+    if raw and raw[-1].upper() in scales:
+        scale = scales[raw[-1].upper()]
+        raw = raw[:-1]
+    try:
+        value = int(raw) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad size {text!r} (expected e.g. 1048576, 512K, 64M, 2G)"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"size must be >= 0, got {text!r}")
+    return value
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+    if cache_dir is None:
+        raise ConfigError(
+            "no cache directory to collect; pass --cache-dir or set "
+            "REPRO_CACHE_DIR"
+        )
+    store = ResultStore(cache_dir)
+    report = store.gc(args.max_bytes)
+    print(report.summary())
+    return EXIT_OK if report.within_budget else EXIT_ABORTED
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=_cache_dir_from_args(args),
+        max_queue=args.max_queue,
+        deadline_s=args.deadline_s,
+        request_timeout_s=args.request_timeout_s,
+        max_retries=args.max_retries,
+        breaker_rebuilds=args.breaker_rebuilds,
+        breaker_cooldown_s=args.breaker_cooldown_s,
+        drain_s=args.drain_s,
+        max_store_bytes=args.max_store_bytes,
+        seed=args.seed,
+    )
+    return serve(config)
+
+
 def _cmd_cache_verify(args: argparse.Namespace) -> int:
     cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
     if cache_dir is None:
@@ -344,7 +402,8 @@ def _cmd_cache_verify(args: argparse.Namespace) -> int:
 def _cmd_scalability(args: argparse.Namespace) -> int:
     from .analysis import scalability_table
 
-    with _make_sweep_runner(args, processors=args.sweep) as runner:
+    with raise_keyboard_interrupt_on_sigterm(), \
+            _make_sweep_runner(args, processors=args.sweep) as runner:
         specs = [
             runner.point_spec(
                 args.app, args.machine, args.topology, nprocs,
@@ -507,6 +566,67 @@ def build_parser() -> argparse.ArgumentParser:
                           help="re-simulate quarantined entries from their "
                                "embedded specs and rewrite them")
     p_verify.set_defaults(func=_cmd_cache_verify)
+
+    p_gc = cache_sub.add_parser(
+        "gc",
+        help="evict least-recently-used store entries until the store "
+             "fits a byte budget (also removes quarantine/tmp debris)",
+    )
+    p_gc.add_argument("--cache-dir", metavar="DIR", default=None,
+                      help="store to collect (default: REPRO_CACHE_DIR)")
+    p_gc.add_argument("--max-bytes", type=_parse_bytes, required=True,
+                      metavar="N",
+                      help="byte budget; accepts K/M/G suffixes (e.g. 64M)")
+    p_gc.set_defaults(func=_cmd_cache_gc)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="simulation-as-a-service HTTP daemon (warm answers from "
+             "the result store, cold misses over a supervised pool)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8765,
+                         help="TCP port; 0 binds an ephemeral port and "
+                              "prints the choice (default 8765)")
+    p_serve.add_argument("--jobs", type=int, default=2,
+                         help="worker processes in the pool (default 2)")
+    p_serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="result store backing warm requests "
+                              "(default: REPRO_CACHE_DIR; no store means "
+                              "every request simulates)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="serve without a result store even if "
+                              "REPRO_CACHE_DIR is set")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="cold requests admitted beyond the pool "
+                              "before shedding with 429 (default 64)")
+    p_serve.add_argument("--deadline-s", type=float, default=None,
+                         help="per-point wall-clock deadline inside the "
+                              "pool (default: none)")
+    p_serve.add_argument("--request-timeout-s", type=float, default=60.0,
+                         help="cap on any single request's wait, "
+                              "including queueing (default 60)")
+    p_serve.add_argument("--max-retries", type=int, default=1,
+                         help="transient-failure retries per point "
+                              "(default 1)")
+    p_serve.add_argument("--breaker-rebuilds", type=int, default=3,
+                         help="consecutive pool rebuilds before the "
+                              "circuit breaker trips to warm-only mode "
+                              "(default 3)")
+    p_serve.add_argument("--breaker-cooldown-s", type=float, default=5.0,
+                         help="seconds the breaker stays open before "
+                              "admitting a half-open probe (default 5)")
+    p_serve.add_argument("--drain-s", type=float, default=10.0,
+                         help="graceful-drain deadline after SIGTERM/"
+                              "SIGINT (default 10)")
+    p_serve.add_argument("--max-store-bytes", type=_parse_bytes,
+                         default=None, metavar="N",
+                         help="store size budget reported by /readyz; "
+                              "accepts K/M/G suffixes")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="seed for retry backoff jitter (default 0)")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_trace = sub.add_parser("trace", help="record / replay traces")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)

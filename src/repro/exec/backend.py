@@ -23,6 +23,7 @@ that legitimately differs between backends is the measured
 
 from __future__ import annotations
 
+import signal
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
@@ -207,6 +208,24 @@ class SerialBackend(ExecutionBackend):
             )
 
 
+def _reset_worker_signals() -> None:
+    """Pool-worker initializer: detach inherited signal plumbing.
+
+    Workers are forked from a parent that may have installed signal
+    handlers *and* a signal wakeup fd (``asyncio``'s
+    ``add_signal_handler`` routes signals through a self-pipe).  A
+    forked worker shares that very pipe, so a signal delivered to the
+    worker -- e.g. the ``SIGTERM`` the executor's management thread
+    sends to siblings of a crashed worker -- would be written into the
+    parent's wakeup pipe and fire the *parent's* handler: a daemon
+    would gracefully drain itself every time a worker died.  Workers
+    do their own dying; the default dispositions are correct for them.
+    """
+    signal.set_wakeup_fd(-1)
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(sig, signal.SIG_DFL)
+
+
 class ProcessPoolBackend(ExecutionBackend):
     """Executes batches across a pool of worker processes.
 
@@ -230,7 +249,9 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=_reset_worker_signals
+            )
         return self._pool
 
     def run(

@@ -34,6 +34,7 @@ wall time of the run that produced it.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 from dataclasses import dataclass, field
@@ -50,6 +51,12 @@ STORE_SCHEMA = 2
 
 #: Suffix given to corrupt entries moved out of the cache's way.
 QUARANTINE_SUFFIX = ".quarantined"
+
+#: Process-wide counter making temp names unique *within* a process:
+#: two tasks/threads racing ``put()`` of the same digest must never
+#: share a temp file, or one would rename the other's half-written
+#: bytes into place.  Cross-process uniqueness comes from the PID.
+_TMP_SEQ = itertools.count()
 
 
 def entry_checksum(payload: Dict) -> str:
@@ -100,6 +107,42 @@ class VerifyReport:
         if self.unrepairable:
             parts.append(f"{len(self.unrepairable)} unrepairable")
         return "result store verify: " + ", ".join(parts)
+
+
+@dataclass
+class GcReport:
+    """Outcome of one :meth:`ResultStore.gc` pass."""
+
+    #: Size budget the pass enforced.
+    max_bytes: int
+    #: Store size before the pass (live + quarantined + orphan temp).
+    before_bytes: int = 0
+    #: Store size after the pass.
+    after_bytes: int = 0
+    #: Live entries evicted (LRU by mtime).
+    evicted: int = 0
+    #: Bytes reclaimed from live entries.
+    evicted_bytes: int = 0
+    #: Quarantine files removed (always reclaimed first).
+    quarantine_removed: int = 0
+    #: Orphaned temp files from dead writers removed.
+    tmp_removed: int = 0
+    #: Live entries surviving the pass.
+    kept: int = 0
+
+    @property
+    def within_budget(self) -> bool:
+        return self.after_bytes <= self.max_bytes
+
+    def summary(self) -> str:
+        return (
+            f"result store gc: {self.before_bytes} -> {self.after_bytes} "
+            f"bytes (budget {self.max_bytes}); evicted {self.evicted} "
+            f"entr{'y' if self.evicted == 1 else 'ies'} "
+            f"({self.evicted_bytes} bytes), removed "
+            f"{self.quarantine_removed} quarantined and "
+            f"{self.tmp_removed} temp file(s), kept {self.kept}"
+        )
 
 
 class ResultStore:
@@ -199,6 +242,12 @@ class ResultStore:
         _data, result, problem = self._read_entry(path, digest)
         if problem is None:
             self.hits += 1
+            try:
+                # Refresh the mtime so gc's LRU eviction sees recency
+                # of *use*, not of the original write.
+                os.utime(path)
+            except OSError:  # pragma: no cover - raced eviction
+                pass
             return result
         if problem == "corrupt":
             self._quarantine(path)
@@ -208,7 +257,19 @@ class ResultStore:
     # -- writes --------------------------------------------------------------
 
     def put(self, spec: RunSpec, result: RunResult) -> None:
-        """Persist one completed result (atomic fsync-then-rename)."""
+        """Persist one completed result (atomic fsync-then-rename).
+
+        Safe under concurrent writers: every ``put`` -- from racing
+        tasks in one process or racing server processes sharing the
+        cache directory -- writes its *own* (pid, sequence)-unique temp
+        file, fsyncs it, and renames it into place.  ``os.replace`` is
+        atomic, so the losing writer of a race simply has its complete,
+        byte-equivalent entry overwritten by another complete entry;
+        nothing ever interleaves, and the loss is silent by design
+        (results are a pure function of the spec, so both writers held
+        the same payload).  A writer that dies mid-write leaves only
+        its own temp file, which gc sweeps up later.
+        """
         digest = spec.spec_digest()
         path = self._entry_path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -219,15 +280,37 @@ class ResultStore:
             "result": result.to_dict(),
         }
         payload["checksum"] = entry_checksum(payload)
-        # PID-unique temp name: concurrent invocations sharing a cache
-        # directory each rename their own complete file into place.
-        tmp = path.with_name(f".{digest}.{os.getpid()}.tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        tmp = path.with_name(
+            f".{digest}.{os.getpid()}.{next(_TMP_SEQ)}.tmp"
+        )
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=1)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._fsync_dir(path.parent)
         self.stores += 1
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Best-effort fsync of a directory, making renames durable."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fs without dir fsync
+            pass
+        finally:
+            os.close(fd)
 
     # -- integrity audit -----------------------------------------------------
 
@@ -307,6 +390,79 @@ class ResultStore:
                 continue
             self.put(spec, simulate(spec))
             report.repaired.append(digest)
+        return report
+
+    # -- size bounding -------------------------------------------------------
+
+    def tmp_paths(self) -> List[Path]:
+        """Leftover temp files of writers that died mid-``put``."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/.*.tmp"))
+
+    def size_bytes(self) -> int:
+        """Total bytes held: live entries, quarantine, orphan temps."""
+        total = 0
+        for path in (
+            self.entry_paths() + self.quarantined_paths() + self.tmp_paths()
+        ):
+            try:
+                total += path.stat().st_size
+            except OSError:  # noqa: PERF203  # pragma: no cover
+                pass
+        return total
+
+    def gc(self, max_bytes: int) -> GcReport:
+        """Bound the store to ``max_bytes`` (LRU-by-mtime eviction).
+
+        Reclamation order: orphaned temp files and quarantine stashes
+        go unconditionally (they serve no lookup), then live entries
+        are evicted oldest-``mtime`` first until the store fits the
+        budget.  ``get`` refreshes an entry's mtime on every hit, so
+        mtime order is true recency-of-use -- a long-lived daemon keeps
+        its hot set and sheds the cold tail.  Evicting a live entry
+        only costs one re-simulation on the next miss; it can never
+        lose information.
+        """
+        report = GcReport(max_bytes=max_bytes)
+        overhead = 0
+        for kind, paths in (
+            ("tmp", self.tmp_paths()),
+            ("quarantine", self.quarantined_paths()),
+        ):
+            for path in paths:
+                try:
+                    size = path.stat().st_size
+                    os.unlink(path)
+                except OSError:  # noqa: PERF203  # pragma: no cover
+                    continue
+                overhead += size
+                if kind == "tmp":
+                    report.tmp_removed += 1
+                else:
+                    report.quarantine_removed += 1
+        entries: List[Tuple[float, int, Path]] = []
+        for path in self.entry_paths():
+            try:
+                stat = path.stat()
+            except OSError:  # noqa: PERF203  # pragma: no cover
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _mtime, size, _path in entries)
+        report.before_bytes = total + overhead
+        entries.sort(key=lambda item: (item[0], str(item[2])))
+        for _mtime, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:  # noqa: PERF203  # pragma: no cover
+                continue
+            total -= size
+            report.evicted += 1
+            report.evicted_bytes += size
+        report.after_bytes = total
+        report.kept = len(entries) - report.evicted
         return report
 
     # -- reporting -----------------------------------------------------------

@@ -40,6 +40,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor
+from concurrent.futures import CancelledError as FuturesCancelledError
 from concurrent.futures import wait as wait_futures
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
@@ -116,6 +117,7 @@ class SupervisedPoolBackend(ProcessPoolBackend):
         self.degraded = False
         self._consecutive_rebuilds = 0
         self._rebuild_listeners: List[Callable[[], None]] = []
+        self._aborted = False
 
     # -- introspection -------------------------------------------------------
 
@@ -158,6 +160,13 @@ class SupervisedPoolBackend(ProcessPoolBackend):
                 proc.kill()
         for proc in processes:
             proc.join(timeout=1.0)
+
+    def _ensure_pool(self):
+        if self._aborted:
+            # Close the abort()-vs-submit race: a rebuild must never
+            # resurrect the pool after the owner abandoned the run.
+            raise BrokenExecutor("supervised backend aborted")
+        return super()._ensure_pool()
 
     def _host_deadline_s(self) -> Optional[float]:
         if self.deadline_s is None:
@@ -220,6 +229,21 @@ class SupervisedPoolBackend(ProcessPoolBackend):
         if self._observer is not None:
             self._observer(self, self.completed)
 
+    # -- cross-thread abort --------------------------------------------------
+
+    def abort(self) -> None:
+        """Stop the run loop as soon as possible (thread-safe).
+
+        Called from *another* thread (the service daemon's drain path)
+        while ``run`` is blocked in the dispatcher thread.  Killing the
+        pool breaks every outstanding future, which wakes the blocked
+        ``wait``; the loop then observes the flag and returns without
+        rebuilding.  Specs still queued or in flight are simply never
+        yielded -- the caller is abandoning them by definition.
+        """
+        self._aborted = True
+        self._teardown_pool()
+
     # -- the supervised run loop ---------------------------------------------
 
     def run(
@@ -232,11 +256,15 @@ class SupervisedPoolBackend(ProcessPoolBackend):
         queue: deque = deque((spec, 0) for spec in specs)
         inflight: Dict = {}
         while queue or inflight:
+            if self._aborted:
+                return
             if self.degraded:
                 # Serial fallback: correctness over throughput.  Only
                 # reachable with an empty in-flight set (degradation is
                 # armed inside _rebuild, which drains it).
                 while queue:
+                    if self._aborted:
+                        return
                     spec, _resubmits = queue.popleft()
                     yield spec, execute_spec(
                         spec, policy=policy, deadline_s=self.deadline_s
@@ -246,6 +274,8 @@ class SupervisedPoolBackend(ProcessPoolBackend):
             # Top up to exactly `jobs` outstanding submissions.
             submit_broken = False
             while queue and len(inflight) < self.jobs:
+                if self._aborted:
+                    return
                 spec, resubmits = queue[0]
                 try:
                     future = self._ensure_pool().submit(
@@ -276,7 +306,11 @@ class SupervisedPoolBackend(ProcessPoolBackend):
                 entry = inflight.pop(future)
                 try:
                     outcome = future.result()
-                except BrokenExecutor:
+                except (BrokenExecutor, FuturesCancelledError):  # noqa: PERF203
+                    # Cancelled futures appear when abort() (or a raced
+                    # close) shut the pool down under us; treat them
+                    # like a crash so the abort check at the loop top
+                    # decides what happens next.
                     crashed[future] = entry
                 else:
                     self._completed_one()

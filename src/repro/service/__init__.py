@@ -1,0 +1,32 @@
+"""Simulation-as-a-service: the ``repro serve`` daemon.
+
+The service layers a crash-tolerant HTTP/JSON front end over the run
+service (DESIGN.md §9) and the supervised execution tier (§11):
+
+* :mod:`repro.service.http` -- hand-rolled HTTP/1.1 framing over
+  asyncio streams (stdlib only, keep-alive, bounded reads);
+* :mod:`repro.service.stats` -- request counters and bounded latency
+  reservoirs behind ``/stats``;
+* :mod:`repro.service.breaker` -- the circuit breaker that trips the
+  daemon into warm-cache-only mode when the pool crash-loops;
+* :mod:`repro.service.dispatch` -- the thread bridging asyncio request
+  handlers to the blocking :class:`SupervisedPoolBackend`;
+* :mod:`repro.service.app` -- request lifecycle: admission control,
+  single-flight coalescing, warm/cold routing, taxonomy-mapped errors;
+* :mod:`repro.service.daemon` -- process wiring: sockets, signal
+  handlers, graceful drain, exit codes.
+
+See DESIGN.md §12 for the architecture and request state machine.
+"""
+
+from .app import ReproService, ServiceConfig
+from .breaker import BreakerState, CircuitBreaker
+from .daemon import serve
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "ReproService",
+    "ServiceConfig",
+    "serve",
+]

@@ -1,0 +1,135 @@
+"""Circuit breaker: warm-cache-only mode when the pool crash-loops.
+
+A crash-looping worker pool (bad host, OOM killer, poisoned spec) must
+not take the whole daemon down with it: warm requests cost nothing and
+stay correct, so the daemon keeps serving them and sheds only the cold
+work that needs the sick backend.  Classic three-state breaker:
+
+* **closed** -- cold work flows.  Every pool rebuild without an
+  intervening completed point increments a consecutive-failure count
+  (mirroring the supervisor's own degradation accounting); reaching
+  ``max_rebuilds`` trips the breaker.
+* **open** -- cold requests are refused (HTTP 503 with ``Retry-After``)
+  until ``cooldown_s`` has elapsed.
+* **half-open** -- exactly one cold request is admitted as a *probe*.
+  The probe completing closes the breaker; the probe failing (or any
+  rebuild while it is in flight) re-opens it for another cooldown.
+
+Thread-safety: rebuild notifications arrive on the dispatcher thread
+while admission decisions run on the event loop, so every transition
+holds a lock.  The clock is injected for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Callable, Tuple
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Trips cold admission after too many consecutive pool rebuilds."""
+
+    def __init__(
+        self,
+        max_rebuilds: int = 3,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.max_rebuilds = max_rebuilds
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        #: Times the breaker tripped open over the daemon's lifetime.
+        self.trips = 0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            return self._state
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state.value,
+                "consecutive_rebuilds": self._consecutive,
+                "trips": self.trips,
+                "probe_in_flight": self._probe_in_flight,
+            }
+
+    # -- events --------------------------------------------------------------
+
+    def record_rebuild(self) -> None:
+        """The backend rebuilt its pool (dispatcher thread)."""
+        with self._lock:
+            self._consecutive += 1
+            if self._state is BreakerState.HALF_OPEN:
+                # The pool broke again while probing: the probe has its
+                # answer even if its request is still nominally in
+                # flight.
+                self._trip()
+            elif (
+                self._state is BreakerState.CLOSED
+                and self._consecutive >= self.max_rebuilds
+            ):
+                self._trip()
+
+    def record_success(self, probe: bool = False) -> None:
+        """A point completed (a real simulation result came back)."""
+        with self._lock:
+            self._consecutive = 0
+            if probe and self._state is BreakerState.HALF_OPEN:
+                self._state = BreakerState.CLOSED
+                self._probe_in_flight = False
+
+    def record_failure(self, probe: bool = False) -> None:
+        """A point failed structurally (crash/deadline taxonomy)."""
+        with self._lock:
+            if probe and self._state is BreakerState.HALF_OPEN:
+                self._trip()
+
+    def _trip(self) -> None:
+        # Caller holds the lock.
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._probe_in_flight = False
+        self.trips += 1
+
+    # -- admission -----------------------------------------------------------
+
+    def allow_cold(self) -> Tuple[bool, bool, float]:
+        """May a cold spec enter the backend right now?
+
+        Returns ``(allowed, is_probe, retry_after_s)``.  In the open
+        state ``retry_after_s`` is the remaining cooldown (floored at
+        0.1 so clients never busy-spin); after the cooldown the breaker
+        half-opens and admits exactly one probe.
+        """
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return True, False, 0.0
+            now = self._clock()
+            if self._state is BreakerState.OPEN:
+                remaining = self.cooldown_s - (now - self._opened_at)
+                if remaining > 0:
+                    return False, False, max(remaining, 0.1)
+                self._state = BreakerState.HALF_OPEN
+                self._probe_in_flight = False
+            # Half-open: one probe at a time.
+            if self._probe_in_flight:
+                return False, False, max(self.cooldown_s, 0.1)
+            self._probe_in_flight = True
+            return True, True, 0.0

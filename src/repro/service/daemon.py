@@ -1,0 +1,127 @@
+"""Process wiring of ``repro serve``: sockets, signals, exit codes.
+
+The daemon owns nothing clever -- all serving logic lives in
+:class:`~repro.service.app.ReproService`.  What lives here is the
+contract with the host:
+
+* the listening socket (``--port 0`` binds an ephemeral port; the
+  chosen address is printed as ``repro serve: listening on HOST:PORT``
+  so harnesses can parse it);
+* signal handling: the first SIGTERM/SIGINT starts the graceful drain
+  (stop accepting, settle in-flight work against ``--drain-s``, flush
+  store writes, tear the pool down); a second signal abandons the drain
+  and exits immediately with the interrupted code;
+* exit codes, matching the PR 6 sweep conventions: 0 for a clean drain,
+  1 for an aborted daemon (unexpected exception), 130 for a hard
+  interrupt (second signal).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from typing import Optional
+
+from ..signals import TERMINATION_SIGNALS
+from .app import ReproService, ServiceConfig
+
+#: Exit codes (the PR 6 conventions; see repro.cli).
+EXIT_OK = 0
+EXIT_ABORTED = 1
+EXIT_INTERRUPTED = 130
+
+
+class Daemon:
+    """One serve lifetime: start, run until drained, report exit code."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        service: Optional[ReproService] = None,
+        announce=print,
+    ):
+        self.config = config
+        self.service = service if service is not None else ReproService(config)
+        self._announce = announce
+        self.exit_code = EXIT_OK
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._hard_stop = asyncio.Event()
+        #: Resolved listening port (after start; for --port 0).
+        self.port: Optional[int] = None
+
+    # -- signals -------------------------------------------------------------
+
+    def _on_signal(self) -> None:
+        if self.service.draining:
+            # Second signal: the operator means it.  Abandon the drain.
+            self.exit_code = EXIT_INTERRUPTED
+            self._hard_stop.set()
+            return
+        if self._server is not None:
+            # Stop accepting immediately; live connections drain.
+            self._server.close()
+        self.service.begin_drain()
+
+    def _install_signal_handlers(self, loop) -> None:
+        for sig in TERMINATION_SIGNALS:
+            try:
+                loop.add_signal_handler(sig, self._on_signal)
+            except (NotImplementedError, RuntimeError):  # noqa: PERF203
+                # Non-main-thread loops (the in-thread test harness)
+                # cannot install handlers; drain is driven directly.
+                return
+
+    # -- lifetime ------------------------------------------------------------
+
+    async def start(self) -> None:
+        # (Re)create loop-bound primitives inside the running loop:
+        # on 3.9 an Event made at construction time binds the wrong
+        # loop when the daemon object outlives asyncio.run's.
+        self._hard_stop = asyncio.Event()
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self.service.handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._install_signal_handlers(asyncio.get_running_loop())
+        self._announce(
+            f"repro serve: listening on {self.config.host}:{self.port} "
+            f"(jobs={self.service.backend.jobs}, "
+            f"cache={self.config.cache_dir or 'off'})"
+        )
+
+    async def run_until_drained(self) -> int:
+        """Serve until a drain completes (or a hard stop interrupts it)."""
+        drained = asyncio.ensure_future(self.service.drained.wait())
+        hard = asyncio.ensure_future(self._hard_stop.wait())
+        try:
+            done, _pending = await asyncio.wait(
+                {drained, hard}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            for task in (drained, hard):
+                task.cancel()
+        # Stop accepting either way; drain already closed client
+        # connections if it ran to completion.
+        self._server.close()
+        await self._server.wait_closed()
+        if self._hard_stop.is_set():
+            return EXIT_INTERRUPTED
+        return self.exit_code
+
+    async def run(self) -> int:
+        await self.start()
+        return await self.run_until_drained()
+
+
+def serve(config: ServiceConfig) -> int:
+    """Blocking entry point used by ``repro serve``."""
+    try:
+        return asyncio.run(Daemon(config).run())
+    except KeyboardInterrupt:  # pragma: no cover - handler races teardown
+        return EXIT_INTERRUPTED
+    except Exception as exc:  # noqa: BLE001 - daemon boundary
+        print(f"repro serve: aborted: {exc}", file=sys.stderr)
+        return EXIT_ABORTED

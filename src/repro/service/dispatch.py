@@ -1,0 +1,140 @@
+"""The bridge between asyncio handlers and the blocking backend.
+
+:class:`SupervisedPoolBackend.run` is a blocking generator over a
+batch; an asyncio daemon needs single-spec submission that never blocks
+the event loop.  :class:`PoolDispatcher` owns one worker thread that
+repeatedly drains a thread-safe queue into a batch, feeds the batch
+through the backend, and posts each ``(spec, outcome)`` back onto the
+event loop with ``call_soon_threadsafe``.  Specs queued while a batch
+is running simply form the next batch -- the supervisor's windowed
+submission keeps all pool workers busy either way.
+
+The dispatcher is also where backend *infrastructure* failures (a bug,
+not a :class:`PointFailure`) are contained: an exception escaping
+``backend.run`` is converted into a structured failure for every spec
+of the batch that had not streamed back yet, so a waiter can never hang
+on a silently dead executor thread.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, List, Optional
+
+from ..errors import ReproError
+from ..exec.backend import PointOutcome, failure_from
+from ..exec.supervisor import SupervisedPoolBackend
+from ..runspec import RunSpec
+
+#: Sentinel asking the dispatcher thread to exit.
+_SHUTDOWN = object()
+
+#: Callback receiving completed points on the dispatcher thread; the
+#: service wraps it in ``loop.call_soon_threadsafe``.
+Deliver = Callable[[RunSpec, PointOutcome], None]
+
+
+class PoolDispatcher:
+    """One thread feeding queued specs through the supervised backend."""
+
+    def __init__(
+        self,
+        backend: SupervisedPoolBackend,
+        deliver: Deliver,
+        retries: int = 1,
+    ):
+        self.backend = backend
+        self._deliver = deliver
+        self._retries = retries
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._closing = False
+        self._thread = threading.Thread(
+            target=self._run, name="repro-dispatch", daemon=True
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def submit(self, spec: RunSpec) -> None:
+        """Queue one spec (event-loop thread; never blocks)."""
+        self._queue.put(spec)
+
+    def stop(self, timeout_s: float = 5.0) -> bool:
+        """Ask the thread to exit after its current batch; join it."""
+        self._closing = True
+        self._queue.put(_SHUTDOWN)
+        self._thread.join(timeout=timeout_s)
+        return not self._thread.is_alive()
+
+    def force_stop(self, timeout_s: float = 5.0) -> bool:
+        """Abort mid-batch: kill the pool out from under the run loop.
+
+        ``abort`` breaks every outstanding worker future, which wakes
+        the blocked run loop; it observes the abort flag and returns
+        without rebuilding.  Outcomes the batch never produced are the
+        caller's problem -- the service resolves abandoned waiters with
+        a drain error before calling this.
+        """
+        self._closing = True
+        self.backend.abort()
+        self._queue.put(_SHUTDOWN)
+        self._thread.join(timeout=timeout_s)
+        return not self._thread.is_alive()
+
+    # -- the dispatcher thread -----------------------------------------------
+
+    def _next_batch(self) -> Optional[List[RunSpec]]:
+        """Block for one spec, then drain everything else queued."""
+        item = self._queue.get()
+        batch: List[RunSpec] = []
+        while True:
+            if item is _SHUTDOWN:
+                self._closing = True
+            else:
+                batch.append(item)
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:  # noqa: PERF203 -- drain loop
+                break
+        if self._closing and not batch:
+            return None
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            pending = {spec.spec_digest(): spec for spec in batch}
+            try:
+                for spec, outcome in self.backend.run(batch, self._retries):
+                    pending.pop(spec.spec_digest(), None)
+                    self._deliver(spec, outcome)
+                    if self._closing:
+                        break
+            except BaseException as exc:  # noqa: BLE001 - must not die silently
+                # Infrastructure failure (not a PointFailure): fail the
+                # rest of the batch structurally so no waiter hangs.
+                for spec in pending.values():
+                    self._deliver(spec, failure_from(spec, exc, attempts=1))
+                pending.clear()
+            if self._closing:
+                # Specs abandoned by abort() get no outcome on purpose;
+                # the service already resolved their waiters.
+                return
+            # Belt and braces: the supervisor promises an outcome per
+            # spec, but a waiter hanging on a broken promise is the one
+            # unacceptable failure mode for a server.
+            for spec in pending.values():
+                self._deliver(
+                    spec,
+                    failure_from(
+                        spec, ReproError("backend dropped the point"), 1
+                    ),
+                )

@@ -1,0 +1,194 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+Just enough protocol for a JSON service that must survive hostile
+clients: request-line/header/body limits so a garbage or malicious
+peer cannot balloon memory, read deadlines so a slow-loris client
+cannot pin a connection task forever, persistent connections
+(keep-alive) so a load generator is not throttled by handshakes, and
+``Content-Length``-framed responses (no chunked encoding -- every
+response body is a complete JSON document whose length is known).
+
+Responses carry canonical JSON (sorted keys, no whitespace) so equal
+payloads are equal *bytes* -- the property the coalescing and chaos
+proofs assert end-to-end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..runspec import canonical_json
+
+#: Protocol limits: one oversized request must not balloon memory.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_BYTES = 32768
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Seconds a connection may sit idle between keep-alive requests.
+IDLE_TIMEOUT_S = 75.0
+#: Seconds a client gets to deliver headers+body once it starts talking.
+READ_TIMEOUT_S = 30.0
+
+#: Reason phrases for the statuses the service emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class BadRequest(Exception):
+    """The peer sent something that is not a well-formed request."""
+
+    def __init__(self, status: int, detail: str):
+        self.status = status
+        self.detail = detail
+        super().__init__(detail)
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes = b""
+
+    def json(self):
+        """The body parsed as JSON (:class:`BadRequest` on garbage)."""
+        if not self.body:
+            raise BadRequest(400, "empty body where JSON was expected")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(400, f"body is not valid JSON: {exc}") from exc
+
+    @property
+    def wants_close(self) -> bool:
+        return self.headers.get("connection", "").lower() == "close"
+
+
+@dataclass
+class Response:
+    """One response about to be framed onto the wire."""
+
+    status: int
+    body: bytes = b""
+    headers: Dict[str, str] = field(default_factory=dict)
+    close: bool = False
+
+    @classmethod
+    def json(
+        cls,
+        status: int,
+        payload,
+        headers: Optional[Dict[str, str]] = None,
+        close: bool = False,
+    ) -> "Response":
+        """A canonical-JSON response (equal payloads -> equal bytes)."""
+        return cls(
+            status=status,
+            body=canonical_json(payload).encode("utf-8"),
+            headers=dict(headers or {}),
+            close=close,
+        )
+
+    def encode(self) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        headers = {
+            "content-type": "application/json",
+            "content-length": str(len(self.body)),
+            "connection": "close" if self.close else "keep-alive",
+        }
+        headers.update({k.lower(): v for k, v in self.headers.items()})
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        return head + self.body
+
+
+async def _readline(reader: asyncio.StreamReader, limit: int) -> bytes:
+    line = await reader.readline()
+    if len(line) > limit:
+        raise BadRequest(413, "request line or header too long")
+    return line
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream.
+
+    Returns ``None`` on a clean EOF between requests (the peer closed a
+    keep-alive connection).  Raises :class:`BadRequest` on malformed
+    input and :class:`asyncio.TimeoutError` when the peer stalls: idle
+    time between requests is bounded by :data:`IDLE_TIMEOUT_S`, and a
+    started request must finish arriving within :data:`READ_TIMEOUT_S`
+    (the slow-loris bound).
+    """
+    first = await asyncio.wait_for(
+        _readline(reader, MAX_REQUEST_LINE), timeout=IDLE_TIMEOUT_S
+    )
+    if not first:
+        return None
+    return await asyncio.wait_for(
+        _read_rest(reader, first), timeout=READ_TIMEOUT_S
+    )
+
+
+async def _read_rest(reader: asyncio.StreamReader, first: bytes) -> Request:
+    method, path = _parse_request_line(first)
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        line = await _readline(reader, MAX_REQUEST_LINE)
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise BadRequest(400, "connection closed mid-headers")
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise BadRequest(413, "header block too large")
+        try:
+            name, _, value = line.decode("latin-1").partition(":")
+        except UnicodeDecodeError as exc:  # noqa: PERF203  # pragma: no cover
+            raise BadRequest(400, "undecodable header") from exc
+        if not _:
+            raise BadRequest(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError as exc:
+            raise BadRequest(400, f"bad content-length {length!r}") from exc
+        if size < 0:
+            raise BadRequest(400, f"bad content-length {length!r}")
+        if size > MAX_BODY_BYTES:
+            raise BadRequest(413, f"body of {size} bytes exceeds limit")
+        body = await reader.readexactly(size)
+    return Request(method=method, path=path, headers=headers, body=body)
+
+
+def _parse_request_line(line: bytes) -> Tuple[str, str]:
+    try:
+        text = line.decode("ascii").rstrip("\r\n")
+        method, target, version = text.split(" ")
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise BadRequest(400, f"malformed request line {line!r}") from exc
+    if not version.startswith("HTTP/1."):
+        raise BadRequest(400, f"unsupported protocol {version!r}")
+    # The service routes on the bare path; queries are not used.
+    path = target.split("?", 1)[0]
+    return method.upper(), path

@@ -1,0 +1,118 @@
+"""Service instrumentation: counters and bounded latency reservoirs.
+
+Everything behind ``/stats``.  The reservoirs are fixed-size (the last
+N observations), so a daemon serving millions of requests holds O(1)
+memory; p50/p99 are computed over the retained window on demand --
+``/stats`` is a diagnostic endpoint, not a hot path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+
+class LatencyReservoir:
+    """Sliding window of request latencies with percentile queries."""
+
+    def __init__(self, capacity: int = 4096):
+        self._window: deque = deque(maxlen=capacity)
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        self._window.append(seconds)
+        self.count += 1
+
+    def percentile(self, p: float) -> Optional[float]:
+        """The ``p``-th percentile (0..100) of the window, or None."""
+        if not self._window:
+            return None
+        ordered = sorted(self._window)
+        rank = max(0, min(len(ordered) - 1,
+                          round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        def _ms(value: Optional[float]) -> Optional[float]:
+            return None if value is None else round(value * 1000.0, 3)
+
+        return {
+            "count": self.count,
+            "p50_ms": _ms(self.percentile(50)),
+            "p99_ms": _ms(self.percentile(99)),
+        }
+
+
+class ServiceStats:
+    """Counters of everything the daemon did since it started."""
+
+    def __init__(self):
+        #: Requests fully handled, by endpoint and by status code.
+        self.requests = 0
+        self.by_status: Dict[str, int] = {}
+        #: Spec lookups answered without touching the backend.
+        self.warm_memo = 0
+        self.warm_store = 0
+        #: Cold lookups that created a coalescing entry (leaders).
+        self.cold_leaders = 0
+        #: Cold lookups that joined an existing in-flight entry.
+        self.coalesce_hits = 0
+        #: Simulations completed by the backend on our behalf -- the
+        #: counter the coalescing proof asserts against.
+        self.simulated = 0
+        #: Point failures delivered by the backend.
+        self.failed_points = 0
+        #: Requests refused: queue full / breaker open / draining.
+        self.shed_queue = 0
+        self.shed_breaker = 0
+        self.shed_drain = 0
+        #: Requests that hit their per-request deadline (504).
+        self.deadline_expired = 0
+        #: Protocol-level rejects (bad JSON, bad spec, bad route).
+        self.bad_requests = 0
+        #: Latency windows, split warm/cold (a cold p99 includes the
+        #: simulation; mixing them would hide warm-path regressions).
+        self.warm_latency = LatencyReservoir()
+        self.cold_latency = LatencyReservoir()
+
+    # -- recording -----------------------------------------------------------
+
+    def record_response(self, status: int) -> None:
+        self.requests += 1
+        key = str(status)
+        self.by_status[key] = self.by_status.get(key, 0) + 1
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def warm_hits(self) -> int:
+        return self.warm_memo + self.warm_store
+
+    def cache_hit_ratio(self) -> Optional[float]:
+        """Warm hits over all spec lookups that got an answer."""
+        total = self.warm_hits + self.cold_leaders + self.coalesce_hits
+        if total == 0:
+            return None
+        return self.warm_hits / total
+
+    def snapshot(self) -> Dict:
+        ratio = self.cache_hit_ratio()
+        return {
+            "requests": self.requests,
+            "by_status": dict(sorted(self.by_status.items())),
+            "warm_memo": self.warm_memo,
+            "warm_store": self.warm_store,
+            "warm_hits": self.warm_hits,
+            "cold_leaders": self.cold_leaders,
+            "coalesce_hits": self.coalesce_hits,
+            "simulated": self.simulated,
+            "failed_points": self.failed_points,
+            "shed_queue": self.shed_queue,
+            "shed_breaker": self.shed_breaker,
+            "shed_drain": self.shed_drain,
+            "deadline_expired": self.deadline_expired,
+            "bad_requests": self.bad_requests,
+            "cache_hit_ratio": None if ratio is None else round(ratio, 4),
+            "warm_latency": self.warm_latency.snapshot(),
+            "cold_latency": self.cold_latency.snapshot(),
+        }

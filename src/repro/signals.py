@@ -1,0 +1,61 @@
+"""Shared termination-signal handling for sweeps and the daemon.
+
+PR 6 flushed the sweep checkpoint and supervised-pool state on
+``KeyboardInterrupt`` -- which only SIGINT raises.  Daemons, CI runners,
+and process supervisors terminate with SIGTERM, which by default kills
+the process without unwinding the stack, silently dropping every
+completed-but-unflushed point.  This module gives both execution paths
+one shared notion of "the host asked us to stop":
+
+* :data:`TERMINATION_SIGNALS` names the signals that mean *stop now,
+  but cleanly* -- the sweep CLI and the service daemon both key off
+  this tuple instead of hard-coding their own lists;
+* :func:`raise_keyboard_interrupt_on_sigterm` converts SIGTERM into
+  ``KeyboardInterrupt`` for the duration of a ``with`` block, so every
+  existing SIGINT unwind path (checkpoint flush in
+  ``SweepRunner.run_batch``, backend teardown in context-manager
+  ``__exit__``, the CLI's exit-code 130) handles SIGTERM identically;
+* the asyncio daemon installs its own handlers for the same signal set
+  via ``loop.add_signal_handler`` (see :mod:`repro.service.daemon`) --
+  a coroutine-based drain instead of a raised exception, but the same
+  contract: stop accepting, flush state, exit cleanly.
+
+Signal handlers can only be installed from the main thread; from any
+other thread the context manager is a documented no-op (tests and the
+in-thread service harness run sweeps off the main thread).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Signals that request a clean shutdown.  SIGINT already raises
+#: KeyboardInterrupt via the default Python handler; SIGTERM needs the
+#: conversion below (or an asyncio handler) to get the same treatment.
+TERMINATION_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+@contextmanager
+def raise_keyboard_interrupt_on_sigterm() -> Iterator[None]:
+    """Convert SIGTERM into KeyboardInterrupt inside the block.
+
+    The previous handler is restored on exit, so nesting and library
+    use are safe.  Off the main thread this is a no-op (CPython only
+    delivers signals to the main thread, and only the main thread may
+    install handlers).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt(f"terminated by signal {signum}")
+
+    previous = signal.signal(signal.SIGTERM, _handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)

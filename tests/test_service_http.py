@@ -1,0 +1,152 @@
+"""HTTP/1.1 framing: parsing limits, malformed input, response wire format."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    MAX_REQUEST_LINE,
+    BadRequest,
+    Request,
+    Response,
+    read_request,
+)
+
+
+def parse(wire: bytes):
+    """Run read_request over an in-memory stream."""
+
+    async def _go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(wire)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(_go())
+
+
+def parse_error(wire: bytes) -> BadRequest:
+    with pytest.raises(BadRequest) as excinfo:
+        parse(wire)
+    return excinfo.value
+
+
+# -- request parsing -----------------------------------------------------------------
+
+
+def test_parses_a_simple_get():
+    request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+    assert request.method == "GET"
+    assert request.path == "/healthz"
+    assert request.headers["host"] == "x"
+    assert request.body == b""
+    assert not request.wants_close
+
+
+def test_parses_a_post_with_content_length_body():
+    body = b'{"build":{}}'
+    wire = (
+        b"POST /run HTTP/1.1\r\n"
+        b"Content-Type: application/json\r\n"
+        + f"Content-Length: {len(body)}\r\n\r\n".encode()
+        + body
+    )
+    request = parse(wire)
+    assert request.method == "POST"
+    assert request.body == body
+    assert request.json() == {"build": {}}
+
+
+def test_clean_eof_between_requests_returns_none():
+    assert parse(b"") is None
+
+
+def test_method_is_uppercased_and_query_is_stripped():
+    request = parse(b"get /stats?pretty=1 HTTP/1.1\r\n\r\n")
+    assert request.method == "GET"
+    assert request.path == "/stats"
+
+
+def test_connection_close_header_is_honoured():
+    request = parse(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n")
+    assert request.wants_close
+
+
+@pytest.mark.parametrize("wire, status", [
+    (b"NOT A REQUEST\r\n\r\n", 400),                  # too few tokens
+    (b"GET /x SMTP/1.0\r\n\r\n", 400),                # not HTTP/1.x
+    (b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n", 400),
+    (b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+    (b"POST /x HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400),
+    (b"GET /x HTTP/1.1\r\nTrunc", 400),               # EOF mid-headers
+])
+def test_malformed_requests_are_rejected(wire, status):
+    assert parse_error(wire).status == status
+
+
+def test_oversized_request_line_is_rejected():
+    wire = b"GET /" + b"a" * MAX_REQUEST_LINE + b" HTTP/1.1\r\n\r\n"
+    assert parse_error(wire).status == 413
+
+
+def test_oversized_header_block_is_rejected():
+    headers = b"".join(
+        b"x-filler-%d: %s\r\n" % (i, b"v" * 1024) for i in range(40)
+    )
+    assert len(headers) > MAX_HEADER_BYTES
+    wire = b"GET / HTTP/1.1\r\n" + headers + b"\r\n"
+    assert parse_error(wire).status == 413
+
+
+def test_oversized_body_is_rejected_before_reading_it():
+    wire = (
+        b"POST /run HTTP/1.1\r\n"
+        + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+    )
+    assert parse_error(wire).status == 413
+
+
+def test_json_method_rejects_garbage_and_empty_bodies():
+    request = Request("POST", "/run", {}, b"{nope")
+    with pytest.raises(BadRequest) as excinfo:
+        request.json()
+    assert excinfo.value.status == 400
+    with pytest.raises(BadRequest):
+        Request("POST", "/run", {}, b"").json()
+
+
+# -- response encoding ---------------------------------------------------------------
+
+
+def test_response_wire_format_and_content_length():
+    wire = Response.json(200, {"b": 1, "a": 2}).encode()
+    head, _, body = wire.partition(b"\r\n\r\n")
+    lines = head.decode("ascii").split("\r\n")
+    assert lines[0] == "HTTP/1.1 200 OK"
+    headers = dict(line.split(": ", 1) for line in lines[1:])
+    assert headers["content-type"] == "application/json"
+    assert int(headers["content-length"]) == len(body)
+    assert headers["connection"] == "keep-alive"
+    # Canonical JSON: sorted keys, no whitespace.
+    assert body == b'{"a":2,"b":1}'
+
+
+def test_equal_payloads_encode_to_equal_bytes():
+    a = Response.json(200, json.loads('{"x": 1, "y": [1, 2]}')).encode()
+    b = Response.json(200, {"y": [1, 2], "x": 1}).encode()
+    assert a == b
+
+
+def test_close_and_custom_headers_are_emitted():
+    wire = Response.json(
+        429, {"error": {}}, headers={"Retry-After": "3"}, close=True
+    ).encode()
+    head = wire.split(b"\r\n\r\n")[0].decode("ascii").lower()
+    assert "http/1.1 429 too many requests" in head
+    assert "connection: close" in head
+    assert "retry-after: 3" in head

@@ -1,0 +1,111 @@
+"""SIGTERM takes the same clean-shutdown path as Ctrl-C.
+
+PR 6 flushed sweep checkpoints on ``KeyboardInterrupt``, which only
+SIGINT raises; a daemonized or CI-supervised sweep gets SIGTERM and
+would have died without flushing.  These tests pin the conversion
+context manager and the CLI wiring: a SIGTERM mid-sweep exits 130 with
+the checkpoint on disk, exactly like an interactive interrupt.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.cli import EXIT_INTERRUPTED, main
+from repro.signals import (
+    TERMINATION_SIGNALS,
+    raise_keyboard_interrupt_on_sigterm,
+)
+
+
+def test_termination_signals_cover_int_and_term():
+    assert signal.SIGINT in TERMINATION_SIGNALS
+    assert signal.SIGTERM in TERMINATION_SIGNALS
+
+
+def test_sigterm_raises_keyboard_interrupt_inside_the_block():
+    with pytest.raises(KeyboardInterrupt):
+        with raise_keyboard_interrupt_on_sigterm():
+            os.kill(os.getpid(), signal.SIGTERM)
+            # The signal is delivered at the next bytecode boundary.
+            for _ in range(1000):
+                time.sleep(0.001)
+            raise AssertionError("SIGTERM was not converted")
+
+
+def test_previous_handler_is_restored_on_exit():
+    sentinel = []
+
+    def outer(signum, frame):
+        sentinel.append(signum)
+
+    previous = signal.signal(signal.SIGTERM, outer)
+    try:
+        with raise_keyboard_interrupt_on_sigterm():
+            assert signal.getsignal(signal.SIGTERM) is not outer
+        assert signal.getsignal(signal.SIGTERM) is outer
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def test_nested_blocks_unwind_cleanly():
+    before = signal.getsignal(signal.SIGTERM)
+    with raise_keyboard_interrupt_on_sigterm():
+        with raise_keyboard_interrupt_on_sigterm():
+            pass
+    assert signal.getsignal(signal.SIGTERM) is before
+
+
+def test_off_main_thread_is_a_documented_noop():
+    before = signal.getsignal(signal.SIGTERM)
+    outcome = {}
+
+    def body():
+        try:
+            with raise_keyboard_interrupt_on_sigterm():
+                outcome["entered"] = True
+        except Exception as exc:  # pragma: no cover - the failure mode
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=body)
+    thread.start()
+    thread.join()
+    assert outcome == {"entered": True}
+    assert signal.getsignal(signal.SIGTERM) is before
+
+
+def test_sigterm_mid_sweep_exits_130_with_checkpoint_flushed(
+    tmp_path, monkeypatch, capsys
+):
+    """``repro figure`` under SIGTERM: checkpoint on disk, exit 130."""
+    from repro.experiments import SweepRunner
+
+    checkpoint = tmp_path / "sweep.ckpt.json"
+    real_prefetch = SweepRunner.prefetch
+
+    def prefetch_then_terminate(self, experiments):
+        # Complete the sweep (so there are points worth flushing), then
+        # model the host terminating us before rendering finishes.
+        real_prefetch(self, experiments)
+        os.kill(os.getpid(), signal.SIGTERM)
+        time.sleep(30)  # interrupted by the converted signal
+        raise AssertionError("SIGTERM never arrived")
+
+    monkeypatch.setattr(SweepRunner, "prefetch", prefetch_then_terminate)
+    code = main([
+        "figure", "fig01", "--preset", "quick", "--jobs", "2",
+        "--resume", str(checkpoint),
+    ])
+    assert code == EXIT_INTERRUPTED
+    captured = capsys.readouterr()
+    assert "checkpointed" in captured.err
+    # The checkpoint survived the termination with every point in it.
+    payload = json.loads(checkpoint.read_text())
+    assert payload["results"]
+    assert payload["failures"] == {}

@@ -1,0 +1,224 @@
+"""ResultStore under concurrent writers, plus size-bounding gc.
+
+The daemon turned the store from a single-sweep cache into a shared
+mutable resource: write-behind tasks inside one process and multiple
+server processes may all ``put()`` into the same directory.  The
+contract under test: racing writers never interleave bytes (every
+reader always sees a complete, checksum-valid entry), lost races are
+silent, dead writers leave only temp debris that ``gc`` sweeps, and
+``gc --max-bytes`` evicts least-recently-*used* entries first.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+from repro import RunSpec
+from repro.cli import main
+from repro.core.runner import simulate_spec
+from repro.exec.store import ResultStore
+
+
+def quick_spec(nprocs: int = 1):
+    return RunSpec.build("fft", "ideal", nprocs, preset="quick")
+
+
+def canonical(result) -> dict:
+    data = result.to_dict()
+    data.pop("wall_seconds")
+    return data
+
+
+# -- multi-process hammer ------------------------------------------------------------
+# Worker functions live at module level so they pickle to child procs.
+
+
+def _hammer(root, spec, result, rounds, barrier):
+    store = ResultStore(root)
+    barrier.wait()  # all writers release at once: maximal contention
+    for _ in range(rounds):
+        store.put(spec, result)
+
+
+def test_racing_puts_same_digest_never_interleave(tmp_path):
+    spec = quick_spec()
+    result = simulate_spec(spec)
+    procs = 4
+    barrier = multiprocessing.Barrier(procs)
+    workers = [
+        multiprocessing.Process(
+            target=_hammer, args=(str(tmp_path), spec, result, 25, barrier)
+        )
+        for _ in range(procs)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=120)
+        assert worker.exitcode == 0
+
+    store = ResultStore(tmp_path)
+    # 100 racing puts of one digest leave exactly one complete entry...
+    assert len(store.entry_paths()) == 1
+    # ...with zero temp debris (every put cleaned up after itself)...
+    assert store.tmp_paths() == []
+    # ...that parses, checks, and round-trips bit-identically.
+    report = store.verify()
+    assert report.healthy and report.ok == 1
+    cached = store.get(spec)
+    assert cached is not None
+    assert canonical(cached) == canonical(result)
+
+
+def test_racing_puts_distinct_digests_all_land(tmp_path):
+    specs = [quick_spec(n) for n in (1, 2, 4)]
+    results = [simulate_spec(spec) for spec in specs]
+    barrier = multiprocessing.Barrier(len(specs))
+    workers = [
+        multiprocessing.Process(
+            target=_hammer, args=(str(tmp_path), spec, result, 10, barrier)
+        )
+        for spec, result in zip(specs, results)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=120)
+        assert worker.exitcode == 0
+
+    store = ResultStore(tmp_path)
+    assert len(store.entry_paths()) == len(specs)
+    assert store.verify().healthy
+    for spec, result in zip(specs, results):
+        assert canonical(store.get(spec)) == canonical(result)
+
+
+# -- gc ------------------------------------------------------------------------------
+
+
+def _aged_entries(tmp_path, count=3):
+    """``count`` entries with strictly increasing mtimes; oldest first."""
+    store = ResultStore(tmp_path)
+    specs = [quick_spec(n) for n in (1, 2, 4)[:count]]
+    for index, spec in enumerate(specs):
+        store.put(spec, simulate_spec(spec))
+        path = store._entry_path(spec.spec_digest())
+        stamp = 1_000_000 + index * 1000
+        os.utime(path, (stamp, stamp))
+    return store, specs
+
+
+def test_gc_evicts_oldest_entries_first(tmp_path):
+    store, specs = _aged_entries(tmp_path)
+    sizes = [
+        store._entry_path(s.spec_digest()).stat().st_size for s in specs
+    ]
+    budget = sizes[1] + sizes[2]  # room for exactly the two newest
+    report = store.gc(budget)
+    assert report.evicted == 1
+    assert report.evicted_bytes == sizes[0]
+    assert report.kept == 2
+    assert report.within_budget
+    assert store.get(specs[0]) is None       # the oldest went
+    assert store.get(specs[1]) is not None   # recency survived
+    assert store.get(specs[2]) is not None
+
+
+def test_gc_lru_is_recency_of_use_not_of_write(tmp_path):
+    store, specs = _aged_entries(tmp_path, count=2)
+    # A hit on the *older* entry refreshes its mtime...
+    assert store.get(specs[0]) is not None
+    size_new = store._entry_path(specs[1].spec_digest()).stat().st_size
+    report = store.gc(size_new)
+    # ...so eviction removes the entry that was written later but
+    # used longer ago.
+    assert report.evicted == 1
+    assert store.get(specs[0]) is not None
+    assert store.get(specs[1]) is None
+
+
+def test_gc_sweeps_tmp_and_quarantine_debris_first(tmp_path):
+    store, specs = _aged_entries(tmp_path)
+    bucket = store._entry_path(specs[0].spec_digest()).parent
+    tmp = bucket / ".deadbeef.12345.0.tmp"
+    tmp.write_text("partial write of a dead process")
+    entry = store._entry_path(specs[0].spec_digest())
+    quarantined = entry.with_name(entry.name + ".quarantined")
+    quarantined.write_text("{corrupt}")
+
+    before = store.size_bytes()
+    report = store.gc(before)  # generous budget: only debris goes
+    assert report.tmp_removed == 1
+    assert report.quarantine_removed == 1
+    assert report.evicted == 0
+    assert report.before_bytes == before
+    assert not tmp.exists() and not quarantined.exists()
+    assert len(store.entry_paths()) == len(specs)
+
+
+def test_gc_report_summary_and_zero_budget(tmp_path):
+    store, specs = _aged_entries(tmp_path)
+    report = store.gc(0)
+    assert report.evicted == len(specs)
+    assert report.after_bytes == 0
+    assert report.kept == 0
+    assert report.within_budget
+    summary = report.summary()
+    assert "result store gc:" in summary
+    assert f"evicted {len(specs)}" in summary
+    assert store.entry_paths() == []
+
+
+def test_gc_on_missing_directory_is_a_clean_no_op(tmp_path):
+    report = ResultStore(tmp_path / "never-created").gc(1024)
+    assert report.before_bytes == 0
+    assert report.after_bytes == 0
+    assert report.within_budget
+
+
+# -- CLI surface ---------------------------------------------------------------------
+
+
+def test_cache_gc_cli_enforces_the_budget(tmp_path, capsys):
+    store, specs = _aged_entries(tmp_path)
+    size_newest = store._entry_path(specs[-1].spec_digest()).stat().st_size
+    code = main([
+        "cache", "gc", "--cache-dir", str(tmp_path),
+        "--max-bytes", str(size_newest),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "result store gc:" in out
+    survivors = ResultStore(tmp_path).entry_paths()
+    assert len(survivors) == 1
+    assert survivors[0].stem == specs[-1].spec_digest()
+
+
+def test_cache_gc_cli_accepts_size_suffixes(tmp_path, capsys):
+    _aged_entries(tmp_path, count=2)
+    code = main([
+        "cache", "gc", "--cache-dir", str(tmp_path), "--max-bytes", "1M",
+    ])
+    assert code == 0
+    assert len(ResultStore(tmp_path).entry_paths()) == 2
+
+
+def test_stats_counters_track_the_gc_lifecycle(tmp_path):
+    store, specs = _aged_entries(tmp_path, count=2)
+    store.gc(0)
+    fresh = ResultStore(tmp_path)
+    assert fresh.get(specs[0]) is None
+    assert fresh.stats()["misses"] == 1
+
+
+def test_entry_written_by_gc_surviving_daemon_is_readable(tmp_path):
+    # A put after gc lands in the same bucket layout.
+    store, specs = _aged_entries(tmp_path)
+    store.gc(0)
+    store.put(specs[0], simulate_spec(specs[0]))
+    entry = store._entry_path(specs[0].spec_digest())
+    payload = json.loads(entry.read_text())
+    assert payload["spec_digest"] == specs[0].spec_digest()
+    assert ResultStore(tmp_path).get(specs[0]) is not None
