@@ -12,11 +12,16 @@ baseline.
 Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/bench_engine.py --label my-change
+    PYTHONPATH=src python benchmarks/bench_engine.py --record-ab soa-core
     PYTHONPATH=src python benchmarks/bench_engine.py --compare
+    PYTHONPATH=src python benchmarks/bench_engine.py --compare --baseline pre-pr4-baseline
     PYTHONPATH=src python benchmarks/bench_engine.py --speedup pre post
 
-``--label`` appends an entry, ``--compare`` gates on the last committed
-entry (no file writes), ``--speedup`` reports host-seconds speedup
+``--label`` appends an entry, ``--record-ab`` appends an entry measured
+interleaved against the object kernel (for kernel-tier PRs),
+``--compare`` gates on a recorded entry (no file writes; ``--baseline``
+selects which, so cross-PR speedups can be reported cumulatively
+against the oldest entry), ``--speedup`` reports host-seconds speedup
 between two recorded entries.
 
 This file is also collected by pytest (``bench_*.py``) when invoked
@@ -47,18 +52,30 @@ MACHINES = ("target", "clogp", "logp")
 ROUNDS = 3
 
 
-def _simulate(machine: str):
+def _simulate(machine: str, kernel: Optional[str] = None):
     from repro import SystemConfig, simulate
     from repro.apps import make_app
     from repro.experiments.workloads import app_params, processor_sweep
 
     nprocs = processor_sweep(PRESET)[-1]
-    config = SystemConfig(processors=nprocs, topology="full")
+    config = SystemConfig(processors=nprocs, topology="full",
+                          engine_kernel=kernel or "auto")
     instance = make_app(APP, nprocs, **app_params(APP, PRESET))
     return simulate(instance, machine, config)
 
 
-def measure(machines=MACHINES, rounds: int = ROUNDS) -> Dict[str, Dict]:
+def _run_entry(result, best: float) -> Dict:
+    return {
+        "wall_seconds": round(best, 4),
+        "sim_events": result.sim_events,
+        "events_per_sec": round(result.sim_events / best, 1),
+        "messages": result.messages,
+        "sim_time_ns": result.total_ns,
+    }
+
+
+def measure(machines=MACHINES, rounds: int = ROUNDS,
+            kernel: Optional[str] = None) -> Dict[str, Dict]:
     """Run the benchmark matrix and return per-machine measurements."""
     runs: Dict[str, Dict] = {}
     for machine in machines:
@@ -66,18 +83,56 @@ def measure(machines=MACHINES, rounds: int = ROUNDS) -> Dict[str, Dict]:
         result = None
         for _ in range(rounds):
             start = time.perf_counter()
-            result = _simulate(machine)
+            result = _simulate(machine, kernel)
             elapsed = time.perf_counter() - start
             best = elapsed if best is None else min(best, elapsed)
         assert result is not None and result.verified
-        runs[machine] = {
-            "wall_seconds": round(best, 4),
-            "sim_events": result.sim_events,
-            "events_per_sec": round(result.sim_events / best, 1),
-            "messages": result.messages,
-            "sim_time_ns": result.total_ns,
-        }
+        runs[machine] = _run_entry(result, best)
     return runs
+
+
+#: RunResult attributes that must agree between kernels in an A/B run:
+#: the kernels may only differ in host time, never in what they
+#: simulated.
+_AB_INVARIANTS = ("sim_events", "messages", "total_ns")
+
+
+def measure_ab(machines=MACHINES, alternations: int = 3,
+               rounds: int = ROUNDS) -> Dict[str, Dict[str, Dict]]:
+    """Interleaved object/SoA measurement (min over alternations).
+
+    Alternating kernels within one process factors host-speed drift out
+    of the comparison, the same methodology as the recorded pre/post
+    PR 4 entries.  Raises if the kernels disagree on any simulation
+    invariant -- an A/B where the two sides did different work is not a
+    measurement.
+    """
+    out: Dict[str, Dict[str, Dict]] = {}
+    for machine in machines:
+        best: Dict[str, Optional[float]] = {"object": None, "soa": None}
+        results: Dict[str, object] = {}
+        for _ in range(alternations):
+            for kernel in ("object", "soa"):
+                for _ in range(rounds):
+                    start = time.perf_counter()
+                    result = _simulate(machine, kernel)
+                    elapsed = time.perf_counter() - start
+                    prev = best[kernel]
+                    best[kernel] = elapsed if prev is None else min(prev, elapsed)
+                    results[kernel] = result
+        for key in _AB_INVARIANTS:
+            obj_val = getattr(results["object"], key)
+            soa_val = getattr(results["soa"], key)
+            if obj_val != soa_val:
+                raise SystemExit(
+                    f"kernel A/B invariant broken on {machine}: "
+                    f"{key} object={obj_val} soa={soa_val}"
+                )
+        out[machine] = {
+            kernel: _run_entry(results[kernel], best[kernel])
+            for kernel in ("object", "soa")
+        }
+    return out
 
 
 def load_entries() -> list:
@@ -127,6 +182,46 @@ def cmd_record(label: str) -> int:
     return 0
 
 
+def cmd_record_ab(label: str) -> int:
+    """Record an interleaved object/SoA A/B entry for the SoA kernel.
+
+    The entry's ``runs`` are the SoA side (so --compare / --speedup see
+    the shipping kernel); the object-kernel mins ride along under
+    ``ab_object_runs`` so the same-host kernel ratio is re-derivable
+    from the file alone.
+    """
+    ab = measure_ab()
+    entry = {
+        "label": label,
+        "recorded": time.strftime("%Y-%m-%d"),
+        "app": APP,
+        "preset": PRESET,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "kernel": "soa",
+        "note": (
+            "measured interleaved with the object kernel (3 alternations "
+            "x 3 rounds, min taken) to factor out host-speed drift on a "
+            "noisy single-core runner"
+        ),
+        "runs": {m: sides["soa"] for m, sides in ab.items()},
+        "ab_object_runs": {m: sides["object"] for m, sides in ab.items()},
+    }
+    entries = [e for e in load_entries() if e["label"] != label]
+    entries.append(entry)
+    save_entries(entries)
+    _print_runs(f"{label} (soa)", entry["runs"])
+    _print_runs(f"{label} (object, same host)", entry["ab_object_runs"])
+    for machine in entry["runs"]:
+        obj = entry["ab_object_runs"][machine]["wall_seconds"]
+        soa = entry["runs"][machine]["wall_seconds"]
+        print(f"  {machine:7s} soa vs object on this host: {obj / soa:.2f}x")
+    print(f"recorded entry {label!r} in {BENCH_FILE.name}")
+    return 0
+
+
 def cmd_compare(label: Optional[str], threshold: float) -> int:
     baseline = find_entry(load_entries(), label)
     if baseline is None:
@@ -145,10 +240,12 @@ def cmd_compare(label: Optional[str], threshold: float) -> int:
         if ratio < 1.0 - threshold:
             status = "REGRESSION"
             failed = True
+        cumulative = ref["wall_seconds"] / current["wall_seconds"]
         print(
             f"  {machine:7s} events/sec {current['events_per_sec']:>12.1f} "
             f"vs baseline {ref['events_per_sec']:>12.1f} "
-            f"(x{ratio:.2f}) {status}"
+            f"(x{ratio:.2f}) {status}  "
+            f"[{cumulative:.2f}x host-seconds since {baseline['label']!r}]"
         )
     if failed:
         print(
@@ -195,6 +292,11 @@ def main(argv=None) -> int:
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument("--label", help="record a labelled entry in BENCH_engine.json")
     mode.add_argument(
+        "--record-ab", metavar="LABEL",
+        help="record a labelled SoA entry measured interleaved with the "
+             "object kernel (A/B, min over alternations)",
+    )
+    mode.add_argument(
         "--compare", action="store_true",
         help="measure and fail if events/sec regresses vs the baseline",
     )
@@ -211,6 +313,8 @@ def main(argv=None) -> int:
         help="allowed fractional events/sec regression (default 0.30)",
     )
     args = parser.parse_args(argv)
+    if args.record_ab:
+        return cmd_record_ab(args.record_ab)
     if args.compare:
         return cmd_compare(args.baseline, args.threshold)
     if args.speedup:

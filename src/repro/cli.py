@@ -42,7 +42,14 @@ from typing import List, Optional
 
 from .apps import APPLICATIONS
 from .checkers import CHECK_LEVELS
-from .config import BARRIERS, MACHINES, PROTOCOLS, TOPOLOGIES, SystemConfig
+from .config import (
+    BARRIERS,
+    ENGINE_KERNELS,
+    MACHINES,
+    PROTOCOLS,
+    TOPOLOGIES,
+    SystemConfig,
+)
 from .core.params import derive_logp
 from .core.runner import simulate, simulate_spec
 from .errors import ConfigError, ReproError
@@ -189,6 +196,7 @@ def _spec_from_args(args: argparse.Namespace, **overrides) -> RunSpec:
         g_per_event_type=getattr(args, "g_per_event_type", False),
         batch_local=not getattr(args, "no_batch_local", False),
         fault=_fault_from_args(args) if hasattr(args, "fault_drop") else None,
+        engine_kernel=getattr(args, "engine", None),
     )
     build_kwargs.update(overrides)
     return RunSpec.build(**build_kwargs)
@@ -505,10 +513,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="history-based g estimation (Section 7)")
     p_run.add_argument("--g-per-event-type", action="store_true",
                        help="apply g only between identical event types")
+    p_run.add_argument("--engine", choices=ENGINE_KERNELS, default=None,
+                       help="event-kernel selection: soa (fast "
+                            "struct-of-arrays core), object (fallback "
+                            "and hooked path), or auto (default: "
+                            "REPRO_ENGINE, else soa)")
     p_run.add_argument("--profile-engine", action="store_true",
                        help="print the engine's internal activity "
-                            "counters (event counts by source, pooling "
-                            "stats, events/sec) after the run")
+                            "counters (active kernel, event counts by "
+                            "source, pooling stats, events/sec) after "
+                            "the run")
     p_run.add_argument("--no-batch-local", action="store_true",
                        help="release accumulated local time (compute "
                             "quanta, cache hits) after every operation "

@@ -28,6 +28,19 @@ from .faults.config import FaultConfig
 from .units import KB
 
 
+def _default_engine_kernel() -> str:
+    """Default engine kernel knob, overridable via ``REPRO_ENGINE``.
+
+    ``"auto"`` defers resolution to :func:`repro.engine.resolve_kernel`
+    (which also reads ``REPRO_ENGINE``, so the env var works both when a
+    config is built and when a bare simulator is made).  Set
+    ``REPRO_ENGINE=object`` to force the object-kernel fallback across a
+    whole test run without threading a flag through every entry point.
+    """
+    kernel = os.environ.get("REPRO_ENGINE", "").strip().lower()
+    return kernel or "auto"
+
+
 def _default_check_level() -> str:
     """Default sanitizer level, overridable via ``REPRO_CHECK``.
 
@@ -48,6 +61,10 @@ PROTOCOLS: Tuple[str, ...] = ("berkeley", "illinois")
 
 #: Barrier implementations.
 BARRIERS: Tuple[str, ...] = ("central", "tree")
+
+#: Engine kernel knob values (mirrors ``repro.engine.KERNELS``; kept as
+#: a literal here so the config layer does not import the engine).
+ENGINE_KERNELS: Tuple[str, ...] = ("auto", "soa", "object")
 
 
 def _is_power_of_two(value: int) -> bool:
@@ -144,6 +161,15 @@ class SystemConfig:
     #: either way; only event counts (and host speed) differ.
     batch_local: bool = True
 
+    #: Engine kernel for the event core: ``"soa"`` (struct-of-arrays
+    #: fast path, the default), ``"object"`` (the original object
+    #: engine, also the path instrumented runs always take) or
+    #: ``"auto"`` (consult ``REPRO_ENGINE``, else SoA).  Both kernels
+    #: execute identical event sequences; the knob only changes host
+    #: speed.  Defaults to the ``REPRO_ENGINE`` environment variable,
+    #: or ``"auto"``.
+    engine_kernel: str = field(default_factory=_default_engine_kernel)
+
     #: Master seed for all deterministic random streams.
     seed: int = 12345
 
@@ -218,6 +244,11 @@ class SystemConfig:
             raise ConfigError(
                 f"unknown check level {self.check!r}; expected one of "
                 f"{CHECK_LEVELS}"
+            )
+        if self.engine_kernel not in ENGINE_KERNELS:
+            raise ConfigError(
+                f"unknown engine kernel {self.engine_kernel!r}; expected "
+                f"one of {ENGINE_KERNELS}"
             )
 
     # -- derived quantities -------------------------------------------------

@@ -119,6 +119,12 @@ class RunResult:
     #: digest was requested; see :mod:`repro.checkers`).
     check_report: Optional[CheckReport] = None
 
+    #: Engine-kernel metadata from the run's simulator: the kernel name
+    #: plus its deterministic scheduling counters (heap pops, ring pops,
+    #: free-list reuse -- see ``Simulator.engine_profile``).  None on
+    #: results recorded before the kernel tier existed.
+    engine: Optional[Dict] = None
+
     # -- aggregates used by the paper's figures --------------------------------
 
     def _mean(self, attribute: str) -> float:
@@ -191,6 +197,7 @@ class RunResult:
                 self.check_report.to_dict()
                 if self.check_report is not None else None
             ),
+            "engine": self.engine,
         }
 
     @classmethod
@@ -213,6 +220,8 @@ class RunResult:
                 CheckReport.from_dict(data["check_report"])
                 if data.get("check_report") is not None else None
             ),
+            # .get(): results serialized before the kernel tier existed.
+            engine=data.get("engine"),
         )
 
     def summary(self) -> str:

@@ -23,7 +23,6 @@ requests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..config import SystemConfig
@@ -37,42 +36,80 @@ from ..memory.states import LineState
 Writeback = Tuple[int, int]
 
 
-@dataclass(frozen=True)
 class ReadPlan:
-    """Outcome of one load."""
+    """Outcome of one load.
 
-    hit: bool
-    #: Node that supplied the data (home or previous owner); None on hit.
-    source: Optional[int] = None
-    #: Data came from home memory (as opposed to an owning cache).
-    from_memory: bool = False
-    #: Home node of the block.
-    home: int = -1
-    #: Eviction-induced writeback, if the victim was owned.
-    writeback: Optional[Writeback] = None
-    #: Illinois only: the dirty owner's data also returns to the home
-    #: (a sharing writeback message on the target machine).
-    sharing_writeback: bool = False
+    A plain ``__slots__`` value class (one is allocated per directory
+    read transaction, so its constructor is hot -- a frozen dataclass
+    pays ``object.__setattr__`` per field).
+    """
+
+    __slots__ = ("hit", "source", "from_memory", "home", "writeback",
+                 "sharing_writeback")
+
+    def __init__(self, hit: bool, source: Optional[int] = None,
+                 from_memory: bool = False, home: int = -1,
+                 writeback: Optional[Writeback] = None,
+                 sharing_writeback: bool = False):
+        #: The line was already valid locally: no transaction at all.
+        self.hit = hit
+        #: Node that supplied the data (home or previous owner); None
+        #: on hit.
+        self.source = source
+        #: Data came from home memory (as opposed to an owning cache).
+        self.from_memory = from_memory
+        #: Home node of the block.
+        self.home = home
+        #: Eviction-induced writeback, if the victim was owned.
+        self.writeback = writeback
+        #: Illinois only: the dirty owner's data also returns to the
+        #: home (a sharing writeback message on the target machine).
+        self.sharing_writeback = sharing_writeback
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReadPlan(hit={self.hit}, source={self.source}, "
+            f"from_memory={self.from_memory}, home={self.home}, "
+            f"writeback={self.writeback}, "
+            f"sharing_writeback={self.sharing_writeback})"
+        )
 
 
-@dataclass(frozen=True)
 class WritePlan:
-    """Outcome of one store."""
+    """Outcome of one store (a ``__slots__`` value class, like
+    :class:`ReadPlan`)."""
 
-    #: The line was already writable (DIRTY): no coherence action at all.
-    fast: bool
-    #: The line held valid data (no data transfer needed), even if
-    #: ownership had to be acquired.
-    had_data: bool = True
-    #: Node that supplied the data when a transfer was needed.
-    source: Optional[int] = None
-    from_memory: bool = False
-    home: int = -1
-    #: Caches whose copies were invalidated (ownership transfer included).
-    invalidated: Tuple[int, ...] = ()
-    #: Previous owner (may equal a member of ``invalidated``).
-    prev_owner: Optional[int] = None
-    writeback: Optional[Writeback] = None
+    __slots__ = ("fast", "had_data", "source", "from_memory", "home",
+                 "invalidated", "prev_owner", "writeback")
+
+    def __init__(self, fast: bool, had_data: bool = True,
+                 source: Optional[int] = None, from_memory: bool = False,
+                 home: int = -1, invalidated: Tuple[int, ...] = (),
+                 prev_owner: Optional[int] = None,
+                 writeback: Optional[Writeback] = None):
+        #: The line was already writable (DIRTY): no coherence action.
+        self.fast = fast
+        #: The line held valid data (no data transfer needed), even if
+        #: ownership had to be acquired.
+        self.had_data = had_data
+        #: Node that supplied the data when a transfer was needed.
+        self.source = source
+        self.from_memory = from_memory
+        self.home = home
+        #: Caches whose copies were invalidated (ownership transfer
+        #: included).
+        self.invalidated = invalidated
+        #: Previous owner (may equal a member of ``invalidated``).
+        self.prev_owner = prev_owner
+        self.writeback = writeback
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WritePlan(fast={self.fast}, had_data={self.had_data}, "
+            f"source={self.source}, from_memory={self.from_memory}, "
+            f"home={self.home}, invalidated={self.invalidated}, "
+            f"prev_owner={self.prev_owner}, writeback={self.writeback})"
+        )
 
 
 class CoherentMemory:

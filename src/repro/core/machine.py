@@ -53,6 +53,7 @@ from typing import Dict, Hashable, List, Optional, Tuple, Type
 
 from ..checkers import make_checkers
 from ..config import SystemConfig
+from ..engine import make_simulator
 from ..engine.core import Event, Simulator
 from ..engine.rng import RandomStreams
 from ..errors import ConfigError, SimulationError
@@ -120,8 +121,13 @@ class Machine(ABC):
         #: no digest was requested -- the None case takes the exact
         #: unchecked code paths (see :mod:`repro.checkers`).
         self.checkers = make_checkers(config)
-        self.sim = Simulator(
-            checkers=self.checkers.checkers if self.checkers else ()
+        # Kernel selection honours config.engine_kernel / REPRO_ENGINE;
+        # whenever checkers attach engine hooks the factory falls back
+        # to the object kernel so sanitizers see real (time, seq)
+        # actions (see repro.engine.make_simulator).
+        self.sim = make_simulator(
+            checkers=self.checkers.checkers if self.checkers else (),
+            kernel=config.engine_kernel,
         )
         self.topology: Topology = make_topology(config.topology, config.processors)
         self.space = AddressSpace(config.processors, config.block_bytes)
@@ -248,30 +254,74 @@ class Machine(ABC):
 
     def op_lock(self, proc: "Processor", key: Hashable):
         """Acquire a lock with test-test&set semantics."""
-        if proc._pending_ns:
-            yield from proc.flush()
+        pending = proc._pending_ns
+        if pending:
+            proc._pending_ns = 0
+            yield pending
         lock = self._lock_var(key)
+        addr = lock.addr
+        sim = self.sim
+        transact = self.transact
+        retry_pending = self._retry_pending
+        pid = proc.pid
+        buckets = proc.buckets
         while True:
             # Test: read the lock word (may miss -> network traffic).
-            yield from proc.access(lock.addr, is_write=False)
-            if lock.holder is None:
-                # Test&set wins: take the lock, then pay for the
-                # ownership-acquiring write (invalidates other copies).
-                lock.holder = proc.pid
-                lock.acquisitions += 1
-                yield from proc.access(lock.addr, is_write=True)
-                return
+            # ``access_hit`` charges cache hits without a generator --
+            # spins re-read a line they already cache, so the hit path
+            # dominates here.
+            for is_write in (False, True):
+                if is_write:
+                    if lock.holder is not None:
+                        break
+                    # Test&set wins: take the lock, then pay for the
+                    # ownership-acquiring write (invalidates other
+                    # copies).
+                    lock.holder = pid
+                    lock.acquisitions += 1
+                if not proc.access_hit(addr, is_write):
+                    # ``_access_slow`` inlined: the lock path is the
+                    # hottest op, and every resumption of the delegated
+                    # transaction walks the whole ``yield from`` chain,
+                    # so one less frame here pays on every send (same
+                    # trade as Processor.run's Read/Write slow path).
+                    pending = proc._pending_ns
+                    if pending:
+                        proc._pending_ns = 0
+                        yield pending
+                    started = sim._now
+                    latency_ns, service_ns = yield from transact(
+                        pid, addr, is_write
+                    )
+                    elapsed = sim._now - started
+                    if latency_ns + service_ns > elapsed:
+                        latency_ns = max(0, elapsed - service_ns)
+                    retry_ns = retry_pending[pid]
+                    if retry_ns:
+                        retry_pending[pid] = 0
+                    if retry_ns > elapsed - latency_ns - service_ns:
+                        retry_ns = max(0, elapsed - latency_ns - service_ns)
+                    buckets.latency_ns += latency_ns
+                    buckets.memory_ns += service_ns
+                    buckets.retry_ns += retry_ns
+                    buckets.contention_ns += (
+                        elapsed - latency_ns - service_ns - retry_ns
+                    )
+                if is_write:
+                    return
             # Busy: block until a release wakes us, then re-contend.
-            event = self.sim.event()
+            event = sim.event()
             lock.waiters.append(event)
-            started = self.sim.now
+            started = sim.now
             yield event
-            proc.charge_spin(self.sim.now - started, lock.addr)
+            proc.charge_spin(sim.now - started, addr)
 
     def op_unlock(self, proc: "Processor", key: Hashable):
         """Release a lock, waking all spinners (invalidation storm)."""
-        if proc._pending_ns:
-            yield from proc.flush()
+        pending = proc._pending_ns
+        if pending:
+            proc._pending_ns = 0
+            yield pending
         lock = self._lock_var(key)
         if lock.holder != proc.pid:
             raise SimulationError(
@@ -280,7 +330,8 @@ class Machine(ABC):
             )
         lock.holder = None
         # The releasing store invalidates every spinner's cached copy.
-        yield from proc.access(lock.addr, is_write=True)
+        if not proc.access_hit(lock.addr, True):
+            yield from proc._access_slow(lock.addr, True)
         waiters, lock.waiters = lock.waiters, []
         for event in waiters:
             event.succeed()
@@ -333,8 +384,10 @@ class Machine(ABC):
         barrier = self._barrier_var(key)
         yield from self.op_lock(proc, barrier.lock_key)
         # Fetch&increment of the arrival counter under the lock.
-        yield from proc.access(barrier.counter_addr, is_write=False)
-        yield from proc.access(barrier.counter_addr, is_write=True)
+        if not proc.access_hit(barrier.counter_addr, False):
+            yield from proc._access_slow(barrier.counter_addr, False)
+        if not proc.access_hit(barrier.counter_addr, True):
+            yield from proc._access_slow(barrier.counter_addr, True)
         barrier.count += 1
         arrived_generation = barrier.generation
         last = barrier.count == self.nprocs
@@ -353,12 +406,15 @@ class Machine(ABC):
 
     def op_set_flag(self, proc: "Processor", addr: int, value: int):
         """Write a condition variable and wake its waiters."""
-        if proc._pending_ns:
-            yield from proc.flush()
+        pending = proc._pending_ns
+        if pending:
+            proc._pending_ns = 0
+            yield pending
         flag = self._flag_var(addr)
         # The store invalidates waiters' cached copies (on the target,
         # real invalidation traffic; on CLogP, a free transition).
-        yield from proc.access(addr, is_write=True)
+        if not proc.access_hit(addr, True):
+            yield from proc._access_slow(addr, True)
         flag.value = value
         waiters, flag.waiters = flag.waiters, []
         for event in waiters:
@@ -367,15 +423,19 @@ class Machine(ABC):
     def op_wait_flag(self, proc: "Processor", addr: int, value: int,
                      cmp: str = "ge"):
         """Spin until the condition variable satisfies the test."""
-        if proc._pending_ns:
-            yield from proc.flush()
+        pending = proc._pending_ns
+        if pending:
+            proc._pending_ns = 0
+            yield pending
         flag = self._flag_var(addr)
-        op = ops.WaitFlag(addr, value, cmp)
+        equality = cmp == "eq"
         while True:
             # The test read: on cached machines the first iteration may
             # miss, later iterations re-read after an invalidation.
-            yield from proc.access(addr, is_write=False)
-            if op.satisfied_by(flag.value):
+            if not proc.access_hit(addr, False):
+                yield from proc._access_slow(addr, False)
+            current = flag.value
+            if (current == value) if equality else (current >= value):
                 return
             event = self.sim.event()
             flag.waiters.append(event)
@@ -502,6 +562,20 @@ class Processor:
             return
         yield from self._access_slow(addr, is_write)
 
+    def access_hit(self, addr: int, is_write: bool) -> bool:
+        """Charge a fast-path hit inline; False when the access misses.
+
+        The non-generator half of :meth:`access`: sync operations call
+        this first so the (dominant) cache-hit case costs no generator
+        allocation, and fall through to :meth:`_access_slow` on a miss.
+        """
+        cost = self.machine.try_fast(self.pid, addr, is_write)
+        if cost is None:
+            return False
+        self._pending_ns += cost
+        self.buckets.memory_ns += cost
+        return True
+
     def _access_slow(self, addr: int, is_write: bool):
         machine = self.machine
         sim = machine.sim
@@ -520,7 +594,11 @@ class Processor:
         # so that the buckets always sum to the elapsed time.
         if latency_ns + service_ns > elapsed:
             latency_ns = max(0, elapsed - service_ns)
-        retry_ns = machine.take_retry_ns(self.pid)
+        # ``take_retry_ns`` inlined (zero on every fault-free access).
+        retry_pending = machine._retry_pending
+        retry_ns = retry_pending[self.pid]
+        if retry_ns:
+            retry_pending[self.pid] = 0
         if retry_ns > elapsed - latency_ns - service_ns:
             retry_ns = max(0, elapsed - latency_ns - service_ns)
         buckets = self.buckets
@@ -586,7 +664,7 @@ class Processor:
         sim = machine.sim
         try_fast = machine.try_fast
         transact = machine.transact
-        take_retry = machine.take_retry_ns
+        retry_pending = machine._retry_pending
         cycle_ns = machine.config.cpu_cycle_ns
         buckets = self.buckets
         pid = self.pid
@@ -623,7 +701,9 @@ class Processor:
                     elapsed = sim._now - started
                     if latency_ns + service_ns > elapsed:
                         latency_ns = max(0, elapsed - service_ns)
-                    retry_ns = take_retry(pid)
+                    retry_ns = retry_pending[pid]
+                    if retry_ns:
+                        retry_pending[pid] = 0
                     if retry_ns > elapsed - latency_ns - service_ns:
                         retry_ns = max(0, elapsed - latency_ns - service_ns)
                     buckets.latency_ns += latency_ns

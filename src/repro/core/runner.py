@@ -91,6 +91,16 @@ def simulate_full(
         machine.checkers.finalize(machine)
         if machine.checkers is not None else None
     )
+    # Deterministic kernel metadata only: scheduling counters are a
+    # function of the event sequence, so they are stable across hosts
+    # and safe to content-address (wall-clock stays in wall_seconds).
+    profile = machine.sim.engine_profile()
+    engine_meta = {
+        "kernel": profile["kernel"],
+        "heap_pops": profile["heap_pops"],
+        "ring_pops": profile["ring_pops"],
+        "rows_recycled": profile.get("rows_recycled", 0),
+    }
     return (
         RunResult(
             app=app.name,
@@ -104,6 +114,7 @@ def simulate_full(
             wall_seconds=wall,
             verified=verified,
             check_report=check_report,
+            engine=engine_meta,
         ),
         machine,
     )

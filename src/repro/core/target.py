@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..config import SystemConfig
-from ..engine.core import TURN, all_of
+from ..engine.core import all_of
 from ..engine.resource import Resource
 from ..faults.reliable import ReliableTransport, RetryPolicy
 from ..network.fabric import Fabric
@@ -74,6 +74,24 @@ class TargetMachine(Machine):
             # Fault-free: skip the retry-banking wrapper generator --
             # ``_net_transmit(pid, msg)`` then IS ``fabric.transmit(msg)``.
             self._net_transmit = self._net_transmit_plain
+        #: Contention-free transmission times of the two message sizes.
+        self._ctrl_ns = self._ctrl * self.fabric.ns_per_byte
+        self._data_ns = self._data * self.fabric.ns_per_byte
+        if self.reliable is None and self.fabric.is_plain:
+            # Fault-free, hook-free fabric: transactions transmit
+            # through the Message-free latency path, and the directory
+            # transactions run their fully-inlined twins (every link
+            # grant and transmission delay yielded from the transaction
+            # frame itself -- no per-message sub-generator).
+            self._net_lat = self._lat_fast
+            self._read_tx = self._read_transaction_fast
+            self._write_tx = self._write_transaction_fast
+            self._inv_round = self._invalidation_round_fast
+        else:
+            self._net_lat = self._lat_general
+            self._read_tx = self._read_transaction
+            self._write_tx = self._write_transaction
+            self._inv_round = self._invalidation_round
 
     def _net_transmit(self, pid: int, message: Message):
         """Generator: transmit on behalf of processor ``pid``.
@@ -91,6 +109,24 @@ class TargetMachine(Machine):
         # Returns the fabric's generator directly: ``yield from`` at the
         # call sites delegates to it with no wrapper frame in between.
         return self.fabric.transmit(message)
+
+    def _lat_fast(self, pid: int, src: int, dst: int, nbytes: int,
+                  kind: str):
+        # Returns the fabric's Message-free generator directly -- one
+        # message transfer with no Message, no TransferResult, and no
+        # wrapper frame.  ``pid`` and ``kind`` are unused: the plain
+        # fabric has no retry banking and no message hooks.
+        return self.fabric.transmit_fast(src, dst, nbytes)
+
+    def _lat_general(self, pid: int, src: int, dst: int, nbytes: int,
+                     kind: str):
+        """Generator twin of :meth:`_lat_fast` for the general fabric
+        (faults, hooks, or switching delay): full Message transfer,
+        returning only the latency split the transactions charge."""
+        result = yield from self._net_transmit(
+            pid, Message(src, dst, nbytes, kind)
+        )
+        return result.latency_ns
 
     # -- memory interface ---------------------------------------------------------
 
@@ -123,8 +159,8 @@ class TargetMachine(Machine):
         """
         block = addr // self._block_bytes
         if is_write:
-            return self._write_transaction(pid, block)
-        return self._read_transaction(pid, block)
+            return self._write_tx(pid, block)
+        return self._read_tx(pid, block)
 
     def _post_writeback(self, pid: int, writeback) -> None:
         """Launch an evicted victim's writeback message, if any."""
@@ -132,10 +168,19 @@ class TargetMachine(Machine):
             victim_block, victim_home = writeback
             if victim_home != pid:
                 # Off the critical path, but it occupies real links.
-                self.fabric.post(
-                    Message(pid, victim_home, self._data, "wb"),
-                    name=f"wb{victim_block}",
-                )
+                fabric = self.fabric
+                if fabric.is_plain:
+                    # Message-object-free twin: identical link grants,
+                    # delays, and counters (see Fabric.transmit_fast).
+                    self.sim.spawn(
+                        fabric.transmit_fast(pid, victim_home, self._data),
+                        name="wb",
+                    )
+                else:
+                    fabric.post(
+                        Message(pid, victim_home, self._data, "wb"),
+                        name=f"wb{victim_block}",
+                    )
 
     # -- transactions ------------------------------------------------------------------
 
@@ -145,12 +190,11 @@ class TargetMachine(Machine):
         service = 0
         home = self.space.home_of_block(block)
         if pid != home:
-            result = yield from self._net_transmit(
-                pid, Message(pid, home, self._ctrl, "read_req")
+            latency += yield from self._net_lat(
+                pid, pid, home, self._ctrl, "read_req"
             )
-            latency += result.latency_ns
         home_lock = self._home_lock(block)
-        yield TURN if home_lock.try_acquire() else home_lock.request()
+        yield home_lock  # kernel-resolved FIFO grant (see Resource)
         plan = self.memory.plan_read(pid, block)
         if plan.hit:  # raced with ourselves; cannot normally happen
             home_lock.release()
@@ -160,25 +204,22 @@ class TargetMachine(Machine):
             yield self._mem_ns
             home_lock.release()
             if home != pid:
-                result = yield from self._net_transmit(
-                    pid, Message(home, pid, self._data, "data")
+                latency += yield from self._net_lat(
+                    pid, home, pid, self._data, "data"
                 )
-                latency += result.latency_ns
         else:
             # Owned by a remote cache: home forwards, owner supplies.
             source = plan.source
             if home != source:
-                result = yield from self._net_transmit(
-                    pid, Message(home, source, self._ctrl, "fwd")
+                latency += yield from self._net_lat(
+                    pid, home, source, self._ctrl, "fwd"
                 )
-                latency += result.latency_ns
             home_lock.release()
             service += self._hit_ns
             yield self._hit_ns
-            result = yield from self._net_transmit(
-                pid, Message(source, pid, self._data, "data")
+            latency += yield from self._net_lat(
+                pid, source, pid, self._data, "data"
             )
-            latency += result.latency_ns
             if plan.sharing_writeback and source != home:
                 # Illinois: the dirty owner's data also returns to the
                 # home -- real traffic, off the requester's critical path.
@@ -196,12 +237,11 @@ class TargetMachine(Machine):
         service = 0
         home = self.space.home_of_block(block)
         if pid != home:
-            result = yield from self._net_transmit(
-                pid, Message(pid, home, self._ctrl, "write_req")
+            latency += yield from self._net_lat(
+                pid, pid, home, self._ctrl, "write_req"
             )
-            latency += result.latency_ns
         home_lock = self._home_lock(block)
-        yield TURN if home_lock.try_acquire() else home_lock.request()
+        yield home_lock  # kernel-resolved FIFO grant (see Resource)
         plan = self.memory.plan_write(pid, block)
         if plan.fast:  # raced with ourselves; cannot normally happen
             home_lock.release()
@@ -211,9 +251,7 @@ class TargetMachine(Machine):
         # the forwarded request itself, not a separate message.
         inv_targets = [s for s in plan.invalidated if s != plan.source]
         inv_rounds = [
-            sim.spawn(
-                self._invalidation_round(pid, home, node), name=f"inv{node}"
-            )
+            sim.spawn(self._inv_round(pid, home, node), name=f"inv{node}")
             for node in inv_targets
         ]
         if not plan.had_data and plan.from_memory:
@@ -222,10 +260,9 @@ class TargetMachine(Machine):
         elif not plan.had_data:
             source = plan.source
             if home != source:
-                result = yield from self._net_transmit(
-                    pid, Message(home, source, self._ctrl, "fwd")
+                latency += yield from self._net_lat(
+                    pid, home, source, self._ctrl, "fwd"
                 )
-                latency += result.latency_ns
         if inv_rounds:
             # Sequential consistency: the home releases the block only
             # after every stale copy is gone.
@@ -239,24 +276,21 @@ class TargetMachine(Machine):
         if plan.had_data:
             # Ownership upgrade: permission only, granted by the home.
             if pid != home:
-                result = yield from self._net_transmit(
-                    pid, Message(home, pid, self._ctrl, "grant")
+                latency += yield from self._net_lat(
+                    pid, home, pid, self._ctrl, "grant"
                 )
-                latency += result.latency_ns
         elif plan.from_memory:
             if home != pid:
-                result = yield from self._net_transmit(
-                    pid, Message(home, pid, self._data, "data")
+                latency += yield from self._net_lat(
+                    pid, home, pid, self._data, "data"
                 )
-                latency += result.latency_ns
         else:
             source = plan.source
             service += self._hit_ns
             yield self._hit_ns
-            result = yield from self._net_transmit(
-                pid, Message(source, pid, self._data, "data")
+            latency += yield from self._net_lat(
+                pid, source, pid, self._data, "data"
             )
-            latency += result.latency_ns
         self._post_writeback(pid, plan.writeback)
         return latency, service
 
@@ -270,12 +304,251 @@ class TargetMachine(Machine):
         if home == node:
             # The home invalidates its local cache without a message.
             return
-        yield from self._net_transmit(
-            pid, Message(home, node, self._ctrl, "inv")
-        )
-        yield from self._net_transmit(
-            pid, Message(node, home, self._ctrl, "ack")
-        )
+        yield from self._net_lat(pid, home, node, self._ctrl, "inv")
+        yield from self._net_lat(pid, node, home, self._ctrl, "ack")
+
+    # -- plain-fabric fast transactions ------------------------------------------------
+    #
+    # Frame-flattened twins of the three generators above, selected at
+    # construction when the fabric is plain (fault-free, hook-free, zero
+    # switching delay).  Every link grant and transmission delay is
+    # yielded from the transaction's own frame -- no per-message
+    # sub-generator -- which removes one delegation hop from every
+    # resumption of every message transfer.  They MUST mirror the
+    # general versions' event sequence exactly: same yields in the same
+    # order under the same conditions (the cross-kernel and fast-path
+    # parity tests pin this).  Per-message accounting is applied by
+    # ``Fabric.settle_fast``.
+
+    def _read_transaction_fast(self, pid: int, block: int):
+        """``_read_transaction`` with transmits inlined (plain fabric)."""
+        fabric = self.fabric
+        sim = self.sim
+        routes = fabric._route_links
+        nprocs = fabric._nprocs
+        settle = fabric.settle_fast
+        latency = 0
+        service = 0
+        home = self.space.home_of_block(block)
+        if pid != home:
+            start = sim._now                       # read_req ->
+            path = routes[pid * nprocs + home]
+            if path is None:
+                path = fabric._route(pid, home)
+            for link in path:
+                yield link
+            circuit = sim._now
+            tx = self._ctrl_ns
+            yield tx
+            settle(path, self._ctrl, tx, start, circuit, sim._now)
+            latency += tx
+        home_lock = self._home_lock(block)
+        yield home_lock  # kernel-resolved FIFO grant (see Resource)
+        plan = self.memory.plan_read(pid, block)
+        if plan.hit:  # raced with ourselves; cannot normally happen
+            home_lock.release()
+            return 0, self._hit_ns
+        if plan.from_memory:
+            service += self._mem_ns
+            yield self._mem_ns
+            if home_lock._waiters:
+                home_lock.release()
+            else:
+                # Uncontended directory release inlined (this frame
+                # holds the lock, so in_use >= 1).
+                home_lock.in_use -= 1
+            if home != pid:
+                start = sim._now                   # data ->
+                path = routes[home * nprocs + pid]
+                if path is None:
+                    path = fabric._route(home, pid)
+                for link in path:
+                    yield link
+                circuit = sim._now
+                tx = self._data_ns
+                yield tx
+                settle(path, self._data, tx, start, circuit, sim._now)
+                latency += tx
+        else:
+            # Owned by a remote cache: home forwards, owner supplies.
+            source = plan.source
+            if home != source:
+                start = sim._now                   # fwd ->
+                path = routes[home * nprocs + source]
+                if path is None:
+                    path = fabric._route(home, source)
+                for link in path:
+                    yield link
+                circuit = sim._now
+                tx = self._ctrl_ns
+                yield tx
+                settle(path, self._ctrl, tx, start, circuit, sim._now)
+                latency += tx
+            if home_lock._waiters:
+                home_lock.release()
+            else:
+                home_lock.in_use -= 1
+            service += self._hit_ns
+            yield self._hit_ns
+            start = sim._now                       # data ->
+            path = routes[source * nprocs + pid]
+            if path is None:
+                path = fabric._route(source, pid)
+            for link in path:
+                yield link
+            circuit = sim._now
+            tx = self._data_ns
+            yield tx
+            settle(path, self._data, tx, start, circuit, sim._now)
+            latency += tx
+            if plan.sharing_writeback and source != home:
+                # Illinois: the dirty owner's data also returns to the
+                # home -- real traffic, off the requester's critical path.
+                sim.spawn(
+                    fabric.transmit_fast(source, home, self._data),
+                    name="shwb",
+                )
+        self._post_writeback(pid, plan.writeback)
+        return latency, service
+
+    def _write_transaction_fast(self, pid: int, block: int):
+        """``_write_transaction`` with transmits inlined (plain fabric)."""
+        fabric = self.fabric
+        sim = self.sim
+        routes = fabric._route_links
+        nprocs = fabric._nprocs
+        settle = fabric.settle_fast
+        latency = 0
+        service = 0
+        home = self.space.home_of_block(block)
+        if pid != home:
+            start = sim._now                       # write_req ->
+            path = routes[pid * nprocs + home]
+            if path is None:
+                path = fabric._route(pid, home)
+            for link in path:
+                yield link
+            circuit = sim._now
+            tx = self._ctrl_ns
+            yield tx
+            settle(path, self._ctrl, tx, start, circuit, sim._now)
+            latency += tx
+        home_lock = self._home_lock(block)
+        yield home_lock  # kernel-resolved FIFO grant (see Resource)
+        plan = self.memory.plan_write(pid, block)
+        if plan.fast:  # raced with ourselves; cannot normally happen
+            home_lock.release()
+            return 0, self._hit_ns
+        # Invalidations go out in parallel with the home-side work.  The
+        # previous owner (when it supplies the data) is invalidated by
+        # the forwarded request itself, not a separate message.
+        inv_targets = [s for s in plan.invalidated if s != plan.source]
+        inv_rounds = [
+            sim.spawn(self._inv_round(pid, home, node), name=f"inv{node}")
+            for node in inv_targets
+        ]
+        if not plan.had_data and plan.from_memory:
+            service += self._mem_ns
+            yield self._mem_ns
+        elif not plan.had_data:
+            source = plan.source
+            if home != source:
+                start = sim._now                   # fwd ->
+                path = routes[home * nprocs + source]
+                if path is None:
+                    path = fabric._route(home, source)
+                for link in path:
+                    yield link
+                circuit = sim._now
+                tx = self._ctrl_ns
+                yield tx
+                settle(path, self._ctrl, tx, start, circuit, sim._now)
+                latency += tx
+        if inv_rounds:
+            # Sequential consistency: the home releases the block only
+            # after every stale copy is gone.
+            yield all_of(sim, inv_rounds)
+            if any(node != home for node in inv_targets):
+                latency += self._inv_round_latency
+        if home_lock._waiters:
+            home_lock.release()
+        else:
+            home_lock.in_use -= 1
+        if plan.had_data:
+            # Ownership upgrade: permission only, granted by the home.
+            if pid != home:
+                start = sim._now                   # grant ->
+                path = routes[home * nprocs + pid]
+                if path is None:
+                    path = fabric._route(home, pid)
+                for link in path:
+                    yield link
+                circuit = sim._now
+                tx = self._ctrl_ns
+                yield tx
+                settle(path, self._ctrl, tx, start, circuit, sim._now)
+                latency += tx
+        elif plan.from_memory:
+            if home != pid:
+                start = sim._now                   # data ->
+                path = routes[home * nprocs + pid]
+                if path is None:
+                    path = fabric._route(home, pid)
+                for link in path:
+                    yield link
+                circuit = sim._now
+                tx = self._data_ns
+                yield tx
+                settle(path, self._data, tx, start, circuit, sim._now)
+                latency += tx
+        else:
+            source = plan.source
+            service += self._hit_ns
+            yield self._hit_ns
+            start = sim._now                       # data ->
+            path = routes[source * nprocs + pid]
+            if path is None:
+                path = fabric._route(source, pid)
+            for link in path:
+                yield link
+            circuit = sim._now
+            tx = self._data_ns
+            yield tx
+            settle(path, self._data, tx, start, circuit, sim._now)
+            latency += tx
+        self._post_writeback(pid, plan.writeback)
+        return latency, service
+
+    def _invalidation_round_fast(self, pid: int, home: int, node: int):
+        """``_invalidation_round`` with transmits inlined (plain fabric)."""
+        if home == node:
+            # The home invalidates its local cache without a message.
+            return
+        fabric = self.fabric
+        sim = self.sim
+        routes = fabric._route_links
+        nprocs = fabric._nprocs
+        settle = fabric.settle_fast
+        ctrl = self._ctrl
+        tx = self._ctrl_ns
+        start = sim._now                           # inv ->
+        path = routes[home * nprocs + node]
+        if path is None:
+            path = fabric._route(home, node)
+        for link in path:
+            yield link
+        circuit = sim._now
+        yield tx
+        settle(path, ctrl, tx, start, circuit, sim._now)
+        start = sim._now                           # ack ->
+        path = routes[node * nprocs + home]
+        if path is None:
+            path = fabric._route(node, home)
+        for link in path:
+            yield link
+        circuit = sim._now
+        yield tx
+        settle(path, ctrl, tx, start, circuit, sim._now)
 
     # -- plumbing -----------------------------------------------------------------------
 
@@ -292,10 +565,7 @@ class TargetMachine(Machine):
         packet = self.config.data_message_bytes
         while remaining > 0:
             size = min(packet, remaining)
-            result = yield from self._net_transmit(
-                pid, Message(pid, dst, size, "mp")
-            )
-            latency += result.latency_ns
+            latency += yield from self._net_lat(pid, pid, dst, size, "mp")
             remaining -= size
         return latency, 0
 

@@ -4,7 +4,11 @@ This subpackage is the stand-in for CSIM, the sequential simulation
 library the paper's SPASM simulator was built on.  It provides:
 
 * :class:`~repro.engine.core.Simulator` -- the event loop with an
-  integer-nanosecond clock,
+  integer-nanosecond clock (the *object* kernel, also the instrumented
+  path for sanitizer checkers),
+* :class:`~repro.engine.soa.SoaSimulator` -- the struct-of-arrays
+  kernel, the default un-instrumented fast path,
+* :func:`make_simulator` -- the kernel-selecting factory machines use,
 * :class:`~repro.engine.core.Process` -- simulated processes written as
   Python generators that ``yield`` events,
 * :class:`~repro.engine.core.Event` / timeouts / :func:`all_of`,
@@ -14,16 +18,67 @@ library the paper's SPASM simulator was built on.  It provides:
   random streams so every machine model replays identical workloads.
 """
 
-from .core import Event, Process, Simulator, Timeout, all_of
+import os
+
+from .core import TURN, Acquirable, Event, Process, Simulator, Timeout, all_of
 from .resource import Resource
 from .rng import RandomStreams
+from .soa import SoaSimulator
+
+#: Recognized values for the kernel knob (``REPRO_ENGINE`` /
+#: ``SystemConfig.engine_kernel`` / ``--engine``).
+KERNELS = ("auto", "soa", "object")
+
+
+def resolve_kernel(kernel: str = "auto") -> str:
+    """Resolve a kernel knob value to a concrete kernel name.
+
+    ``"auto"`` consults the ``REPRO_ENGINE`` environment variable and
+    otherwise picks the SoA kernel.  Raises ``ValueError`` on an
+    unrecognized name (config-layer validation wraps this in
+    ``ConfigError`` with context).
+    """
+    if kernel == "auto":
+        kernel = os.environ.get("REPRO_ENGINE", "").strip().lower() or "soa"
+        if kernel == "auto":
+            kernel = "soa"
+    if kernel not in ("soa", "object"):
+        raise ValueError(
+            f"unknown engine kernel {kernel!r}; expected one of {KERNELS}"
+        )
+    return kernel
+
+
+def make_simulator(checkers=(), kernel: str = "auto",
+                   fail_fast: bool = True) -> Simulator:
+    """Build a simulator on the selected kernel.
+
+    The *object-path-for-hooks invariant* lives here: whenever any
+    attached checker installs engine-level hooks (``on_event`` /
+    ``on_spawn``), the object kernel is used regardless of the knob, so
+    sanitizers always observe real ``(time, seq, action)`` triples.
+    Both kernels execute identical event sequences, so flipping the
+    knob never changes results -- only host time.
+    """
+    resolved = resolve_kernel(kernel)
+    sim = Simulator(fail_fast=fail_fast, checkers=checkers)
+    if resolved == "object" or sim._instrumented:
+        return sim
+    return SoaSimulator(fail_fast=fail_fast, checkers=checkers)
+
 
 __all__ = [
     "Event",
     "Process",
     "Simulator",
+    "SoaSimulator",
     "Timeout",
+    "TURN",
+    "Acquirable",
     "all_of",
+    "make_simulator",
+    "resolve_kernel",
+    "KERNELS",
     "Resource",
     "RandomStreams",
 ]

@@ -45,6 +45,22 @@ Design notes
   event).  Both re-enqueue the process at exactly the queue position
   the event-based form would have used, so the executed event sequence
   -- and therefore every simulated result -- is identical.
+* A process may also ``yield`` an :class:`Acquirable` (a
+  :class:`~repro.engine.resource.Resource`) directly; the engine then
+  resolves the grant in whichever way is cheapest for the running
+  kernel.  On this object kernel a free resource behaves exactly like
+  the ``try_acquire`` + ``TURN`` pair and a busy one exactly like
+  yielding ``request()`` -- same scheduled actions, same ``(time,
+  seq)`` positions, so instrumented digests are unchanged.  The
+  struct-of-arrays kernel (:mod:`repro.engine.soa`) instead parks the
+  process as a packed integer in the resource's waiter queue, which is
+  why the call sites moved to this form.
+* This module is the *object* kernel.  The un-instrumented fast path
+  normally runs on the struct-of-arrays kernel in
+  :mod:`repro.engine.soa`; use :func:`repro.engine.make_simulator` to
+  select one.  Whenever sanitizer checkers attach engine hooks the
+  object kernel is used regardless, so hooks always observe real
+  ``(time, seq)`` actions.
 """
 
 from __future__ import annotations
@@ -81,6 +97,32 @@ class _Turn:
 
 #: The singleton yielded for synchronous grants (see :class:`_Turn`).
 TURN = _Turn()
+
+
+class Acquirable:
+    """Marker base for counted FIFO resources a process may ``yield``.
+
+    Subclasses (:class:`~repro.engine.resource.Resource`) expose the
+    grant protocol both kernels rely on -- ``in_use``, ``capacity``,
+    ``_waiters``, ``try_acquire()`` and ``request()`` -- and the SoA
+    kernel inlines the attribute form of ``try_acquire`` on its hot
+    path, so the attribute names are part of the contract.  The marker
+    lives here (rather than next to Resource) because the process-step
+    dispatch below must recognize it without importing the resource
+    module, which imports this one.
+    """
+
+    __slots__ = ()
+
+
+#: Bits a packed resource waiter reserves for the process index: the
+#: SoA kernel parks a waiting process in a Resource's queue as the
+#: integer ``(wait_start_ns << PROC_BITS) | process_index`` instead of
+#: allocating a request Event.  20 bits caps *live* (not total)
+#: processes at ~1M, far beyond any simulated machine here; spawn
+#: raises cleanly at the limit.
+PROC_BITS = 20
+PROC_MASK = (1 << PROC_BITS) - 1
 
 
 class Event:
@@ -142,7 +184,13 @@ class Event:
         callbacks, self._callbacks = self._callbacks, None
         if callbacks:
             for callback in callbacks:
-                callback(self)
+                # Under the SoA kernel a waiting process is parked as a
+                # plain int (its process index); the object kernel only
+                # ever registers callables, so this branch is dead there.
+                if callback.__class__ is int:
+                    self.sim._advance(callback, self.value, self._exception)
+                else:
+                    callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "triggered" if self.triggered else "pending"
@@ -175,7 +223,11 @@ class Timeout(Event):
         callbacks, self._callbacks = self._callbacks, None
         if callbacks:
             for callback in callbacks:
-                callback(self)
+                if callback.__class__ is int:
+                    # SoA-kernel waiter (see Event._dispatch).
+                    self.sim._advance(callback, self.value, None)
+                else:
+                    callback(self)
             callbacks.clear()
         else:
             callbacks = []
@@ -272,10 +324,21 @@ class Process(Event):
             else:
                 callbacks.append(self._waiter)
             return
+        if isinstance(target, Acquirable):
+            # Kernel-resolved resource grant (``yield resource``).  A
+            # free resource behaves exactly like the try_acquire + TURN
+            # pair; a busy one exactly like yielding ``request()`` --
+            # the scheduled actions (and thus instrumented digests) are
+            # identical to the old call-site spelling.
+            if target.try_acquire():
+                sim._schedule(sim._now, self._resume_zero)
+            else:
+                target.request()._callbacks.append(self._waiter)
+            return
         sim._blocked -= 1
         raise SimulationError(
             f"process {self.name!r} yielded {target!r}; processes must "
-            "yield an Event, an int delay, or TURN"
+            "yield an Event, a Resource, an int delay, or TURN"
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -298,6 +361,11 @@ class Simulator:
     a bug in a machine model or application (e.g. a barrier nobody
     releases).
     """
+
+    #: Kernel name reported in profiles and result metadata.  This
+    #: class is the object kernel; :class:`repro.engine.soa.SoaSimulator`
+    #: overrides it.
+    kernel = "object"
 
     def __init__(self, fail_fast: bool = True, checkers=()):
         self._now = 0
@@ -363,18 +431,27 @@ class Simulator:
             return None
         return self._determinism.state_digest()
 
-    def engine_profile(self) -> Dict[str, int]:
+    def engine_profile(self) -> Dict[str, Any]:
         """Snapshot of the engine's internal activity counters.
 
-        Exposed behind the CLI's ``--profile-engine`` flag; the counters
-        themselves are maintained unconditionally (plain integer bumps).
+        Exposed behind the CLI's ``--profile-engine`` flag and the
+        service ``/stats`` endpoint; the counters themselves are
+        maintained unconditionally (plain integer bumps).  ``heap_pops``
+        / ``ring_pops`` break executed events out by queue;
+        ``rows_recycled`` counts free-list row reuse and is only
+        non-zero on the SoA kernel (the object kernel has no row table).
         """
         return {
+            "kernel": self.kernel,
             "events_executed": self.events_executed,
             "ring_executed": self._ring_executed,
             "heap_executed": self.events_executed - self._ring_executed,
+            "heap_pops": self.events_executed - self._ring_executed,
+            "ring_pops": self._ring_executed,
             "heap_pushes": self._sequence,
             "ring_scheduled": self._ring_scheduled,
+            "rows_recycled": 0,
+            "compactions": 0,
             "timeouts_issued": self._timeouts_issued,
             "timeouts_pooled": self._timeouts_pooled,
             "timeout_pool_size": len(self._timeout_pool),

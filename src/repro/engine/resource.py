@@ -10,13 +10,13 @@ a circuit-switched link arbitrates and keeps simulations deterministic.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque
+from typing import Any, Deque
 
 from ..errors import SimulationError
-from .core import Event, Simulator
+from .core import PROC_BITS, PROC_MASK, Acquirable, Event, Simulator
 
 
-class Resource:
+class Resource(Acquirable):
     """A counted FIFO resource.
 
     Usage from a process generator::
@@ -25,6 +25,14 @@ class Resource:
         yield grant
         ...  # hold the link
         link.release()
+
+    or simply ``yield link`` -- the engine kernel resolves the grant
+    (immediately when free, FIFO-queued when busy) without allocating a
+    grant :class:`Event` on the fast path.  The waiter queue is
+    heterogeneous: event-based requests enqueue the grant Event, while
+    kernel-yielded waiters are packed ints
+    ``(wait_start_ns << PROC_BITS) | process_index`` resumed through
+    ``sim._grant``.  Both forms are granted strictly in arrival order.
     """
 
     __slots__ = ("sim", "capacity", "in_use", "_waiters", "name",
@@ -36,7 +44,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.in_use = 0
-        self._waiters: Deque[Event] = deque()
+        self._waiters: Deque[Any] = deque()
         self.name = name
         #: Number of grants handed out (instrumentation).
         self.grants = 0
@@ -92,11 +100,18 @@ class Resource:
             raise SimulationError(f"release of idle resource {self.name!r}")
         if self._waiters:
             waiter = self._waiters.popleft()
-            waited = self.sim.now - waiter.value
-            waiter.value = None
-            self.total_wait_ns += waited
-            self.grants += 1
-            waiter.succeed(waited)
+            if waiter.__class__ is int:
+                # Packed kernel waiter: (wait_start << PROC_BITS) | p.
+                waited = self.sim.now - (waiter >> PROC_BITS)
+                self.total_wait_ns += waited
+                self.grants += 1
+                self.sim._grant(waiter & PROC_MASK, waited)
+            else:
+                waited = self.sim.now - waiter.value
+                waiter.value = None
+                self.total_wait_ns += waited
+                self.grants += 1
+                waiter.succeed(waited)
         else:
             self.in_use -= 1
 

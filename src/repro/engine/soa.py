@@ -1,0 +1,803 @@
+"""Struct-of-arrays event kernel: the un-instrumented fast engine.
+
+The object kernel in :mod:`repro.engine.core` drives every event
+through Python objects -- a heap of ``(time, seq, action)`` tuples, a
+``functools.partial`` per resumption, a ``Process._step`` frame per
+yield.  At a few microseconds of host time per simulated event that
+interpreter-dispatch overhead is the repo's scaling ceiling (see
+ROADMAP item 2).  This module replaces the storage and the loop while
+keeping the executed *event sequence* bit-identical:
+
+Packed queue words
+    Most events are process resumptions that carry at most a small int
+    (a grant's wait time): they need no object at all, so the queues
+    hold plain ints and the run loop decodes them with shifts and
+    masks.  A future resumption is a heap key
+    ``(time << ROW_BITS) | row``; a same-time resumption is a ring word
+    ``(value << VAL_SHIFT) | (proc << 3) | tag`` -- pushed, popped, and
+    decoded without touching the allocator at all.
+
+Row table (struct of arrays)
+    Events that carry a Python object (event dispatches, late event
+    waiters, legacy callables) park it in a preallocated, growable row
+    table: an ``array('q')`` metadata column holding
+    ``(target << 3) | kind`` plus a parallel object payload column.
+    The *row index* stands in for the old action object.  There is no
+    separate time or sequence column: a heap key's high bits are the
+    time, and heap rows are allocated in strictly increasing order, so
+    the row index *is* the sequence number -- the tie-break the object
+    kernel stores explicitly comes for free.
+
+Index-based heap + same-time FIFO ring
+    Future rows sit in a binary heap of packed int keys ordered by C
+    ``heapq``; because heap rows are monotone, the key's low bits break
+    same-time ties in schedule order -- exactly the ``(time, seq)``
+    order of the object kernel.  ``ROW_BITS`` is a fixed 32: a constant
+    field width means the decode masks in the run loop can never go
+    stale, no matter when a nested call grows the table.  Work
+    scheduled at the current time bypasses the heap through a deque
+    holding packed resume words (tag bit set) and shifted row indices
+    (tag bit clear), mirroring the object kernel's ring.
+
+Free-list row recycling
+    Every popped row is returned to a free list before its action runs
+    and is typically reused by the next payload-carrying push, so
+    steady-state scheduling allocates nothing: resume events are pure
+    int arithmetic and payload events recycle rows.
+
+Epoch compaction
+    When the monotone allocator reaches the end of the row table the
+    kernel renumbers live rows into a fresh epoch: pending heap entries
+    are gathered in key order (preserving ``(time, seq)``), assigned
+    rows ``0..h-1``, ring rows follow (packed resume words carry no row
+    and pass through untouched), and the columns grow in place (same
+    array objects, so the run loop's cached locals stay valid) doubling
+    only while live rows exceed half the capacity.  Live rows are
+    bounded by blocked processes, so with the default capacity a long
+    run compacts every few thousand heap pushes at a cost of a few
+    dozen row copies.
+
+Direct generator drive
+    The run loop resumes process generators through a cached bound
+    ``gen.send`` and handles the yielded value inline -- no ``Process``
+    step frame, no partial, no tuple.  Event dispatch still runs waiter
+    callbacks *synchronously inside the dispatch event* (so event
+    counts match the object kernel exactly); waiting processes are
+    parked in ``Event._callbacks`` / ``Resource._waiters`` as plain
+    ints and resumed via :meth:`SoaSimulator._advance`.
+
+Kernel selection (see :func:`repro.engine.make_simulator`): the SoA
+kernel is the default un-instrumented engine; ``REPRO_ENGINE=object``
+or ``SystemConfig.engine_kernel`` forces the fallback, and simulators
+with engine-level checker hooks *always* run the object kernel so
+sanitizers observe real ``(time, seq)`` actions.  Both kernels execute
+identical event sequences -- same ``sim_events``, same results, same
+determinism digests -- which the parity tests pin.
+
+The loop is deliberately written in a compile-friendly style -- int
+words, flat branches on small int tags, no closures in the hot path --
+so a later mypyc/Cython build of this module is a compile flag, not
+another refactor.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from ..errors import DeadlockError, ReproError, SimulationError, WatchdogError
+from .core import (
+    PROC_BITS,
+    PROC_MASK,
+    TURN,
+    Acquirable,
+    Event,
+    ProcessGenerator,
+    Simulator,
+)
+
+# Row kinds, stored in the metadata column's low 3 bits.
+K_RESUME_NONE = 0  #: resume generator with None (process start, sleeps)
+K_RESUME_ZERO = 1  #: resume with 0 (TURN / immediate resource grant)
+K_RESUME_VAL = 2   #: resume with the packed value (queued resource grant)
+K_EVENT = 3        #: dispatch the payload Event's callbacks/waiters
+K_EVWAIT = 4       #: late waiter on an already-dispatched payload Event
+K_CALL = 5         #: invoke the payload callable (legacy ``_schedule``)
+
+# Ring word encoding.  Bit 0 distinguishes packed resumptions (no row)
+# from row indices:
+#
+#   packed resume:  (value << VAL_SHIFT) | (proc << 3) | tag
+#   row index:      row << 1
+#
+# where only K_RESUME_VAL carries a value (a grant's wait time, >= 0).
+_R_NONE = 1        #: ring word tag for K_RESUME_NONE
+_R_ZERO = 3        #: ring word tag for K_RESUME_ZERO
+_R_VAL = 5         #: ring word tag for K_RESUME_VAL
+VAL_SHIFT = 3 + PROC_BITS
+
+#: Fixed width of the row field in a packed heap key.  A constant --
+#: rather than one derived from the current capacity -- means the
+#: decode masks in the run loop can never go stale and compaction never
+#: re-packs keys for a width change.  4G live rows is far beyond what
+#: host memory admits; :meth:`SoaSimulator._compact` enforces the bound.
+ROW_BITS = 32
+ROW_MASK = (1 << ROW_BITS) - 1
+
+#: Initial row-table capacity (rows, grown by epoch compaction).
+DEFAULT_ROW_CAPACITY = 4096
+
+
+class SoaProcess(Event):
+    """Joinable shell of a process driven by the SoA kernel.
+
+    The generator itself lives in the simulator's process table; this
+    object is only the :class:`Event` other processes ``yield`` to join
+    -- it triggers with the generator's return value, exactly like
+    :class:`~repro.engine.core.Process`.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, sim: "SoaSimulator", name: str):
+        self.sim = sim
+        self._callbacks: Optional[List[Any]] = []
+        self.triggered = False
+        self.value: Any = None
+        self._exception: Optional[BaseException] = None
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "running"
+        return f"<SoaProcess {self.name} {state}>"
+
+
+class SoaSimulator(Simulator):
+    """Drop-in :class:`~repro.engine.core.Simulator` on the SoA kernel.
+
+    The public API (``spawn`` / ``timeout`` / ``event`` / ``run`` /
+    ``engine_profile``) is unchanged; only the internal event storage
+    and the run loop differ.  Construct through
+    :func:`repro.engine.make_simulator`, which enforces the
+    object-path-for-hooks invariant.
+    """
+
+    kernel = "soa"
+
+    def __init__(self, fail_fast: bool = True, checkers=(),
+                 row_capacity: int = DEFAULT_ROW_CAPACITY):
+        super().__init__(fail_fast=fail_fast, checkers=checkers)
+        if self._instrumented:
+            raise SimulationError(
+                "the SoA kernel cannot host engine-level checker hooks; "
+                "instrumented simulators must run the object kernel "
+                "(use repro.engine.make_simulator)"
+            )
+        if row_capacity < 8:
+            row_capacity = 8
+        cap = 1 << (row_capacity - 1).bit_length()  # power of two
+        self._cap = cap
+        #: Metadata column: ``(target << 3) | kind`` per row.
+        self._c_meta = array("q", [0]) * cap
+        #: Parallel object column (event / callable payloads).
+        self._payload: List[Any] = [None] * cap
+        #: Monotone row allocator; heap rows must come from here so the
+        #: key's low bits preserve push order (see module docstring).
+        self._top = 0
+        #: Free list of recycled rows, fed by every row pop and
+        #: consumed by payload-carrying ring pushes (packed resume
+        #: words never touch it).
+        self._free: List[int] = []
+        self._heap: List[int] = []
+        self._ring: deque = deque()
+        self._rows_recycled = 0
+        self._compactions = 0
+        # Process table: generator, cached bound send, joinable shell.
+        self._gens: List[Any] = []
+        self._sends: List[Any] = []
+        self._procs: List[Optional[SoaProcess]] = []
+        self._pfree: List[int] = []
+        # Event.succeed / timeouts / late callbacks schedule through
+        # these entry points; shadow the object-kernel pair installed by
+        # Simulator.__init__ with row pushes.
+        self._schedule = self._schedule_row
+        self._schedule_event = self._schedule_event_row
+
+    # -- row scheduling ------------------------------------------------------
+
+    def _payload_row(self, kind: int, target: int, pay: Any) -> None:
+        """Enqueue a payload-carrying row on the FIFO ring."""
+        free = self._free
+        if free:
+            row = free.pop()
+            self._rows_recycled += 1
+        else:
+            row = self._top
+            if row == self._cap:
+                self._compact()
+                row = self._top
+            self._top = row + 1
+        self._c_meta[row] = (target << 3) | kind
+        self._payload[row] = pay
+        self._ring_scheduled += 1
+        self._ring.append(row << 1)
+
+    def _heap_row(self, at: int, kind: int, target: int,
+                  pay: Any = None) -> None:
+        """Enqueue a future row on the packed-key heap (monotone rows)."""
+        row = self._top
+        if row == self._cap:
+            self._compact()
+            row = self._top
+        self._top = row + 1
+        self._c_meta[row] = (target << 3) | kind
+        if pay is not None:
+            self._payload[row] = pay
+        heapq.heappush(self._heap, (at << ROW_BITS) | row)
+
+    def _schedule_row(self, at: int, action) -> None:
+        # Legacy entry point (unpooled Timeouts, late add_callback
+        # joiners): the callable rides in the payload column.
+        if at == self._now:
+            self._payload_row(K_CALL, 0, action)
+        else:
+            self._heap_row(at, K_CALL, 0, action)
+
+    def _schedule_event_row(self, event: Event) -> None:
+        # ``_payload_row`` inlined: Event.succeed lands here for every
+        # triggered event, making this the hottest method-form push.
+        free = self._free
+        if free:
+            row = free.pop()
+            self._rows_recycled += 1
+        else:
+            row = self._top
+            if row == self._cap:
+                self._compact()
+                row = self._top
+            self._top = row + 1
+        self._c_meta[row] = K_EVENT
+        self._payload[row] = event
+        self._ring_scheduled += 1
+        self._ring.append(row << 1)
+
+    def _grant(self, p: int, waited: int) -> None:
+        """Ring-resume a process whose packed resource wait was granted.
+
+        Called by :meth:`~repro.engine.resource.Resource.release`; the
+        word occupies the exact ring position the grant event's dispatch
+        would have taken on the object kernel.
+        """
+        self._ring_scheduled += 1
+        self._ring.append((waited << VAL_SHIFT) | (p << 3) | _R_VAL)
+
+    def _compact(self) -> None:
+        """Renumber live rows into a fresh epoch (see module docstring).
+
+        Pending heap entries are gathered in key order -- which *is*
+        ``(time, seq)`` order -- so renumbering them ``0..h-1`` keeps
+        every tie-break intact, and the sorted key list rebuilt with the
+        new row numbers is already a valid heap.  Ring words with the
+        packed-resume tag carry no row and pass through unchanged.  All
+        containers are mutated in place so the run loop's cached locals
+        stay valid across a compaction triggered from arbitrarily deep
+        inside a process resumption.
+        """
+        c_meta = self._c_meta
+        payload = self._payload
+        entries = sorted(self._heap)
+        nheap = len(entries)
+        live_rows = [key & ROW_MASK for key in entries]
+        ring_words = list(self._ring)
+        for word in ring_words:
+            if not word & 1:
+                live_rows.append(word >> 1)
+        live = len(live_rows)
+        # Snapshot before overwriting: source and destination rows
+        # overlap arbitrarily.
+        times = [key >> ROW_BITS for key in entries]
+        metas = [c_meta[r] for r in live_rows]
+        pays = [payload[r] for r in live_rows]
+        cap = self._cap
+        while live * 2 > cap:
+            cap *= 2
+        if cap > (1 << ROW_BITS):  # pragma: no cover - 4G live rows
+            raise SimulationError(
+                f"row table cannot grow past 2**{ROW_BITS} rows"
+            )
+        if cap != self._cap:
+            grow = cap - self._cap
+            c_meta.extend(array("q", [0]) * grow)
+            payload.extend([None] * grow)
+            self._cap = cap
+        for i in range(live):
+            c_meta[i] = metas[i]
+            payload[i] = pays[i]
+        for i in range(live, self._top):
+            payload[i] = None
+        self._heap[:] = [(times[i] << ROW_BITS) | i for i in range(nheap)]
+        ring = self._ring
+        ring.clear()
+        nxt = nheap
+        for word in ring_words:
+            if word & 1:
+                ring.append(word)
+            else:
+                ring.append(nxt << 1)
+                nxt += 1
+        del self._free[:]
+        self._top = live
+        self._compactions += 1
+
+    # -- processes -----------------------------------------------------------
+
+    def spawn(self, generator: ProcessGenerator,
+              name: str = "process") -> SoaProcess:
+        """Start a new simulated process (API-compatible with the
+        object kernel; returns the joinable shell event)."""
+        self._processes_spawned += 1
+        shell = SoaProcess(self, name)
+        pfree = self._pfree
+        if pfree:
+            p = pfree.pop()
+            self._gens[p] = generator
+            self._sends[p] = generator.send
+            self._procs[p] = shell
+        else:
+            p = len(self._gens)
+            if p >= (1 << PROC_BITS):
+                raise SimulationError(
+                    f"too many live processes for the SoA kernel "
+                    f"({p}); see PROC_BITS in repro.engine.core"
+                )
+            self._gens.append(generator)
+            self._sends.append(generator.send)
+            self._procs.append(shell)
+        self._blocked += 1
+        # Start-up occupies the same ring position the object kernel's
+        # ``_schedule(now, self._start)`` would have taken.
+        self._ring_scheduled += 1
+        self._ring.append((p << 3) | _R_NONE)
+        return shell
+
+    def _finish(self, p: int, value: Any) -> None:
+        """Generator returned: free the slot, trigger the shell."""
+        self._blocked -= 1
+        shell = self._procs[p]
+        self._gens[p] = None
+        self._sends[p] = None
+        self._procs[p] = None
+        self._pfree.append(p)
+        shell.succeed(value)
+
+    def _crash(self, p: int, exc: BaseException) -> None:
+        """Generator raised: mirror ``Process._step`` failure semantics."""
+        self._blocked -= 1
+        shell = self._procs[p]
+        self._gens[p] = None
+        self._sends[p] = None
+        self._procs[p] = None
+        self._pfree.append(p)
+        if self.fail_fast:
+            if isinstance(exc, ReproError):
+                # Simulator errors keep their type so callers can catch
+                # e.g. RetryLimitError specifically.
+                raise exc
+            raise SimulationError(
+                f"process {shell.name!r} raised {exc!r} at t={self._now}"
+            ) from exc
+        shell.fail(exc)
+
+    def _handle_yield(self, p: int, y: Any) -> None:
+        """Schedule process ``p``'s next resumption for yield ``y``.
+
+        Method-form twin of the run loop's inline dispatch, used when a
+        process is resumed from a handler context (event callbacks,
+        pooled-timeout expiry, the guarded loop).  Every branch lands
+        the resumption at the exact queue position the object kernel
+        would have used.
+        """
+        cls = y.__class__
+        if cls is int:
+            if y > 0:
+                self._heap_row(self._now + y, K_RESUME_NONE, p)
+            elif y == 0:
+                self._ring_scheduled += 1
+                self._ring.append((p << 3) | _R_NONE)
+            else:
+                self._blocked -= 1
+                raise SimulationError(
+                    f"process {self._procs[p].name!r} yielded negative "
+                    f"delay {y}"
+                )
+            return
+        if isinstance(y, Acquirable):
+            # Inlined try_acquire (the Acquirable attribute contract).
+            if y.in_use < y.capacity and not y._waiters:
+                y.in_use += 1
+                y.grants += 1
+                self._ring_scheduled += 1
+                self._ring.append((p << 3) | _R_ZERO)
+            else:
+                y._waiters.append((self._now << PROC_BITS) | p)
+            return
+        if isinstance(y, Event):
+            callbacks = y._callbacks
+            if callbacks is None:
+                self._payload_row(K_EVWAIT, p, y)
+            else:
+                callbacks.append(p)
+            return
+        if y is TURN:
+            self._ring_scheduled += 1
+            self._ring.append((p << 3) | _R_ZERO)
+            return
+        self._blocked -= 1
+        raise SimulationError(
+            f"process {self._procs[p].name!r} yielded {y!r}; processes "
+            "must yield an Event, a Resource, an int delay, or TURN"
+        )
+
+    def _advance(self, p: int, value: Any,
+                 exc: Optional[BaseException]) -> None:
+        """Resume process ``p`` synchronously from a handler context.
+
+        Event callbacks run inside the dispatching event (matching the
+        object kernel, so event counts agree); this is the resumption
+        they use for int waiters.
+        """
+        if exc is not None:
+            self._throw(p, exc)
+            return
+        try:
+            y = self._sends[p](value)
+        except StopIteration as stop:
+            self._finish(p, stop.value)
+            return
+        except BaseException as e:
+            self._crash(p, e)
+            return
+        self._handle_yield(p, y)
+
+    def _throw(self, p: int, exc: BaseException) -> None:
+        try:
+            y = self._gens[p].throw(exc)
+        except StopIteration as stop:
+            self._finish(p, stop.value)
+            return
+        except BaseException as e:
+            self._crash(p, e)
+            return
+        self._handle_yield(p, y)
+
+    # -- profiling -----------------------------------------------------------
+
+    def engine_profile(self) -> Dict[str, Any]:
+        profile = super().engine_profile()
+        # Heap pushes are not separately counted on the hot path (the
+        # object kernel reuses its sequence counter for this); every
+        # push was either already popped or is still pending.
+        heap_executed = self.events_executed - self._ring_executed
+        profile["heap_pushes"] = heap_executed + len(self._heap)
+        profile["rows_recycled"] = self._rows_recycled
+        profile["compactions"] = self._compactions
+        profile["row_capacity"] = self._cap
+        profile["rows_live"] = len(self._heap) + sum(
+            1 for word in self._ring if not word & 1
+        )
+        return profile
+
+    # -- run loops -----------------------------------------------------------
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None,
+            until_ns: Optional[int] = None) -> int:
+        """Execute events; see :meth:`Simulator.run` for the contract."""
+        if until_ns is not None:
+            if until is not None:
+                raise SimulationError(
+                    "pass either until or until_ns, not both"
+                )
+            until = until_ns
+        if max_events is not None and max_events <= 0:
+            raise SimulationError(
+                f"max_events must be positive, got {max_events}"
+            )
+        if until is None and max_events is None:
+            return self._run_fast()
+        return self._run_guarded(until, max_events)
+
+    def _run_fast(self) -> int:
+        """The hot loop: pop words, drive generators, push words.
+
+        Heap rows at the current time run before ring words (same
+        argument as the object kernel's ring design note).  The common
+        resume tags and the single-int-waiter event dispatch are fully
+        inlined -- the deliberate duplication with :meth:`_handle_yield`
+        buys one less Python frame per event.  Locals cache every
+        container; all of them are mutated in place (compaction grows
+        the array rather than replacing it), so the cached references
+        stay valid across anything a process resumption does.  Ring and
+        recycle tallies accumulate in locals and flush once on exit;
+        ``self._top`` stays an attribute because nested method-form
+        pushes (``Event.succeed``, ``release``, ``spawn``) share the
+        allocator mid-iteration.
+        """
+        heap = self._heap
+        ring = self._ring
+        free = self._free
+        c_meta = self._c_meta
+        payload = self._payload
+        sends = self._sends
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        ring_popleft = ring.popleft
+        ring_append = ring.append
+        free_append = free.append
+        free_pop = free.pop
+        now = self._now
+        executed = 0
+        ring_executed = 0
+        ring_scheduled = 0
+        recycled = 0
+        try:
+            while True:
+                # -- pop: decode one event into (p, value) ------------
+                e = -1
+                if heap:
+                    key = heap[0]
+                    at = key >> ROW_BITS
+                    if at <= now:
+                        if at < now:
+                            raise SimulationError(
+                                f"time went backwards: {at} < {now}"
+                            )
+                        heappop(heap)
+                    elif ring:
+                        e = ring_popleft()
+                        ring_executed += 1
+                    else:
+                        heappop(heap)
+                        now = self._now = at
+                elif ring:
+                    e = ring_popleft()
+                    ring_executed += 1
+                else:
+                    break
+                executed += 1
+                if e < 0:
+                    # Heap row: only sleeps and legacy callables live
+                    # on the heap.
+                    row = key & ROW_MASK
+                    free_append(row)
+                    meta = c_meta[row]
+                    if meta & 7 == 0:    # K_RESUME_NONE
+                        p = meta >> 3
+                        value = None
+                    else:                # K_CALL
+                        action = payload[row]
+                        payload[row] = None
+                        action()
+                        continue
+                elif e & 1:
+                    # Packed resume word: no row, pure decode.
+                    tag = e & 7
+                    if tag == _R_NONE:
+                        p = e >> 3
+                        value = None
+                    elif tag == _R_ZERO:
+                        p = e >> 3
+                        value = 0
+                    else:                # _R_VAL
+                        p = (e >> 3) & PROC_MASK
+                        value = e >> VAL_SHIFT
+                else:
+                    # Payload row.  The row is returned to the free
+                    # list before dispatch -- everything it held is
+                    # read first.
+                    row = e >> 1
+                    free_append(row)
+                    meta = c_meta[row]
+                    kind = meta & 7
+                    if kind == 3:        # K_EVENT
+                        ev = payload[row]
+                        payload[row] = None
+                        callbacks = ev._callbacks
+                        if (callbacks is not None
+                                and len(callbacks) == 1
+                                and callbacks[0].__class__ is int
+                                and ev._exception is None):
+                            # Sole waiter is a process: resume it
+                            # directly, inside this dispatch event
+                            # (same event count as the object kernel's
+                            # synchronous callback).
+                            ev._callbacks = None
+                            p = callbacks[0]
+                            value = ev.value
+                        else:
+                            ev._dispatch()
+                            continue
+                    elif kind == 4:      # K_EVWAIT
+                        ev = payload[row]
+                        payload[row] = None
+                        if ev._exception is not None:
+                            self._throw(meta >> 3, ev._exception)
+                            continue
+                        p = meta >> 3
+                        value = ev.value
+                    else:                # K_CALL
+                        action = payload[row]
+                        payload[row] = None
+                        action()
+                        continue
+                # -- drive: resume the generator, handle its yield ----
+                try:
+                    y = sends[p](value)
+                except StopIteration as stop:
+                    self._finish(p, stop.value)
+                    continue
+                except BaseException as exc:
+                    self._crash(p, exc)
+                    continue
+                ycls = y.__class__
+                if ycls is int:
+                    if y > 0:
+                        # Plain sleep: future heap row at the queue
+                        # position a Timeout's expiry would have taken.
+                        at = now + y
+                        row = self._top
+                        if row == self._cap:
+                            self._compact()
+                            row = self._top
+                        self._top = row + 1
+                        c_meta[row] = p << 3
+                        heappush(heap, (at << ROW_BITS) | row)
+                        continue
+                    if y < 0:
+                        self._blocked -= 1
+                        raise SimulationError(
+                            f"process {self._procs[p].name!r} yielded "
+                            f"negative delay {y}"
+                        )
+                    # Zero-delay sleep: same-time redispatch via the
+                    # ring, as a packed word.
+                    ring_append((p << 3) | _R_NONE)
+                    ring_scheduled += 1
+                    continue
+                if isinstance(y, Acquirable):
+                    # ``yield resource``: inlined try_acquire, else park
+                    # as a packed (wait_start << PROC_BITS) | p waiter.
+                    if y.in_use < y.capacity and not y._waiters:
+                        y.in_use += 1
+                        y.grants += 1
+                        ring_append((p << 3) | _R_ZERO)
+                        ring_scheduled += 1
+                    else:
+                        y._waiters.append((now << PROC_BITS) | p)
+                    continue
+                if isinstance(y, Event):
+                    callbacks = y._callbacks
+                    if callbacks is None:
+                        # Already dispatched: resume on the next queue
+                        # step at the current time.
+                        if free:
+                            row = free_pop()
+                            recycled += 1
+                        else:
+                            row = self._top
+                            if row == self._cap:
+                                self._compact()
+                                row = self._top
+                            self._top = row + 1
+                        c_meta[row] = (p << 3) | 4   # K_EVWAIT
+                        payload[row] = y
+                        ring_append(row << 1)
+                        ring_scheduled += 1
+                    else:
+                        callbacks.append(p)
+                    continue
+                if y is TURN:
+                    ring_append((p << 3) | _R_ZERO)
+                    ring_scheduled += 1
+                    continue
+                self._blocked -= 1
+                raise SimulationError(
+                    f"process {self._procs[p].name!r} yielded {y!r}; "
+                    "processes must yield an Event, a Resource, an int "
+                    "delay, or TURN"
+                )
+        finally:
+            self.events_executed += executed
+            self._ring_executed += ring_executed
+            self._ring_scheduled += ring_scheduled
+            self._rows_recycled += recycled
+        if self._blocked > 0:
+            raise DeadlockError(self._blocked, self._now)
+        return self._now
+
+    def _execute_row(self, row: int) -> None:
+        """Method-form row dispatch for the guarded loop."""
+        meta = self._c_meta[row]
+        kind = meta & 7
+        payload = self._payload
+        if kind == 0:
+            self._advance(meta >> 3, None, None)
+        elif kind == 3:
+            ev = payload[row]
+            payload[row] = None
+            ev._dispatch()
+        elif kind == 4:
+            ev = payload[row]
+            payload[row] = None
+            self._advance(meta >> 3, ev.value, ev._exception)
+        else:
+            action = payload[row]
+            payload[row] = None
+            action()
+
+    def _execute_word(self, e: int) -> None:
+        """Method-form ring-word dispatch for the guarded loop."""
+        if e & 1:
+            tag = e & 7
+            if tag == _R_NONE:
+                self._advance(e >> 3, None, None)
+            elif tag == _R_ZERO:
+                self._advance(e >> 3, 0, None)
+            else:
+                self._advance((e >> 3) & PROC_MASK, e >> VAL_SHIFT, None)
+        else:
+            row = e >> 1
+            self._free.append(row)
+            self._execute_row(row)
+
+    def _run_guarded(self, until: Optional[int],
+                     max_events: Optional[int]) -> int:
+        """Word-based loop with horizon and watchdog checks."""
+        heap = self._heap
+        ring = self._ring
+        free = self._free
+        executed = 0
+        now = self._now
+        while True:
+            key = 0
+            if heap:
+                key = heap[0]
+                at = key >> ROW_BITS
+                use_ring = at > now and bool(ring)
+                if use_ring:
+                    at = now
+            elif ring:
+                use_ring = True
+                at = now
+            else:
+                break
+            if until is not None and at > until:
+                self._now = until
+                return until
+            if max_events is not None and executed >= max_events:
+                raise WatchdogError(
+                    self._now, executed, self._blocked,
+                    len(heap) + len(ring)
+                )
+            self.events_executed += 1
+            executed += 1
+            if use_ring:
+                self._ring_executed += 1
+                self._execute_word(ring.popleft())
+            else:
+                if at < now:
+                    raise SimulationError(
+                        f"time went backwards: {at} < {now}"
+                    )
+                heapq.heappop(heap)
+                now = self._now = at
+                row = key & ROW_MASK
+                free.append(row)
+                self._execute_row(row)
+        if until is None and self._blocked > 0:
+            raise DeadlockError(self._blocked, self._now)
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now

@@ -123,9 +123,16 @@ class Cache:
             existing.last_use = self._clock
             return None
         victim: Optional[Tuple[int, LineState]] = None
-        content = self._lines[self.set_index(block)]
+        content = self._lines[block % self.sets]
         if len(content) >= self.assoc:
-            oldest = min(content, key=lambda l: l.last_use)
+            # Manual LRU scan: ``min(content, key=...)`` costs a lambda
+            # frame per resident line on every eviction.
+            oldest = content[0]
+            stamp = oldest.last_use
+            for line in content:
+                if line.last_use < stamp:
+                    oldest = line
+                    stamp = line.last_use
             content.remove(oldest)
             del self._by_block[oldest.block]
             self.evictions += 1

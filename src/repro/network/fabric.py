@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..engine.core import TURN, Simulator
+from ..engine.core import Simulator
 from ..errors import TopologyError
 from .link import Link
 from .message import Message
@@ -102,17 +102,28 @@ class Fabric:
             link_id: Link(sim, *link_id) for link_id in topology.links()
         }
         #: Deterministic routes resolved to Link tuples, filled lazily.
-        self._route_links: Dict[Tuple[int, int], Tuple[Link, ...]] = {}
+        #: A flat ``src * nprocs + dst`` table: the per-message lookup
+        #: is a list index instead of a tuple-keyed dict probe.
+        self._nprocs = topology.nprocs
+        self._route_links: List[Optional[Tuple[Link, ...]]] = (
+            [None] * (self._nprocs * self._nprocs)
+        )
         if injector is not None:
             for window in injector.fault.link_failures:
                 link = self._links.get((window.src, window.dst))
                 if link is not None:
                     link.fail_windows = link.fail_windows + (window,)
-        if injector is None and switch_delay_ns == 0 and not self._message_hooks:
-            # Fault-free, hook-free, zero switching delay: shadow the
-            # general transfer protocol with the lean path.  The event
-            # sequence (one grant per link, one transmission timeout)
-            # is identical; only per-message host work differs.
+        #: True when the lean transfer path is active (fault-free,
+        #: hook-free, zero switching delay).  Machines key their own
+        #: fast paths off this flag (see ``TargetMachine._net_lat``).
+        self.is_plain = (
+            injector is None and switch_delay_ns == 0
+            and not self._message_hooks
+        )
+        if self.is_plain:
+            # Shadow the general transfer protocol with the lean path.
+            # The event sequence (one grant per link, one transmission
+            # timeout) is identical; only per-message host work differs.
             self.transmit = self._transmit_plain
         #: Total messages transported.
         self.messages = 0
@@ -226,8 +237,8 @@ class Fabric:
 
     def _route(self, src: int, dst: int) -> Tuple[Link, ...]:
         """The deterministic route as a cached tuple of Link objects."""
-        key = (src, dst)
-        path = self._route_links.get(key)
+        key = src * self._nprocs + dst
+        path = self._route_links[key]
         if path is None:
             path = tuple(
                 self._links[link_id]
@@ -252,17 +263,14 @@ class Fabric:
             return TransferResult(0, 0)
         sim = self.sim
         start = sim._now
-        path = self._route_links.get((src, dst))
+        path = self._route_links[src * self._nprocs + dst]
         if path is None:
             path = self._route(src, dst)
         for link in path:
-            # Inlined Resource.try_acquire: capacity is always 1 here.
-            if link.in_use == 0 and not link._waiters:
-                link.in_use = 1
-                link.grants += 1
-                yield TURN
-            else:
-                yield link.request()
+            # Kernel-resolved grant: the engine inlines try_acquire on
+            # the free case and parks a packed int waiter on the busy
+            # case -- no Event allocation either way on the SoA kernel.
+            yield link
         circuit_done = sim._now
         nbytes = message.nbytes
         transmit_ns = nbytes * self.ns_per_byte
@@ -279,6 +287,70 @@ class Fabric:
         self.total_latency_ns += transmit_ns
         self.total_contention_ns += contention
         return TransferResult(transmit_ns, contention)
+
+    def transmit_fast(self, src: int, dst: int, nbytes: int):
+        """Generator: ``_transmit_plain`` without the Message envelope.
+
+        Returns the latency (the transmission time) as a plain int --
+        no :class:`Message`, no :class:`TransferResult` -- for callers
+        on the fault-free fast path that only need the latency split
+        (the contention split is observable as elapsed minus returned).
+        Yields the exact event sequence of :meth:`transmit`, and updates
+        the same fabric and per-link statistics, so simulated results
+        and instrumentation are bit-identical with the general path.
+        Only valid when :attr:`is_plain` is true.
+        """
+        if src == dst:
+            return 0
+        sim = self.sim
+        start = sim._now
+        path = self._route_links[src * self._nprocs + dst]
+        if path is None:
+            path = self._route(src, dst)
+        for link in path:
+            # Kernel-resolved grant (see Resource): no Event allocation
+            # on the SoA kernel, free or busy.
+            yield link
+        circuit_done = sim._now
+        transmit_ns = nbytes * self.ns_per_byte
+        yield transmit_ns
+        held_ns = sim._now - circuit_done
+        for link in path:
+            link.messages += 1
+            link.bytes_carried += nbytes
+            link.busy_ns += held_ns
+            link.release()
+        self.messages += 1
+        self.bytes_transported += nbytes
+        self.total_latency_ns += transmit_ns
+        self.total_contention_ns += circuit_done - start
+        return transmit_ns
+
+    def settle_fast(self, path: Tuple[Link, ...], nbytes: int,
+                    transmit_ns: int, start: int, circuit_done: int,
+                    end: int) -> None:
+        """Book one completed fast-path transfer (see ``transmit_fast``).
+
+        Callers that inline the acquire/transmit yields into their own
+        generator frame (the target machine's plain transactions) call
+        this once per message to apply the identical per-link and
+        fabric-level accounting.
+        """
+        held_ns = end - circuit_done
+        for link in path:
+            link.messages += 1
+            link.bytes_carried += nbytes
+            link.busy_ns += held_ns
+            if link._waiters:
+                link.release()
+            else:
+                # Uncontended release inlined (in_use >= 1 is
+                # guaranteed: this frame acquired the link above).
+                link.in_use -= 1
+        self.messages += 1
+        self.bytes_transported += nbytes
+        self.total_latency_ns += transmit_ns
+        self.total_contention_ns += circuit_done - start
 
     def post(self, message: Message, name: Optional[str] = None):
         """Fire-and-forget transmit (used for evicted-block writebacks).

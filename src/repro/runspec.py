@@ -121,13 +121,16 @@ class RunSpec:
         g_per_event_type: bool = False,
         batch_local: bool = True,
         max_events: Optional[int] = None,
+        engine_kernel: Optional[str] = None,
     ) -> "RunSpec":
         """Assemble a spec from sweep-level arguments.
 
         ``params=None`` resolves the application parameters from the
         preset (see :func:`repro.experiments.workloads.app_params`);
         ``check=None`` leaves the sanitizer level to the configuration
-        default (the ``REPRO_CHECK`` environment variable, or off).
+        default (the ``REPRO_CHECK`` environment variable, or off);
+        ``engine_kernel=None`` likewise defers to the configuration
+        default (``REPRO_ENGINE``, or auto -- the SoA kernel).
         """
         if params is None:
             # Imported lazily: the experiments package sits above this
@@ -147,6 +150,8 @@ class RunSpec:
             digest=digest,
             fault=fault if fault is not None else FaultConfig(),
             **({"check": check} if check is not None else {}),
+            **({"engine_kernel": engine_kernel}
+               if engine_kernel is not None else {}),
         )
         return cls(
             app=app,

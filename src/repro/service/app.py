@@ -254,6 +254,7 @@ class ReproService:
             self.breaker.record_failure(probe=probe)
         else:
             self.stats.simulated += 1
+            self.stats.note_engine(outcome)
             self.breaker.record_success(probe=probe)
             self._memo_put(digest, outcome)
             self._persist(spec, outcome)

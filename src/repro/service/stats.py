@@ -74,6 +74,9 @@ class ServiceStats:
         #: simulation; mixing them would hide warm-path regressions).
         self.warm_latency = LatencyReservoir()
         self.cold_latency = LatencyReservoir()
+        #: Engine-kernel metadata of the last cold (actually simulated)
+        #: run: kernel name, scheduling counters, and host events/sec.
+        self.last_engine: Optional[Dict] = None
 
     # -- recording -----------------------------------------------------------
 
@@ -81,6 +84,26 @@ class ServiceStats:
         self.requests += 1
         key = str(status)
         self.by_status[key] = self.by_status.get(key, 0) + 1
+
+    def note_engine(self, result) -> None:
+        """Record which kernel ran the last cold simulation.
+
+        ``result`` is a :class:`~repro.core.accounting.RunResult`; its
+        ``engine`` dict carries the deterministic scheduling counters
+        (heap pops, ring pops, free-list reuse).  Events/sec is
+        computed here from the host wall-clock -- it belongs to this
+        host's diagnostics, not to the content-addressed result.
+        """
+        engine = getattr(result, "engine", None)
+        if engine is None:
+            return
+        snapshot = dict(engine)
+        wall = getattr(result, "wall_seconds", 0.0)
+        if wall and wall > 0:
+            snapshot["events_per_sec"] = round(result.sim_events / wall, 1)
+        else:
+            snapshot["events_per_sec"] = None
+        self.last_engine = snapshot
 
     # -- reporting -----------------------------------------------------------
 
@@ -115,4 +138,5 @@ class ServiceStats:
             "cache_hit_ratio": None if ratio is None else round(ratio, 4),
             "warm_latency": self.warm_latency.snapshot(),
             "cold_latency": self.cold_latency.snapshot(),
+            "engine": self.last_engine,
         }
