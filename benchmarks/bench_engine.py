@@ -12,17 +12,22 @@ baseline.
 Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/bench_engine.py --label my-change
-    PYTHONPATH=src python benchmarks/bench_engine.py --record-ab soa-core
+    PYTHONPATH=src python benchmarks/bench_engine.py --record-ab compiled-core
+    PYTHONPATH=src python benchmarks/bench_engine.py --ab-smoke
     PYTHONPATH=src python benchmarks/bench_engine.py --compare
     PYTHONPATH=src python benchmarks/bench_engine.py --compare --baseline pre-pr4-baseline
     PYTHONPATH=src python benchmarks/bench_engine.py --speedup pre post
 
 ``--label`` appends an entry, ``--record-ab`` appends an entry measured
-interleaved against the object kernel (for kernel-tier PRs),
-``--compare`` gates on a recorded entry (no file writes; ``--baseline``
-selects which, so cross-PR speedups can be reported cumulatively
-against the oldest entry), ``--speedup`` reports host-seconds speedup
-between two recorded entries.
+interleaved across every kernel tier available on the host (object,
+SoA, and compiled when the ``_csoa`` extension is built -- hard-fails
+if the tiers disagree on simulation invariants), ``--ab-smoke`` is the
+no-write CI form of that agreement check, ``--compare`` gates on a
+recorded entry (no file writes; ``--baseline`` selects which, so
+cross-PR speedups can be reported cumulatively against the oldest
+entry), ``--speedup`` reports host-seconds speedup between two
+recorded entries.  Timestamps are ISO-8601 UTC with an explicit
+offset.
 
 This file is also collected by pytest (``bench_*.py``) when invoked
 explicitly; the test wrapper just checks the measurement machinery
@@ -36,6 +41,7 @@ import json
 import platform
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -96,23 +102,34 @@ def measure(machines=MACHINES, rounds: int = ROUNDS,
 #: simulated.
 _AB_INVARIANTS = ("sim_events", "messages", "total_ns")
 
+#: Kernel tiers in an A/B run, slowest first.
+AB_KERNELS = ("object", "soa", "compiled")
+
+
+def ab_kernels():
+    """The kernel tiers measurable on this host (compiled needs _csoa)."""
+    from repro.engine import HAVE_EXTENSION
+
+    return AB_KERNELS if HAVE_EXTENSION else ("object", "soa")
+
 
 def measure_ab(machines=MACHINES, alternations: int = 3,
-               rounds: int = ROUNDS) -> Dict[str, Dict[str, Dict]]:
-    """Interleaved object/SoA measurement (min over alternations).
+               rounds: int = ROUNDS,
+               kernels=("object", "soa")) -> Dict[str, Dict[str, Dict]]:
+    """Interleaved multi-kernel measurement (min over alternations).
 
     Alternating kernels within one process factors host-speed drift out
     of the comparison, the same methodology as the recorded pre/post
-    PR 4 entries.  Raises if the kernels disagree on any simulation
-    invariant -- an A/B where the two sides did different work is not a
-    measurement.
+    PR 4 entries.  Hard-fails (SystemExit) if any two kernels disagree
+    on any simulation invariant -- an A/B where the sides did different
+    work is not a measurement.
     """
     out: Dict[str, Dict[str, Dict]] = {}
     for machine in machines:
-        best: Dict[str, Optional[float]] = {"object": None, "soa": None}
+        best: Dict[str, Optional[float]] = {k: None for k in kernels}
         results: Dict[str, object] = {}
         for _ in range(alternations):
-            for kernel in ("object", "soa"):
+            for kernel in kernels:
                 for _ in range(rounds):
                     start = time.perf_counter()
                     result = _simulate(machine, kernel)
@@ -120,19 +137,77 @@ def measure_ab(machines=MACHINES, alternations: int = 3,
                     prev = best[kernel]
                     best[kernel] = elapsed if prev is None else min(prev, elapsed)
                     results[kernel] = result
-        for key in _AB_INVARIANTS:
-            obj_val = getattr(results["object"], key)
-            soa_val = getattr(results["soa"], key)
-            if obj_val != soa_val:
-                raise SystemExit(
-                    f"kernel A/B invariant broken on {machine}: "
-                    f"{key} object={obj_val} soa={soa_val}"
-                )
+        ref_kernel = kernels[0]
+        for kernel in kernels[1:]:
+            for key in _AB_INVARIANTS:
+                ref_val = getattr(results[ref_kernel], key)
+                cur_val = getattr(results[kernel], key)
+                if ref_val != cur_val:
+                    raise SystemExit(
+                        f"kernel A/B invariant broken on {machine}: {key} "
+                        f"{ref_kernel}={ref_val} {kernel}={cur_val}"
+                    )
         out[machine] = {
             kernel: _run_entry(results[kernel], best[kernel])
-            for kernel in ("object", "soa")
+            for kernel in kernels
         }
     return out
+
+
+#: Pure-engine dispatch microbench shape: no machine model, no memory
+#: system -- just the resume-word treadmill (sleeps, zero-delay
+#: redispatches, contended resource grants) that the compiled tier
+#: attacks.  Event counts are deterministic, so kernel agreement is
+#: asserted.
+DISPATCH_PROCS = 64
+DISPATCH_STEPS = 400
+
+
+def _dispatch_workload(sim) -> int:
+    from repro.engine import Resource
+
+    hot = Resource(sim, capacity=1, name="hot")
+
+    def worker():
+        for step in range(DISPATCH_STEPS):
+            yield (step & 7) + 1
+            yield 0
+            yield hot
+            hot.release()
+
+    for i in range(DISPATCH_PROCS):
+        sim.spawn(worker(), name=f"w{i}")
+    sim.run()
+    return sim.events_executed
+
+
+def measure_dispatch(kernels, alternations: int = 3) -> Dict[str, Dict]:
+    """Time the dispatch microbench per kernel, interleaved."""
+    from repro.engine import make_simulator
+
+    best: Dict[str, Optional[float]] = {k: None for k in kernels}
+    events: Dict[str, int] = {}
+    for _ in range(alternations):
+        for kernel in kernels:
+            sim = make_simulator(kernel=kernel)
+            start = time.perf_counter()
+            events[kernel] = _dispatch_workload(sim)
+            elapsed = time.perf_counter() - start
+            prev = best[kernel]
+            best[kernel] = elapsed if prev is None else min(prev, elapsed)
+    if len(set(events.values())) != 1:
+        raise SystemExit(
+            f"dispatch microbench event counts disagree across kernels: "
+            f"{events}"
+        )
+    return {
+        kernel: {
+            "wall_seconds": round(best[kernel], 4),
+            "events": events[kernel],
+            "events_per_sec": round(events[kernel] / best[kernel], 1),
+        }
+        for kernel in kernels
+    }
 
 
 def load_entries() -> list:
@@ -161,11 +236,16 @@ def find_entry(entries: list, label: Optional[str]):
     return None
 
 
+def _timestamp() -> str:
+    """ISO-8601 UTC with an explicit offset, e.g. 2026-08-08T12:34:56+00:00."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
 def cmd_record(label: str) -> int:
     runs = measure()
     entry = {
         "label": label,
-        "recorded": time.strftime("%Y-%m-%d"),
+        "recorded": _timestamp(),
         "app": APP,
         "preset": PRESET,
         "host": {
@@ -183,42 +263,91 @@ def cmd_record(label: str) -> int:
 
 
 def cmd_record_ab(label: str) -> int:
-    """Record an interleaved object/SoA A/B entry for the SoA kernel.
+    """Record an interleaved kernel A/B entry for the shipping tier.
 
-    The entry's ``runs`` are the SoA side (so --compare / --speedup see
-    the shipping kernel); the object-kernel mins ride along under
-    ``ab_object_runs`` so the same-host kernel ratio is re-derivable
-    from the file alone.
+    Measures every kernel tier available on this host -- object, SoA,
+    and (when the ``_csoa`` extension is built) compiled -- interleaved
+    within one process, plus the pure-engine dispatch microbench.  The
+    entry's ``runs`` are the fastest shipping tier (so --compare /
+    --speedup see what ``auto`` selects); the other tiers' mins ride
+    along under ``ab_object_runs`` / ``ab_soa_runs`` so every same-host
+    kernel ratio is re-derivable from the file alone.  Hard-fails if
+    any two tiers disagree on a simulation invariant.
     """
-    ab = measure_ab()
+    kernels = ab_kernels()
+    primary = kernels[-1]
+    ab = measure_ab(kernels=kernels)
+    dispatch = measure_dispatch(kernels)
+    note = (
+        "measured interleaved across kernel tiers (3 alternations "
+        "x 3 rounds, min taken) to factor out host-speed drift on a "
+        "noisy single-core runner"
+    )
+    if "compiled" not in kernels:
+        note += (
+            "; _csoa extension unavailable on this host, compiled tier "
+            "not measured"
+        )
     entry = {
         "label": label,
-        "recorded": time.strftime("%Y-%m-%d"),
+        "recorded": _timestamp(),
         "app": APP,
         "preset": PRESET,
         "host": {
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
-        "kernel": "soa",
-        "note": (
-            "measured interleaved with the object kernel (3 alternations "
-            "x 3 rounds, min taken) to factor out host-speed drift on a "
-            "noisy single-core runner"
-        ),
-        "runs": {m: sides["soa"] for m, sides in ab.items()},
+        "kernel": primary,
+        "note": note,
+        "runs": {m: sides[primary] for m, sides in ab.items()},
         "ab_object_runs": {m: sides["object"] for m, sides in ab.items()},
+        "dispatch_microbench": dispatch,
     }
+    if primary != "soa":
+        entry["ab_soa_runs"] = {m: sides["soa"] for m, sides in ab.items()}
     entries = [e for e in load_entries() if e["label"] != label]
     entries.append(entry)
     save_entries(entries)
-    _print_runs(f"{label} (soa)", entry["runs"])
+    _print_runs(f"{label} ({primary})", entry["runs"])
     _print_runs(f"{label} (object, same host)", entry["ab_object_runs"])
+    if "ab_soa_runs" in entry:
+        _print_runs(f"{label} (soa, same host)", entry["ab_soa_runs"])
     for machine in entry["runs"]:
-        obj = entry["ab_object_runs"][machine]["wall_seconds"]
-        soa = entry["runs"][machine]["wall_seconds"]
-        print(f"  {machine:7s} soa vs object on this host: {obj / soa:.2f}x")
+        fast = entry["runs"][machine]["wall_seconds"]
+        for other_key, other_name in (("ab_object_runs", "object"),
+                                      ("ab_soa_runs", "soa")):
+            if other_key in entry:
+                other = entry[other_key][machine]["wall_seconds"]
+                print(f"  {machine:7s} {primary} vs {other_name} on this "
+                      f"host: {other / fast:.2f}x")
+    print("dispatch microbench "
+          f"({DISPATCH_PROCS} procs x {DISPATCH_STEPS} steps):")
+    for kernel, r in dispatch.items():
+        print(f"  {kernel:9s} {r['wall_seconds']:.3f}s  "
+              f"{r['events_per_sec']:>12.1f} ev/s")
     print(f"recorded entry {label!r} in {BENCH_FILE.name}")
+    return 0
+
+
+def cmd_ab_smoke() -> int:
+    """CI smoke: one quick interleaved A/B across every available tier.
+
+    No file writes; the value is the hard invariant check inside
+    ``measure_ab``/``measure_dispatch`` -- the tiers must agree on
+    sim_events / messages / sim_time, or this exits nonzero.
+    """
+    kernels = ab_kernels()
+    ab = measure_ab(machines=("clogp",), alternations=1, rounds=1,
+                    kernels=kernels)
+    for kernel, run in ab["clogp"].items():
+        print(f"  clogp   {kernel:9s} {run['wall_seconds']:.3f}s  "
+              f"{run['sim_events']:>8d} events")
+    dispatch = measure_dispatch(kernels, alternations=1)
+    for kernel, r in dispatch.items():
+        print(f"  dispatch {kernel:9s} {r['wall_seconds']:.3f}s  "
+              f"{r['events']:>8d} events")
+    print(f"A/B invariants agree across {len(kernels)} kernel tiers: "
+          + ", ".join(kernels))
     return 0
 
 
@@ -293,8 +422,15 @@ def main(argv=None) -> int:
     mode.add_argument("--label", help="record a labelled entry in BENCH_engine.json")
     mode.add_argument(
         "--record-ab", metavar="LABEL",
-        help="record a labelled SoA entry measured interleaved with the "
-             "object kernel (A/B, min over alternations)",
+        help="record a labelled entry measured interleaved across every "
+             "available kernel tier (object/soa/compiled A/B, min over "
+             "alternations, hard-fails on invariant disagreement)",
+    )
+    mode.add_argument(
+        "--ab-smoke", action="store_true",
+        help="quick interleaved A/B across all available kernel tiers; "
+             "exits nonzero if the tiers disagree on simulation "
+             "invariants (no file writes)",
     )
     mode.add_argument(
         "--compare", action="store_true",
@@ -315,6 +451,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.record_ab:
         return cmd_record_ab(args.record_ab)
+    if args.ab_smoke:
+        return cmd_ab_smoke()
     if args.compare:
         return cmd_compare(args.baseline, args.threshold)
     if args.speedup:
@@ -329,6 +467,15 @@ def test_engine_benchmark_measures():
     assert entry["sim_events"] > 0
     assert entry["wall_seconds"] > 0
     assert entry["events_per_sec"] > 0
+
+
+def test_dispatch_microbench_kernels_agree():
+    """Smoke: the pure-engine microbench runs every available tier and
+    its internal event-count agreement check holds (pytest)."""
+    dispatch = measure_dispatch(ab_kernels(), alternations=1)
+    counts = {r["events"] for r in dispatch.values()}
+    assert len(counts) == 1
+    assert counts.pop() > 0
 
 
 if __name__ == "__main__":

@@ -1,10 +1,58 @@
-"""Legacy setup shim.
+"""Setup shim: all metadata lives in ``pyproject.toml``.
 
-Present only so ``pip install -e . --no-build-isolation --no-use-pep517``
-works in offline environments that lack the ``wheel`` package; all
-metadata lives in ``pyproject.toml``.
+This file contributes the one thing the declarative config cannot: the
+*optional* ``repro.engine._csoa`` C extension -- the compiled
+event-core tier (see ``src/repro/engine/_csoa.c``).  The build is
+best-effort: on hosts without a C toolchain the extension is skipped
+with a warning and the install proceeds as a pure-Python wheel, where
+kernel selection falls back to the SoA kernel automatically (identical
+results, slower host time).  A failed compile must never fail the
+install.
 """
 
-from setuptools import setup
+import sys
 
-setup()
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+
+class optional_build_ext(build_ext):
+    """A build_ext that treats every extension failure as a skip.
+
+    ``Extension(optional=True)`` already swallows per-extension compile
+    errors; this subclass additionally catches toolchain-discovery
+    failures raised by ``run()`` itself (no compiler at all), which
+    happen before per-extension handling kicks in.
+    """
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # pragma: no cover - host-dependent
+            self._skip(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # pragma: no cover - host-dependent
+            self._skip(exc)
+
+    @staticmethod
+    def _skip(exc):
+        print(
+            "warning: skipping optional C extension repro.engine._csoa "
+            f"({exc}); the pure-Python SoA kernel will be used",
+            file=sys.stderr,
+        )
+
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.engine._csoa",
+            sources=["src/repro/engine/_csoa.c"],
+            optional=True,
+        )
+    ],
+    cmdclass={"build_ext": optional_build_ext},
+)

@@ -64,7 +64,7 @@ BARRIERS: Tuple[str, ...] = ("central", "tree")
 
 #: Engine kernel knob values (mirrors ``repro.engine.KERNELS``; kept as
 #: a literal here so the config layer does not import the engine).
-ENGINE_KERNELS: Tuple[str, ...] = ("auto", "soa", "object")
+ENGINE_KERNELS: Tuple[str, ...] = ("auto", "soa", "compiled", "object")
 
 
 def _is_power_of_two(value: int) -> bool:
@@ -161,13 +161,15 @@ class SystemConfig:
     #: either way; only event counts (and host speed) differ.
     batch_local: bool = True
 
-    #: Engine kernel for the event core: ``"soa"`` (struct-of-arrays
-    #: fast path, the default), ``"object"`` (the original object
-    #: engine, also the path instrumented runs always take) or
-    #: ``"auto"`` (consult ``REPRO_ENGINE``, else SoA).  Both kernels
-    #: execute identical event sequences; the knob only changes host
-    #: speed.  Defaults to the ``REPRO_ENGINE`` environment variable,
-    #: or ``"auto"``.
+    #: Engine kernel for the event core: ``"compiled"`` (the SoA
+    #: kernel driven by the optional C hot loop), ``"soa"`` (the
+    #: pure-Python struct-of-arrays fast path), ``"object"`` (the
+    #: original object engine, also the path instrumented runs always
+    #: take) or ``"auto"`` (consult ``REPRO_ENGINE``, else compiled
+    #: when the extension is built, else SoA).  All kernels execute
+    #: identical event sequences; the knob only changes host speed.
+    #: Defaults to the ``REPRO_ENGINE`` environment variable, or
+    #: ``"auto"``.
     engine_kernel: str = field(default_factory=_default_engine_kernel)
 
     #: Master seed for all deterministic random streams.

@@ -100,6 +100,8 @@ def simulate_full(
         "heap_pops": profile["heap_pops"],
         "ring_pops": profile["ring_pops"],
         "rows_recycled": profile.get("rows_recycled", 0),
+        "flat_posts": profile.get("flat_posts", 0),
+        "extension_loaded": profile.get("extension_loaded", 0),
     }
     return (
         RunResult(

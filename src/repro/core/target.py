@@ -87,11 +87,18 @@ class TargetMachine(Machine):
             self._read_tx = self._read_transaction_fast
             self._write_tx = self._write_transaction_fast
             self._inv_round = self._invalidation_round_fast
+            # On a flat-capable kernel, invalidation rounds post as
+            # flat ops (same event sequence, no generator frame).
+            if self.sim._flat_capable:
+                self._spawn_inv = self._spawn_inv_flat
+            else:
+                self._spawn_inv = self._spawn_inv_gen
         else:
             self._net_lat = self._lat_general
             self._read_tx = self._read_transaction
             self._write_tx = self._write_transaction
             self._inv_round = self._invalidation_round
+            self._spawn_inv = self._spawn_inv_gen
 
     def _net_transmit(self, pid: int, message: Message):
         """Generator: transmit on behalf of processor ``pid``.
@@ -171,11 +178,10 @@ class TargetMachine(Machine):
                 fabric = self.fabric
                 if fabric.is_plain:
                     # Message-object-free twin: identical link grants,
-                    # delays, and counters (see Fabric.transmit_fast).
-                    self.sim.spawn(
-                        fabric.transmit_fast(pid, victim_home, self._data),
-                        name="wb",
-                    )
+                    # delays, and counters -- a flat op on flat-capable
+                    # kernels (see Fabric.post_fast).
+                    fabric.post_fast(pid, victim_home, self._data,
+                                     name="wb")
                 else:
                     fabric.post(
                         Message(pid, victim_home, self._data, "wb"),
@@ -251,8 +257,7 @@ class TargetMachine(Machine):
         # the forwarded request itself, not a separate message.
         inv_targets = [s for s in plan.invalidated if s != plan.source]
         inv_rounds = [
-            sim.spawn(self._inv_round(pid, home, node), name=f"inv{node}")
-            for node in inv_targets
+            self._spawn_inv(pid, home, node) for node in inv_targets
         ]
         if not plan.had_data and plan.from_memory:
             service += self._mem_ns
@@ -306,6 +311,40 @@ class TargetMachine(Machine):
             return
         yield from self._net_lat(pid, home, node, self._ctrl, "inv")
         yield from self._net_lat(pid, node, home, self._ctrl, "ack")
+
+    def _spawn_inv_gen(self, pid: int, home: int, node: int):
+        """Launch one invalidation round as a spawned generator."""
+        return self.sim.spawn(
+            self._inv_round(pid, home, node), name=f"inv{node}"
+        )
+
+    def _spawn_inv_flat(self, pid: int, home: int, node: int):
+        """Launch one invalidation round as a flat op (plain fabric,
+        flat-capable kernel).
+
+        Two control-message legs -- inv out, ack back -- stepped by the
+        kernel with no generator frame; the event timeline is identical
+        to the spawned ``_invalidation_round_fast`` (the parity tests
+        pin this).  The degenerate home==node round (no messages) keeps
+        the generator form so its three-event start/finish/dispatch
+        sequence is preserved exactly.
+        """
+        if home == node:
+            return self._spawn_inv_gen(pid, home, node)
+        fabric = self.fabric
+        routes = fabric._route_links
+        nprocs = fabric._nprocs
+        out = routes[home * nprocs + node]
+        if out is None:
+            out = fabric._route(home, node)
+        back = routes[node * nprocs + home]
+        if back is None:
+            back = fabric._route(node, home)
+        ctrl = self._ctrl
+        tx = self._ctrl_ns
+        return self.sim.flat_transmit(
+            fabric, ((out, ctrl, tx), (back, ctrl, tx))
+        )
 
     # -- plain-fabric fast transactions ------------------------------------------------
     #
@@ -404,10 +443,7 @@ class TargetMachine(Machine):
             if plan.sharing_writeback and source != home:
                 # Illinois: the dirty owner's data also returns to the
                 # home -- real traffic, off the requester's critical path.
-                sim.spawn(
-                    fabric.transmit_fast(source, home, self._data),
-                    name="shwb",
-                )
+                fabric.post_fast(source, home, self._data, name="shwb")
         self._post_writeback(pid, plan.writeback)
         return latency, service
 
@@ -444,8 +480,7 @@ class TargetMachine(Machine):
         # the forwarded request itself, not a separate message.
         inv_targets = [s for s in plan.invalidated if s != plan.source]
         inv_rounds = [
-            sim.spawn(self._inv_round(pid, home, node), name=f"inv{node}")
-            for node in inv_targets
+            self._spawn_inv(pid, home, node) for node in inv_targets
         ]
         if not plan.had_data and plan.from_memory:
             service += self._mem_ns

@@ -19,7 +19,9 @@ library the paper's SPASM simulator was built on.  It provides:
 """
 
 import os
+import warnings
 
+from .compiled import HAVE_EXTENSION, CompiledSimulator
 from .core import TURN, Acquirable, Event, Process, Simulator, Timeout, all_of
 from .resource import Resource
 from .rng import RandomStreams
@@ -27,22 +29,36 @@ from .soa import SoaSimulator
 
 #: Recognized values for the kernel knob (``REPRO_ENGINE`` /
 #: ``SystemConfig.engine_kernel`` / ``--engine``).
-KERNELS = ("auto", "soa", "object")
+KERNELS = ("auto", "soa", "compiled", "object")
 
 
 def resolve_kernel(kernel: str = "auto") -> str:
     """Resolve a kernel knob value to a concrete kernel name.
 
     ``"auto"`` consults the ``REPRO_ENGINE`` environment variable and
-    otherwise picks the SoA kernel.  Raises ``ValueError`` on an
-    unrecognized name (config-layer validation wraps this in
-    ``ConfigError`` with context).
+    otherwise picks the compiled tier when the ``_csoa`` extension is
+    loaded, falling back to the pure-Python SoA kernel.  An explicit
+    ``"compiled"`` request on a host without the extension degrades to
+    ``"soa"`` with a ``RuntimeWarning`` -- missing the optional build
+    is never an error.  Raises ``ValueError`` on an unrecognized name
+    (config-layer validation wraps this in ``ConfigError`` with
+    context).
     """
     if kernel == "auto":
-        kernel = os.environ.get("REPRO_ENGINE", "").strip().lower() or "soa"
+        kernel = os.environ.get("REPRO_ENGINE", "").strip().lower() or "auto"
         if kernel == "auto":
-            kernel = "soa"
-    if kernel not in ("soa", "object"):
+            kernel = "compiled" if HAVE_EXTENSION else "soa"
+    if kernel == "compiled" and not HAVE_EXTENSION:
+        warnings.warn(
+            "engine kernel 'compiled' requested but the repro.engine._csoa "
+            "extension is not available (not built, or disabled via "
+            "REPRO_CSOA); falling back to the pure-Python 'soa' kernel, "
+            "which executes the identical event sequence",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        kernel = "soa"
+    if kernel not in ("soa", "compiled", "object"):
         raise ValueError(
             f"unknown engine kernel {kernel!r}; expected one of {KERNELS}"
         )
@@ -57,13 +73,15 @@ def make_simulator(checkers=(), kernel: str = "auto",
     attached checker installs engine-level hooks (``on_event`` /
     ``on_spawn``), the object kernel is used regardless of the knob, so
     sanitizers always observe real ``(time, seq, action)`` triples.
-    Both kernels execute identical event sequences, so flipping the
+    All kernels execute identical event sequences, so flipping the
     knob never changes results -- only host time.
     """
     resolved = resolve_kernel(kernel)
     sim = Simulator(fail_fast=fail_fast, checkers=checkers)
     if resolved == "object" or sim._instrumented:
         return sim
+    if resolved == "compiled":
+        return CompiledSimulator(fail_fast=fail_fast, checkers=checkers)
     return SoaSimulator(fail_fast=fail_fast, checkers=checkers)
 
 
@@ -72,6 +90,8 @@ __all__ = [
     "Process",
     "Simulator",
     "SoaSimulator",
+    "CompiledSimulator",
+    "HAVE_EXTENSION",
     "Timeout",
     "TURN",
     "Acquirable",

@@ -1,0 +1,1079 @@
+/* Compiled event-core tier: the SoA kernel's hot loop in C.
+ *
+ * This module implements exactly one thing: `run_fast(sim)`, a C port
+ * of `repro.engine.soa.SoaSimulator._run_fast`.  It operates on the
+ * *same* Python-side state (heap list, ring deque, row columns,
+ * process table) so every method-form push that runs inside a process
+ * resumption -- `Event.succeed`, `Resource.release`, `spawn`,
+ * `flat_transmit`, epoch compaction -- keeps working unchanged, and
+ * the executed event sequence is bit-identical to the pure-Python
+ * kernels (the cross-kernel parity tests pin this).
+ *
+ * What the C loop removes is the per-event interpreter work: word
+ * decode, tag dispatch, the generator `send` call, and the yield
+ * dispatch all run as straight-line C with no Python frames.  Flat
+ * ops (see soa.py) still step through the Python `_flat_step` /
+ * `_flat_wake` methods -- the win there is that no generator frame
+ * exists at all.
+ *
+ * Contract with the Python wrapper (repro/engine/compiled.py):
+ *
+ *   run_fast(sim) -> 1   queues drained; the wrapper performs the
+ *                        deadlock check and returns sim._now.
+ *   run_fast(sim) -> 0   an int64-range guard tripped (a heap key or
+ *                        simulated time beyond ~2**31 ns per epoch
+ *                        bit-budget); all counters are flushed and the
+ *                        wrapper hands off to the pure-Python loop,
+ *                        which handles arbitrary-precision ints.
+ *
+ * Deliberate choices, so future edits do not regress parity:
+ *
+ *  - The heap is a native binary heap over the same Python list the
+ *    pure loop feeds through heapq, with PyObject_RichCompareBool
+ *    comparisons (so arbitrary-precision keys pushed by nested Python
+ *    handlers still order correctly).  The sift direction differs
+ *    from heapq's bottom-up variant, so the *array layout* can
+ *    diverge -- but heap keys are unique (the row field is a monotone
+ *    sequence number), so the pop ORDER is identical regardless of
+ *    layout, and epoch compaction sorts the pending keys anyway.
+ *  - `_c_meta` (an array('q')) is accessed through the sequence
+ *    protocol, never the buffer protocol: a held buffer export would
+ *    make compaction's in-place `extend` raise BufferError.
+ *  - Container references are cached once (compaction mutates them in
+ *    place), but list *items* are re-read through the macros on every
+ *    use and INCREF'd before any call-out.
+ *  - `self._now` is written through on every time advance and
+ *    `self._top` on every row allocation, because nested method-form
+ *    pushes share the clock and the allocator mid-iteration.
+ *  - Generator sends use the call + catch-StopIteration path (not
+ *    PyIter_Send, which is 3.10+); the supported floor is CPython 3.9.
+ *  - Ring words or yields that fall outside the int64 fast path are
+ *    delegated to the bound Python methods (`_execute_word`,
+ *    `_handle_yield`), which implement the slow cases with Python
+ *    ints at the exact same queue positions.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <stdint.h>
+
+/* Mirrors of the constants in repro/engine/core.py + soa.py.  Checked
+ * against the Python values at configure() time. */
+#define ROW_BITS 32
+#define ROW_MASK ((int64_t)((((int64_t)1) << ROW_BITS) - 1))
+#define PROC_BITS 20
+#define PROC_MASK ((int64_t)((1 << PROC_BITS) - 1))
+#define VAL_SHIFT (3 + PROC_BITS)
+
+/* Ring word tags (bit 0 set). */
+#define R_NONE 1
+#define R_ZERO 3
+#define R_VAL 5
+#define R_FLAT 7
+
+/* Row kinds (meta & 7). */
+#define K_RESUME_NONE 0
+#define K_EVENT 3
+#define K_EVWAIT 4
+#define K_FLAT 6
+
+/* Largest simulated time whose packed heap key (at << ROW_BITS | row)
+ * still fits a signed 64-bit int.  Beyond it the loop hands back to
+ * the pure-Python kernel. */
+#define MAX_AT ((((int64_t)1) << (63 - ROW_BITS)) - 1)
+
+/* Injected by configure(): types/singletons from repro.engine.core. */
+static PyObject *g_acquirable = NULL;
+static PyObject *g_event = NULL;
+static PyObject *g_turn = NULL;
+static PyObject *g_simerror = NULL;
+static int g_configured = 0;
+
+/* Interned attribute/method names. */
+static PyObject *s_heap, *s_ring, *s_free, *s_c_meta, *s_payload,
+    *s_sends, *s_popleft, *s_append, *s_now, *s_top, *s_cap, *s_compact,
+    *s_finish, *s_crash, *s_flat_wake, *s_flat_step, *s_handle_yield,
+    *s_throw, *s_execute_word, *s_dispatch, *s_callbacks, *s_exception,
+    *s_value, *s_in_use, *s_capacity, *s_waiters, *s_grants,
+    *s_events_executed, *s_ring_executed, *s_ring_scheduled,
+    *s_rows_recycled;
+
+/* -- small helpers ------------------------------------------------------- */
+
+static int
+get_int_attr(PyObject *o, PyObject *name, int64_t *out)
+{
+    PyObject *v = PyObject_GetAttr(o, name);
+    long long x;
+    if (v == NULL)
+        return -1;
+    x = PyLong_AsLongLong(v);
+    Py_DECREF(v);
+    if (x == -1 && PyErr_Occurred())
+        return -1;
+    *out = (int64_t)x;
+    return 0;
+}
+
+static int
+set_int_attr(PyObject *o, PyObject *name, int64_t v)
+{
+    PyObject *num = PyLong_FromLongLong((long long)v);
+    int rc;
+    if (num == NULL)
+        return -1;
+    rc = PyObject_SetAttr(o, name, num);
+    Py_DECREF(num);
+    return rc;
+}
+
+static int
+add_int_attr(PyObject *o, PyObject *name, int64_t delta)
+{
+    int64_t cur;
+    if (delta == 0)
+        return 0;
+    if (get_int_attr(o, name, &cur) < 0)
+        return -1;
+    return set_int_attr(o, name, cur + delta);
+}
+
+static int
+list_append_int(PyObject *list, int64_t v)
+{
+    PyObject *num = PyLong_FromLongLong((long long)v);
+    int rc;
+    if (num == NULL)
+        return -1;
+    rc = PyList_Append(list, num);
+    Py_DECREF(num);
+    return rc;
+}
+
+/* c_meta (array('q')) access via the sequence protocol -- see the file
+ * comment for why not the buffer protocol. */
+static int
+seq_get_int(PyObject *seq, int64_t idx, int64_t *out)
+{
+    PyObject *v = PySequence_GetItem(seq, (Py_ssize_t)idx);
+    long long x;
+    if (v == NULL)
+        return -1;
+    x = PyLong_AsLongLong(v);
+    Py_DECREF(v);
+    if (x == -1 && PyErr_Occurred())
+        return -1;
+    *out = (int64_t)x;
+    return 0;
+}
+
+static int
+seq_set_int(PyObject *seq, int64_t idx, int64_t v)
+{
+    PyObject *num = PyLong_FromLongLong((long long)v);
+    int rc;
+    if (num == NULL)
+        return -1;
+    rc = PySequence_SetItem(seq, (Py_ssize_t)idx, num);
+    Py_DECREF(num);
+    return rc;
+}
+
+/* payload[row] = None, keeping the previous item alive only if the
+ * caller INCREF'd it first (PyList_SetItem decrefs the old slot). */
+static int
+payload_clear(PyObject *payload, int64_t row)
+{
+    Py_INCREF(Py_None);
+    return PyList_SetItem(payload, (Py_ssize_t)row, Py_None);
+}
+
+/* Call bound(int_arg) discarding the result. */
+static int
+call_bound_i(PyObject *bound, int64_t arg)
+{
+    PyObject *num = PyLong_FromLongLong((long long)arg);
+    PyObject *r;
+    if (num == NULL)
+        return -1;
+    r = PyObject_CallOneArg(bound, num);
+    Py_DECREF(num);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+/* Call bound(int_arg, obj_arg) discarding the result. */
+static int
+call_bound_io(PyObject *bound, int64_t arg, PyObject *obj)
+{
+    PyObject *num = PyLong_FromLongLong((long long)arg);
+    PyObject *r;
+    if (num == NULL)
+        return -1;
+    r = PyObject_CallFunctionObjArgs(bound, num, obj, NULL);
+    Py_DECREF(num);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+/* Append a packed int word to the ring via the cached bound append. */
+static int
+ring_append_word(PyObject *ring_append, int64_t word)
+{
+    PyObject *num = PyLong_FromLongLong((long long)word);
+    PyObject *r;
+    if (num == NULL)
+        return -1;
+    r = PyObject_CallOneArg(ring_append, num);
+    Py_DECREF(num);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+/* Allocate a fresh monotone row from self._top, compacting when the
+ * table is full -- the C twin of the inline allocator in _run_fast.
+ * Returns the row index, or -1 with an exception set. */
+static int64_t
+alloc_top_row(PyObject *sim, PyObject *compact_m)
+{
+    int64_t top, cap;
+    if (get_int_attr(sim, s_top, &top) < 0)
+        return -1;
+    if (get_int_attr(sim, s_cap, &cap) < 0)
+        return -1;
+    if (top == cap) {
+        PyObject *r = PyObject_CallNoArgs(compact_m);
+        if (r == NULL)
+            return -1;
+        Py_DECREF(r);
+        if (get_int_attr(sim, s_top, &top) < 0)
+            return -1;
+    }
+    if (set_int_attr(sim, s_top, top + 1) < 0)
+        return -1;
+    return top;
+}
+
+/* Native binary-heap ops on the shared Python list.  Comparisons go
+ * through PyObject_RichCompareBool so big-int keys (pushed by nested
+ * Python handlers past the int64 range) still order correctly; for
+ * the common two-machine-int case CPython compares them without
+ * allocating.  Layout may diverge from heapq's (see file comment) --
+ * pop order cannot, because keys are unique. */
+
+static int
+heap_push_native(PyObject *heap, PyObject *item)
+{
+    Py_ssize_t pos;
+    PyObject *newitem;
+    if (PyList_Append(heap, item) < 0)
+        return -1;
+    pos = PyList_GET_SIZE(heap) - 1;
+    newitem = PyList_GET_ITEM(heap, pos);
+    Py_INCREF(newitem);
+    while (pos > 0) {
+        Py_ssize_t parentpos = (pos - 1) >> 1;
+        PyObject *parent = PyList_GET_ITEM(heap, parentpos);
+        int lt = PyObject_RichCompareBool(newitem, parent, Py_LT);
+        if (lt < 0) {
+            Py_DECREF(newitem);
+            return -1;
+        }
+        if (!lt)
+            break;
+        Py_INCREF(parent);
+        PyList_SetItem(heap, pos, parent);
+        pos = parentpos;
+    }
+    PyList_SetItem(heap, pos, newitem);  /* steals our extra ref */
+    return 0;
+}
+
+/* Pop the root; the caller checked the heap is non-empty.  Returns a
+ * new reference, or NULL with an exception set. */
+static PyObject *
+heap_pop_native(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    Py_ssize_t pos;
+    PyObject *lastelt = PyList_GET_ITEM(heap, n - 1);
+    PyObject *returnitem;
+    Py_INCREF(lastelt);
+    if (PyList_SetSlice(heap, n - 1, n, NULL) < 0) {
+        Py_DECREF(lastelt);
+        return NULL;
+    }
+    n -= 1;
+    if (n == 0)
+        return lastelt;
+    returnitem = PyList_GET_ITEM(heap, 0);
+    Py_INCREF(returnitem);
+    PyList_SetItem(heap, 0, lastelt);  /* steals lastelt */
+    pos = 0;
+    for (;;) {
+        Py_ssize_t child = 2 * pos + 1;
+        Py_ssize_t right = child + 1;
+        PyObject *a, *b;
+        int lt;
+        if (child >= n)
+            break;
+        if (right < n) {
+            lt = PyObject_RichCompareBool(PyList_GET_ITEM(heap, right),
+                                          PyList_GET_ITEM(heap, child),
+                                          Py_LT);
+            if (lt < 0)
+                goto fail;
+            if (lt)
+                child = right;
+        }
+        lt = PyObject_RichCompareBool(PyList_GET_ITEM(heap, child),
+                                      PyList_GET_ITEM(heap, pos), Py_LT);
+        if (lt < 0)
+            goto fail;
+        if (!lt)
+            break;
+        a = PyList_GET_ITEM(heap, pos);
+        b = PyList_GET_ITEM(heap, child);
+        Py_INCREF(a);
+        Py_INCREF(b);
+        PyList_SetItem(heap, pos, b);
+        PyList_SetItem(heap, child, a);
+        pos = child;
+    }
+    return returnitem;
+fail:
+    Py_DECREF(returnitem);
+    return NULL;
+}
+
+static int
+flush_counters(PyObject *sim, int64_t executed, int64_t ring_exec,
+               int64_t ring_sched, int64_t recycled)
+{
+    if (add_int_attr(sim, s_events_executed, executed) < 0)
+        return -1;
+    if (add_int_attr(sim, s_ring_executed, ring_exec) < 0)
+        return -1;
+    if (add_int_attr(sim, s_ring_scheduled, ring_sched) < 0)
+        return -1;
+    if (add_int_attr(sim, s_rows_recycled, recycled) < 0)
+        return -1;
+    return 0;
+}
+
+/* -- the run loop -------------------------------------------------------- */
+
+static PyObject *
+csoa_run_fast(PyObject *module, PyObject *sim)
+{
+    PyObject *heap = NULL, *ring = NULL, *freelist = NULL, *c_meta = NULL,
+        *payload = NULL, *sends = NULL;
+    PyObject *ring_popleft = NULL, *ring_append = NULL, *compact_m = NULL,
+        *finish_m = NULL, *crash_m = NULL, *flat_wake_m = NULL,
+        *flat_step_m = NULL, *handle_yield_m = NULL, *throw_m = NULL,
+        *execute_word_m = NULL;
+    PyObject *result = NULL;
+    int64_t now;
+    int64_t executed = 0, ring_executed = 0, ring_scheduled = 0,
+        recycled = 0;
+    int rc = -1;  /* -1 error, 0 handoff, 1 done */
+
+    if (!g_configured) {
+        PyErr_SetString(PyExc_RuntimeError,
+                        "_csoa.configure() has not been called");
+        return NULL;
+    }
+
+    heap = PyObject_GetAttr(sim, s_heap);
+    ring = PyObject_GetAttr(sim, s_ring);
+    freelist = PyObject_GetAttr(sim, s_free);
+    c_meta = PyObject_GetAttr(sim, s_c_meta);
+    payload = PyObject_GetAttr(sim, s_payload);
+    sends = PyObject_GetAttr(sim, s_sends);
+    if (heap == NULL || ring == NULL || freelist == NULL || c_meta == NULL
+            || payload == NULL || sends == NULL)
+        goto cleanup;
+    if (!PyList_CheckExact(heap) || !PyList_CheckExact(freelist)
+            || !PyList_CheckExact(payload) || !PyList_CheckExact(sends)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "_csoa.run_fast: kernel containers are not lists");
+        goto cleanup;
+    }
+    ring_popleft = PyObject_GetAttr(ring, s_popleft);
+    ring_append = PyObject_GetAttr(ring, s_append);
+    compact_m = PyObject_GetAttr(sim, s_compact);
+    finish_m = PyObject_GetAttr(sim, s_finish);
+    crash_m = PyObject_GetAttr(sim, s_crash);
+    flat_wake_m = PyObject_GetAttr(sim, s_flat_wake);
+    flat_step_m = PyObject_GetAttr(sim, s_flat_step);
+    handle_yield_m = PyObject_GetAttr(sim, s_handle_yield);
+    throw_m = PyObject_GetAttr(sim, s_throw);
+    execute_word_m = PyObject_GetAttr(sim, s_execute_word);
+    if (ring_popleft == NULL || ring_append == NULL || compact_m == NULL
+            || finish_m == NULL || crash_m == NULL || flat_wake_m == NULL
+            || flat_step_m == NULL || handle_yield_m == NULL
+            || throw_m == NULL || execute_word_m == NULL)
+        goto cleanup;
+
+    if (get_int_attr(sim, s_now, &now) < 0) {
+        /* Clock already past int64: run on the pure-Python loop. */
+        PyErr_Clear();
+        rc = 0;
+        goto flush;
+    }
+
+    for (;;) {
+        int have_key = 0;
+        int64_t key = 0, at = 0;
+        int64_t p = -1;
+        PyObject *value = NULL;  /* owned once set */
+
+        /* -- pop: decode one event into (p, value) -------------------- */
+        if (PyList_GET_SIZE(heap) > 0) {
+            PyObject *key_obj = PyList_GET_ITEM(heap, 0);  /* borrowed */
+            int overflow = 0;
+            long long k = PyLong_AsLongLongAndOverflow(key_obj, &overflow);
+            if (overflow || (k == -1 && PyErr_Occurred())) {
+                /* Key beyond int64: hand off to the Python loop. */
+                PyErr_Clear();
+                rc = 0;
+                goto flush;
+            }
+            key = (int64_t)k;
+            at = key >> ROW_BITS;
+            if (at <= now) {
+                PyObject *popped;
+                if (at < now) {
+                    PyErr_Format(g_simerror,
+                                 "time went backwards: %lld < %lld",
+                                 (long long)at, (long long)now);
+                    goto cleanup_flush;
+                }
+                popped = heap_pop_native(heap);
+                if (popped == NULL)
+                    goto cleanup_flush;
+                Py_DECREF(popped);
+                have_key = 1;
+            }
+            else {
+                Py_ssize_t rn = PyObject_Size(ring);
+                if (rn < 0)
+                    goto cleanup_flush;
+                if (rn == 0) {
+                    PyObject *popped = heap_pop_native(heap);
+                    if (popped == NULL)
+                        goto cleanup_flush;
+                    Py_DECREF(popped);
+                    now = at;
+                    if (set_int_attr(sim, s_now, now) < 0)
+                        goto cleanup_flush;
+                    have_key = 1;
+                }
+                /* else: drain the ring first (have_key stays 0). */
+            }
+        }
+        else {
+            Py_ssize_t rn = PyObject_Size(ring);
+            if (rn < 0)
+                goto cleanup_flush;
+            if (rn == 0) {
+                rc = 1;  /* drained */
+                goto flush;
+            }
+        }
+        executed++;
+
+        if (have_key) {
+            /* Heap row: sleeps, flat-op wakes, legacy callables. */
+            int64_t row = key & ROW_MASK;
+            int64_t meta;
+            int kind;
+            if (list_append_int(freelist, row) < 0)
+                goto cleanup_flush;
+            if (seq_get_int(c_meta, row, &meta) < 0)
+                goto cleanup_flush;
+            kind = (int)(meta & 7);
+            if (kind == K_RESUME_NONE) {
+                p = meta >> 3;
+                Py_INCREF(Py_None);
+                value = Py_None;
+            }
+            else if (kind == K_FLAT) {
+                if (call_bound_i(flat_wake_m, meta >> 3) < 0)
+                    goto cleanup_flush;
+                continue;
+            }
+            else {  /* K_CALL */
+                PyObject *action = PyList_GET_ITEM(payload, row);
+                PyObject *r;
+                Py_INCREF(action);
+                if (payload_clear(payload, row) < 0) {
+                    Py_DECREF(action);
+                    goto cleanup_flush;
+                }
+                r = PyObject_CallNoArgs(action);
+                Py_DECREF(action);
+                if (r == NULL)
+                    goto cleanup_flush;
+                Py_DECREF(r);
+                continue;
+            }
+        }
+        else {
+            PyObject *word_obj = PyObject_CallNoArgs(ring_popleft);
+            int overflow = 0;
+            long long e;
+            if (word_obj == NULL)
+                goto cleanup_flush;
+            ring_executed++;
+            e = PyLong_AsLongLongAndOverflow(word_obj, &overflow);
+            if (overflow || (e == -1 && PyErr_Occurred())) {
+                /* Oversized word (huge _R_VAL wait): method-form twin. */
+                PyObject *r;
+                PyErr_Clear();
+                r = PyObject_CallOneArg(execute_word_m, word_obj);
+                Py_DECREF(word_obj);
+                if (r == NULL)
+                    goto cleanup_flush;
+                Py_DECREF(r);
+                continue;
+            }
+            Py_DECREF(word_obj);
+            if (e & 1) {
+                /* Packed resume word: no row, pure decode. */
+                int tag = (int)(e & 7);
+                if (tag == R_NONE) {
+                    p = e >> 3;
+                    Py_INCREF(Py_None);
+                    value = Py_None;
+                }
+                else if (tag == R_ZERO) {
+                    p = e >> 3;
+                    value = PyLong_FromLong(0);
+                    if (value == NULL)
+                        goto cleanup_flush;
+                }
+                else if (tag == R_VAL) {
+                    p = (e >> 3) & PROC_MASK;
+                    value = PyLong_FromLongLong((long long)(e >> VAL_SHIFT));
+                    if (value == NULL)
+                        goto cleanup_flush;
+                }
+                else {  /* R_FLAT */
+                    if (call_bound_i(flat_step_m, e >> 3) < 0)
+                        goto cleanup_flush;
+                    continue;
+                }
+            }
+            else {
+                /* Payload row on the ring. */
+                int64_t row = e >> 1;
+                int64_t meta;
+                int kind;
+                if (list_append_int(freelist, row) < 0)
+                    goto cleanup_flush;
+                if (seq_get_int(c_meta, row, &meta) < 0)
+                    goto cleanup_flush;
+                kind = (int)(meta & 7);
+                if (kind == K_EVENT) {
+                    PyObject *ev = PyList_GET_ITEM(payload, row);
+                    PyObject *callbacks;
+                    int inlined = 0;
+                    Py_INCREF(ev);
+                    if (payload_clear(payload, row) < 0) {
+                        Py_DECREF(ev);
+                        goto cleanup_flush;
+                    }
+                    callbacks = PyObject_GetAttr(ev, s_callbacks);
+                    if (callbacks == NULL) {
+                        Py_DECREF(ev);
+                        goto cleanup_flush;
+                    }
+                    if (PyList_CheckExact(callbacks)
+                            && PyList_GET_SIZE(callbacks) == 1
+                            && PyLong_CheckExact(
+                                   PyList_GET_ITEM(callbacks, 0))) {
+                        PyObject *exc = PyObject_GetAttr(ev, s_exception);
+                        if (exc == NULL) {
+                            Py_DECREF(callbacks);
+                            Py_DECREF(ev);
+                            goto cleanup_flush;
+                        }
+                        if (exc == Py_None) {
+                            /* Sole waiter is a process: resume it
+                             * inside this dispatch event.  Extract the
+                             * index before clearing _callbacks. */
+                            long long wp = PyLong_AsLongLong(
+                                PyList_GET_ITEM(callbacks, 0));
+                            if (wp == -1 && PyErr_Occurred()) {
+                                PyErr_Clear();  /* absurd; dispatch */
+                            }
+                            else {
+                                if (PyObject_SetAttr(ev, s_callbacks,
+                                                     Py_None) < 0) {
+                                    Py_DECREF(exc);
+                                    Py_DECREF(callbacks);
+                                    Py_DECREF(ev);
+                                    goto cleanup_flush;
+                                }
+                                value = PyObject_GetAttr(ev, s_value);
+                                if (value == NULL) {
+                                    Py_DECREF(exc);
+                                    Py_DECREF(callbacks);
+                                    Py_DECREF(ev);
+                                    goto cleanup_flush;
+                                }
+                                p = (int64_t)wp;
+                                inlined = 1;
+                            }
+                        }
+                        Py_DECREF(exc);
+                    }
+                    Py_DECREF(callbacks);
+                    if (!inlined) {
+                        PyObject *r =
+                            PyObject_CallMethodNoArgs(ev, s_dispatch);
+                        Py_DECREF(ev);
+                        if (r == NULL)
+                            goto cleanup_flush;
+                        Py_DECREF(r);
+                        continue;
+                    }
+                    Py_DECREF(ev);
+                }
+                else if (kind == K_EVWAIT) {
+                    PyObject *ev = PyList_GET_ITEM(payload, row);
+                    PyObject *exc;
+                    Py_INCREF(ev);
+                    if (payload_clear(payload, row) < 0) {
+                        Py_DECREF(ev);
+                        goto cleanup_flush;
+                    }
+                    exc = PyObject_GetAttr(ev, s_exception);
+                    if (exc == NULL) {
+                        Py_DECREF(ev);
+                        goto cleanup_flush;
+                    }
+                    if (exc != Py_None) {
+                        int trc = call_bound_io(throw_m, meta >> 3, exc);
+                        Py_DECREF(exc);
+                        Py_DECREF(ev);
+                        if (trc < 0)
+                            goto cleanup_flush;
+                        continue;
+                    }
+                    Py_DECREF(exc);
+                    p = meta >> 3;
+                    value = PyObject_GetAttr(ev, s_value);
+                    Py_DECREF(ev);
+                    if (value == NULL)
+                        goto cleanup_flush;
+                }
+                else {  /* K_CALL */
+                    PyObject *action = PyList_GET_ITEM(payload, row);
+                    PyObject *r;
+                    Py_INCREF(action);
+                    if (payload_clear(payload, row) < 0) {
+                        Py_DECREF(action);
+                        goto cleanup_flush;
+                    }
+                    r = PyObject_CallNoArgs(action);
+                    Py_DECREF(action);
+                    if (r == NULL)
+                        goto cleanup_flush;
+                    Py_DECREF(r);
+                    continue;
+                }
+            }
+        }
+
+        /* -- drive: resume the generator, handle its yield ------------ */
+        {
+            PyObject *send = PyList_GET_ITEM(sends, (Py_ssize_t)p);
+            PyObject *y;
+            Py_INCREF(send);
+            y = PyObject_CallOneArg(send, value);
+            Py_DECREF(send);
+            Py_DECREF(value);
+            value = NULL;
+            if (y == NULL) {
+                if (PyErr_ExceptionMatches(PyExc_StopIteration)) {
+                    PyObject *etype, *evalue, *etb, *retval;
+                    int frc;
+                    PyErr_Fetch(&etype, &evalue, &etb);
+                    PyErr_NormalizeException(&etype, &evalue, &etb);
+                    retval = evalue ? PyObject_GetAttr(evalue, s_value)
+                                    : NULL;
+                    if (retval == NULL) {
+                        PyErr_Clear();
+                        Py_INCREF(Py_None);
+                        retval = Py_None;
+                    }
+                    Py_XDECREF(etype);
+                    Py_XDECREF(evalue);
+                    Py_XDECREF(etb);
+                    frc = call_bound_io(finish_m, p, retval);
+                    Py_DECREF(retval);
+                    if (frc < 0)
+                        goto cleanup_flush;
+                    continue;
+                }
+                else {
+                    /* Any other exception: mirror `self._crash(p, exc)`
+                     * (which re-raises under fail_fast). */
+                    PyObject *etype, *evalue, *etb;
+                    int crc;
+                    PyErr_Fetch(&etype, &evalue, &etb);
+                    PyErr_NormalizeException(&etype, &evalue, &etb);
+                    if (evalue == NULL) {
+                        PyErr_Restore(etype, evalue, etb);
+                        goto cleanup_flush;
+                    }
+                    if (etb != NULL)
+                        PyException_SetTraceback(evalue, etb);
+                    crc = call_bound_io(crash_m, p, evalue);
+                    Py_XDECREF(etype);
+                    Py_XDECREF(evalue);
+                    Py_XDECREF(etb);
+                    if (crc < 0)
+                        goto cleanup_flush;
+                    continue;
+                }
+            }
+            if (PyLong_CheckExact(y)) {
+                int overflow = 0;
+                long long yv = PyLong_AsLongLongAndOverflow(y, &overflow);
+                if (overflow || yv < 0 || (yv > 0 && now + yv > MAX_AT)) {
+                    /* Negative delays raise there; oversized delays
+                     * push arbitrary-precision heap keys there. */
+                    int hrc = call_bound_io(handle_yield_m, p, y);
+                    Py_DECREF(y);
+                    if (hrc < 0)
+                        goto cleanup_flush;
+                    continue;
+                }
+                if (yv > 0) {
+                    /* Plain sleep: future heap row. */
+                    int64_t row = alloc_top_row(sim, compact_m);
+                    PyObject *keyo;
+                    int prc;
+                    if (row < 0) {
+                        Py_DECREF(y);
+                        goto cleanup_flush;
+                    }
+                    if (seq_set_int(c_meta, row, p << 3) < 0) {
+                        Py_DECREF(y);
+                        goto cleanup_flush;
+                    }
+                    keyo = PyLong_FromLongLong(
+                        (long long)(((now + yv) << ROW_BITS) | row));
+                    if (keyo == NULL) {
+                        Py_DECREF(y);
+                        goto cleanup_flush;
+                    }
+                    prc = heap_push_native(heap, keyo);
+                    Py_DECREF(keyo);
+                    Py_DECREF(y);
+                    if (prc < 0)
+                        goto cleanup_flush;
+                    continue;
+                }
+                /* Zero-delay: same-time redispatch via the ring. */
+                Py_DECREF(y);
+                if (ring_append_word(ring_append, (p << 3) | R_NONE) < 0)
+                    goto cleanup_flush;
+                ring_scheduled++;
+                continue;
+            }
+            {
+                int isacq = PyObject_IsInstance(y, g_acquirable);
+                if (isacq < 0) {
+                    Py_DECREF(y);
+                    goto cleanup_flush;
+                }
+                if (isacq) {
+                    /* `yield resource`: inlined try_acquire, else park
+                     * as a packed (wait_start << PROC_BITS) | p int. */
+                    int64_t in_use, capacity, grants;
+                    PyObject *waiters;
+                    Py_ssize_t wn;
+                    if (get_int_attr(y, s_in_use, &in_use) < 0
+                            || get_int_attr(y, s_capacity, &capacity) < 0) {
+                        Py_DECREF(y);
+                        goto cleanup_flush;
+                    }
+                    waiters = PyObject_GetAttr(y, s_waiters);
+                    if (waiters == NULL) {
+                        Py_DECREF(y);
+                        goto cleanup_flush;
+                    }
+                    wn = PyObject_Size(waiters);
+                    if (wn < 0) {
+                        Py_DECREF(waiters);
+                        Py_DECREF(y);
+                        goto cleanup_flush;
+                    }
+                    if (in_use < capacity && wn == 0) {
+                        if (set_int_attr(y, s_in_use, in_use + 1) < 0
+                                || get_int_attr(y, s_grants, &grants) < 0
+                                || set_int_attr(y, s_grants,
+                                                grants + 1) < 0) {
+                            Py_DECREF(waiters);
+                            Py_DECREF(y);
+                            goto cleanup_flush;
+                        }
+                        Py_DECREF(waiters);
+                        Py_DECREF(y);
+                        if (ring_append_word(ring_append,
+                                             (p << 3) | R_ZERO) < 0)
+                            goto cleanup_flush;
+                        ring_scheduled++;
+                        continue;
+                    }
+                    else {
+                        PyObject *packed = PyLong_FromLongLong(
+                            (long long)((now << PROC_BITS) | p));
+                        PyObject *r = NULL;
+                        if (packed != NULL) {
+                            r = PyObject_CallMethodOneArg(waiters, s_append,
+                                                          packed);
+                            Py_DECREF(packed);
+                        }
+                        Py_DECREF(waiters);
+                        Py_DECREF(y);
+                        if (r == NULL)
+                            goto cleanup_flush;
+                        Py_DECREF(r);
+                        continue;
+                    }
+                }
+            }
+            {
+                int isev = PyObject_IsInstance(y, g_event);
+                if (isev < 0) {
+                    Py_DECREF(y);
+                    goto cleanup_flush;
+                }
+                if (isev) {
+                    PyObject *callbacks = PyObject_GetAttr(y, s_callbacks);
+                    if (callbacks == NULL) {
+                        Py_DECREF(y);
+                        goto cleanup_flush;
+                    }
+                    if (callbacks == Py_None) {
+                        /* Already dispatched: K_EVWAIT row, recycled
+                         * from the free list when possible. */
+                        int64_t row;
+                        Py_ssize_t fn = PyList_GET_SIZE(freelist);
+                        Py_DECREF(callbacks);
+                        if (fn > 0) {
+                            long long rv = PyLong_AsLongLong(
+                                PyList_GET_ITEM(freelist, fn - 1));
+                            if (rv == -1 && PyErr_Occurred()) {
+                                Py_DECREF(y);
+                                goto cleanup_flush;
+                            }
+                            if (PyList_SetSlice(freelist, fn - 1, fn,
+                                                NULL) < 0) {
+                                Py_DECREF(y);
+                                goto cleanup_flush;
+                            }
+                            row = (int64_t)rv;
+                            recycled++;
+                        }
+                        else {
+                            row = alloc_top_row(sim, compact_m);
+                            if (row < 0) {
+                                Py_DECREF(y);
+                                goto cleanup_flush;
+                            }
+                        }
+                        if (seq_set_int(c_meta, row,
+                                        (p << 3) | K_EVWAIT) < 0) {
+                            Py_DECREF(y);
+                            goto cleanup_flush;
+                        }
+                        /* payload[row] = y (list takes our ref). */
+                        if (PyList_SetItem(payload, (Py_ssize_t)row,
+                                           y) < 0) {
+                            goto cleanup_flush;
+                        }
+                        if (ring_append_word(ring_append, row << 1) < 0)
+                            goto cleanup_flush;
+                        ring_scheduled++;
+                        continue;
+                    }
+                    else {
+                        PyObject *pnum = PyLong_FromLongLong((long long)p);
+                        int arc = -1;
+                        if (pnum != NULL) {
+                            if (PyList_CheckExact(callbacks)) {
+                                arc = PyList_Append(callbacks, pnum);
+                            }
+                            else {
+                                PyObject *r = PyObject_CallMethodOneArg(
+                                    callbacks, s_append, pnum);
+                                arc = (r == NULL) ? -1 : 0;
+                                Py_XDECREF(r);
+                            }
+                            Py_DECREF(pnum);
+                        }
+                        Py_DECREF(callbacks);
+                        Py_DECREF(y);
+                        if (arc < 0)
+                            goto cleanup_flush;
+                        continue;
+                    }
+                }
+            }
+            if (y == g_turn) {
+                Py_DECREF(y);
+                if (ring_append_word(ring_append, (p << 3) | R_ZERO) < 0)
+                    goto cleanup_flush;
+                ring_scheduled++;
+                continue;
+            }
+            /* Unknown yield: _handle_yield raises with the process
+             * name, after the same _blocked bookkeeping. */
+            {
+                int hrc = call_bound_io(handle_yield_m, p, y);
+                Py_DECREF(y);
+                if (hrc < 0)
+                    goto cleanup_flush;
+                continue;
+            }
+        }
+    }
+
+flush:
+    if (flush_counters(sim, executed, ring_executed, ring_scheduled,
+                       recycled) < 0)
+        goto cleanup;
+    result = PyLong_FromLong(rc);
+    goto cleanup;
+
+cleanup_flush:
+    /* Error exit: flush counters while preserving the exception. */
+    {
+        PyObject *etype, *evalue, *etb;
+        PyErr_Fetch(&etype, &evalue, &etb);
+        if (flush_counters(sim, executed, ring_executed, ring_scheduled,
+                           recycled) < 0)
+            PyErr_Clear();
+        PyErr_Restore(etype, evalue, etb);
+    }
+
+cleanup:
+    Py_XDECREF(heap);
+    Py_XDECREF(ring);
+    Py_XDECREF(freelist);
+    Py_XDECREF(c_meta);
+    Py_XDECREF(payload);
+    Py_XDECREF(sends);
+    Py_XDECREF(ring_popleft);
+    Py_XDECREF(ring_append);
+    Py_XDECREF(compact_m);
+    Py_XDECREF(finish_m);
+    Py_XDECREF(crash_m);
+    Py_XDECREF(flat_wake_m);
+    Py_XDECREF(flat_step_m);
+    Py_XDECREF(handle_yield_m);
+    Py_XDECREF(throw_m);
+    Py_XDECREF(execute_word_m);
+    return result;
+}
+
+/* -- module wiring ------------------------------------------------------- */
+
+static PyObject *
+csoa_configure(PyObject *module, PyObject *args)
+{
+    PyObject *acquirable, *event, *turn, *simerror;
+    if (!PyArg_ParseTuple(args, "OOOO", &acquirable, &event, &turn,
+                          &simerror))
+        return NULL;
+    Py_INCREF(acquirable);
+    Py_XDECREF(g_acquirable);
+    g_acquirable = acquirable;
+    Py_INCREF(event);
+    Py_XDECREF(g_event);
+    g_event = event;
+    Py_INCREF(turn);
+    Py_XDECREF(g_turn);
+    g_turn = turn;
+    Py_INCREF(simerror);
+    Py_XDECREF(g_simerror);
+    g_simerror = simerror;
+    g_configured = 1;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef csoa_methods[] = {
+    {"run_fast", csoa_run_fast, METH_O,
+     "Drive the SoA event loop to completion; returns 1 when the "
+     "queues drained, 0 on int64-range handoff."},
+    {"configure", csoa_configure, METH_VARARGS,
+     "configure(Acquirable, Event, TURN, SimulationError): inject the "
+     "engine types this module dispatches on."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef csoa_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.engine._csoa",
+    "C port of the SoA event kernel's hot loop (see module source).",
+    -1,
+    csoa_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__csoa(void)
+{
+    PyObject *m;
+#define INTERN(var, text)                                   \
+    do {                                                    \
+        var = PyUnicode_InternFromString(text);             \
+        if (var == NULL)                                    \
+            return NULL;                                    \
+    } while (0)
+    INTERN(s_heap, "_heap");
+    INTERN(s_ring, "_ring");
+    INTERN(s_free, "_free");
+    INTERN(s_c_meta, "_c_meta");
+    INTERN(s_payload, "_payload");
+    INTERN(s_sends, "_sends");
+    INTERN(s_popleft, "popleft");
+    INTERN(s_append, "append");
+    INTERN(s_now, "_now");
+    INTERN(s_top, "_top");
+    INTERN(s_cap, "_cap");
+    INTERN(s_compact, "_compact");
+    INTERN(s_finish, "_finish");
+    INTERN(s_crash, "_crash");
+    INTERN(s_flat_wake, "_flat_wake");
+    INTERN(s_flat_step, "_flat_step");
+    INTERN(s_handle_yield, "_handle_yield");
+    INTERN(s_throw, "_throw");
+    INTERN(s_execute_word, "_execute_word");
+    INTERN(s_dispatch, "_dispatch");
+    INTERN(s_callbacks, "_callbacks");
+    INTERN(s_exception, "_exception");
+    INTERN(s_value, "value");
+    INTERN(s_in_use, "in_use");
+    INTERN(s_capacity, "capacity");
+    INTERN(s_waiters, "_waiters");
+    INTERN(s_grants, "grants");
+    INTERN(s_events_executed, "events_executed");
+    INTERN(s_ring_executed, "_ring_executed");
+    INTERN(s_ring_scheduled, "_ring_scheduled");
+    INTERN(s_rows_recycled, "_rows_recycled");
+#undef INTERN
+    m = PyModule_Create(&csoa_module);
+    return m;
+}

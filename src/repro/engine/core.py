@@ -367,6 +367,13 @@ class Simulator:
     #: overrides it.
     kernel = "object"
 
+    #: Whether this kernel executes flattened leaf resumes (flat ops,
+    #: see :meth:`repro.engine.soa.SoaSimulator.flat_transmit`).  Call
+    #: sites that can post one check this flag and fall back to the
+    #: generator form on the object kernel -- both produce the same
+    #: event sequence.
+    _flat_capable = False
+
     def __init__(self, fail_fast: bool = True, checkers=()):
         self._now = 0
         self._queue: List = []
@@ -452,6 +459,7 @@ class Simulator:
             "ring_scheduled": self._ring_scheduled,
             "rows_recycled": 0,
             "compactions": 0,
+            "flat_posts": 0,
             "timeouts_issued": self._timeouts_issued,
             "timeouts_pooled": self._timeouts_pooled,
             "timeout_pool_size": len(self._timeout_pool),

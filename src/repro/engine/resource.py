@@ -32,7 +32,10 @@ class Resource(Acquirable):
     heterogeneous: event-based requests enqueue the grant Event, while
     kernel-yielded waiters are packed ints
     ``(wait_start_ns << PROC_BITS) | process_index`` resumed through
-    ``sim._grant``.  Both forms are granted strictly in arrival order.
+    ``sim._grant``, and flat-op waiters are the *complement-packed*
+    negative ints ``~((wait_start_ns << PROC_BITS) | opidx)`` resumed
+    through ``sim._flat_grant``.  All forms are granted strictly in
+    arrival order.
     """
 
     __slots__ = ("sim", "capacity", "in_use", "_waiters", "name",
@@ -101,11 +104,22 @@ class Resource(Acquirable):
         if self._waiters:
             waiter = self._waiters.popleft()
             if waiter.__class__ is int:
-                # Packed kernel waiter: (wait_start << PROC_BITS) | p.
-                waited = self.sim.now - (waiter >> PROC_BITS)
-                self.total_wait_ns += waited
-                self.grants += 1
-                self.sim._grant(waiter & PROC_MASK, waited)
+                if waiter >= 0:
+                    # Packed kernel waiter: (wait_start << PROC_BITS) | p.
+                    waited = self.sim.now - (waiter >> PROC_BITS)
+                    self.total_wait_ns += waited
+                    self.grants += 1
+                    self.sim._grant(waiter & PROC_MASK, waited)
+                else:
+                    # Flat-op waiter, complement-packed so it is
+                    # distinguishable from a process index:
+                    # ~((wait_start << PROC_BITS) | opidx).  See
+                    # SoaSimulator.flat_transmit.
+                    packed = ~waiter
+                    waited = self.sim.now - (packed >> PROC_BITS)
+                    self.total_wait_ns += waited
+                    self.grants += 1
+                    self.sim._flat_grant(packed & PROC_MASK)
             else:
                 waited = self.sim.now - waiter.value
                 waiter.value = None

@@ -105,6 +105,7 @@ K_RESUME_VAL = 2   #: resume with the packed value (queued resource grant)
 K_EVENT = 3        #: dispatch the payload Event's callbacks/waiters
 K_EVWAIT = 4       #: late waiter on an already-dispatched payload Event
 K_CALL = 5         #: invoke the payload callable (legacy ``_schedule``)
+K_FLAT = 6         #: flat-op transmission wake (settle, see flat_transmit)
 
 # Ring word encoding.  Bit 0 distinguishes packed resumptions (no row)
 # from row indices:
@@ -116,6 +117,7 @@ K_CALL = 5         #: invoke the payload callable (legacy ``_schedule``)
 _R_NONE = 1        #: ring word tag for K_RESUME_NONE
 _R_ZERO = 3        #: ring word tag for K_RESUME_ZERO
 _R_VAL = 5         #: ring word tag for K_RESUME_VAL
+_R_FLAT = 7        #: flat-op step word: ``(opidx << 3) | 7`` (no value)
 VAL_SHIFT = 3 + PROC_BITS
 
 #: Fixed width of the row field in a packed heap key.  A constant --
@@ -166,6 +168,10 @@ class SoaSimulator(Simulator):
 
     kernel = "soa"
 
+    #: This kernel executes flattened leaf resumes (flat ops) natively;
+    #: see :meth:`flat_transmit`.
+    _flat_capable = True
+
     def __init__(self, fail_fast: bool = True, checkers=(),
                  row_capacity: int = DEFAULT_ROW_CAPACITY):
         super().__init__(fail_fast=fail_fast, checkers=checkers)
@@ -199,6 +205,11 @@ class SoaSimulator(Simulator):
         self._sends: List[Any] = []
         self._procs: List[Optional[SoaProcess]] = []
         self._pfree: List[int] = []
+        # Flat-op table: tag-dispatched leaf transmits the kernel
+        # executes without a generator frame (see flat_transmit).
+        self._flat_ops: List[Optional[list]] = []
+        self._flat_free: List[int] = []
+        self._flat_posts = 0
         # Event.succeed / timeouts / late callbacks schedule through
         # these entry points; shadow the object-kernel pair installed by
         # Simulator.__init__ with row pushes.
@@ -272,6 +283,153 @@ class SoaSimulator(Simulator):
         """
         self._ring_scheduled += 1
         self._ring.append((waited << VAL_SHIFT) | (p << 3) | _R_VAL)
+
+    # -- flat ops ------------------------------------------------------------
+    #
+    # A *flat op* replaces the highest-frequency spawned generators --
+    # fire-and-forget link transmits on the plain fabric (writebacks,
+    # sharing writebacks, invalidation+ack rounds) -- with a table entry
+    # the kernel steps through directly.  Each op is a plain list with
+    # fixed slots:
+    #
+    #   0 shell    joinable Event, succeeded when the op finishes
+    #   1 fabric   the Fabric charged at settle time
+    #   2 legs     tuple of (path, nbytes, transmit_ns) legs
+    #   3 path     current leg's tuple of Links
+    #   4 nbytes   current leg's payload size
+    #   5 tx_ns    current leg's contention-free transmission time
+    #   6 i        links of the current leg acquired so far
+    #   7 start    simulated time the current leg started
+    #   8 circuit  simulated time the current leg's circuit completed
+    #   9 value    the shell's success value
+    #  10 legidx   index of the current leg
+    #
+    # The op's timeline mirrors the generator it replaces *step for
+    # step*: the spawn word doubles as the first link-acquire attempt,
+    # every link grant is one ring word (``(opidx << 3) | _R_FLAT``
+    # here, ``_R_ZERO``/``_R_VAL`` there), the transmission sleep is a
+    # fresh monotone heap row (kind ``K_FLAT``), and the settle step
+    # applies the same per-link/fabric accounting before succeeding the
+    # shell -- whose ``K_EVENT`` dispatch is the same trailing event a
+    # finished process produces.  Event counts, queue positions, and all
+    # statistics are therefore identical to the generator form, which
+    # the cross-kernel parity tests pin.  Busy links park the op as the
+    # complement-packed *negative* int ``~((now << PROC_BITS) | opidx)``
+    # so ``Resource.release`` can tell it from a process waiter.
+
+    def flat_transmit(self, fabric, legs, value: Any = None) -> Event:
+        """Post a flattened fire-and-forget transmit; returns the shell.
+
+        ``legs`` is a tuple of ``(path, nbytes, transmit_ns)`` with
+        non-empty link paths.  Only valid on flat-capable kernels (see
+        ``_flat_capable``); callers fall back to spawning the generator
+        twin otherwise, producing the same event sequence.
+        """
+        shell = Event(self)
+        path, nbytes, tx = legs[0]
+        op = [shell, fabric, legs, path, nbytes, tx, 0, self._now, 0,
+              value, 0]
+        free = self._flat_free
+        if free:
+            opidx = free.pop()
+            self._flat_ops[opidx] = op
+        else:
+            opidx = len(self._flat_ops)
+            if opidx >= (1 << PROC_BITS):  # pragma: no cover - ~1M live
+                raise SimulationError(
+                    f"too many live flat ops ({opidx}); see PROC_BITS "
+                    "in repro.engine.core"
+                )
+            self._flat_ops.append(op)
+        self._flat_posts += 1
+        self._blocked += 1
+        # The start word doubles as the first acquire attempt, exactly
+        # where the generator's start-up resumption would have run.
+        self._ring_scheduled += 1
+        self._ring.append((opidx << 3) | _R_FLAT)
+        return shell
+
+    def _flat_step(self, opidx: int) -> None:
+        """One acquire-or-transmit step of a flat op (ring word pop)."""
+        op = self._flat_ops[opidx]
+        path = op[3]
+        i = op[6]
+        if i < len(path):
+            link = path[i]
+            # Inlined try_acquire (the Acquirable attribute contract),
+            # mirroring the kernel's ``yield link`` handling.
+            if link.in_use < link.capacity and not link._waiters:
+                link.in_use += 1
+                link.grants += 1
+                op[6] = i + 1
+                self._ring_scheduled += 1
+                self._ring.append((opidx << 3) | _R_FLAT)
+            else:
+                link._waiters.append(
+                    ~((self._now << PROC_BITS) | opidx)
+                )
+            return
+        # Circuit complete: the transmission sleep, as a fresh monotone
+        # heap row -- the position the generator's ``yield tx`` takes.
+        op[8] = self._now
+        self._heap_row(self._now + op[5], K_FLAT, opidx)
+
+    def _flat_grant(self, opidx: int) -> None:
+        """A parked flat op was granted its link (Resource.release)."""
+        # The grant transferred the unit, so the op now holds the link;
+        # the step word lands at the exact ring position the generator's
+        # ``_R_VAL`` resume word would have taken.
+        self._flat_ops[opidx][6] += 1
+        self._ring_scheduled += 1
+        self._ring.append((opidx << 3) | _R_FLAT)
+
+    def _flat_wake(self, opidx: int) -> None:
+        """Settle step of a flat op (transmission heap row popped)."""
+        op = self._flat_ops[opidx]
+        fabric = op[1]
+        path = op[3]
+        nbytes = op[4]
+        tx = op[5]
+        now = self._now
+        circuit = op[8]
+        held_ns = now - circuit
+        for link in path:
+            link.messages += 1
+            link.bytes_carried += nbytes
+            link.busy_ns += held_ns
+            if link._waiters:
+                link.release()
+            else:
+                # Uncontended release inlined (this op holds the link,
+                # so in_use >= 1) -- same as Fabric.settle_fast.
+                link.in_use -= 1
+        fabric.messages += 1
+        fabric.bytes_transported += nbytes
+        fabric.total_latency_ns += tx
+        fabric.total_contention_ns += circuit - op[7]
+        legs = op[2]
+        legidx = op[10] + 1
+        if legidx < len(legs):
+            # Next leg starts inside this settle step, exactly as the
+            # generator's wake resumption runs on to its next
+            # ``yield link``.
+            path, nbytes, tx = legs[legidx]
+            op[3] = path
+            op[4] = nbytes
+            op[5] = tx
+            op[6] = 0
+            op[7] = now
+            op[10] = legidx
+            self._flat_step(opidx)
+            return
+        # Done: mirror ``_finish`` -- unblock, recycle, succeed the
+        # shell (its K_EVENT dispatch is the trailing parity event).
+        self._blocked -= 1
+        shell = op[0]
+        value = op[9]
+        self._flat_ops[opidx] = None
+        self._flat_free.append(opidx)
+        shell.succeed(value)
 
     def _compact(self) -> None:
         """Renumber live rows into a fresh epoch (see module docstring).
@@ -483,6 +641,7 @@ class SoaSimulator(Simulator):
         profile["heap_pushes"] = heap_executed + len(self._heap)
         profile["rows_recycled"] = self._rows_recycled
         profile["compactions"] = self._compactions
+        profile["flat_posts"] = self._flat_posts
         profile["row_capacity"] = self._cap
         profile["rows_live"] = len(self._heap) + sum(
             1 for word in self._ring if not word & 1
@@ -568,14 +727,18 @@ class SoaSimulator(Simulator):
                     break
                 executed += 1
                 if e < 0:
-                    # Heap row: only sleeps and legacy callables live
-                    # on the heap.
+                    # Heap row: sleeps, flat-op wakes, and legacy
+                    # callables live on the heap.
                     row = key & ROW_MASK
                     free_append(row)
                     meta = c_meta[row]
-                    if meta & 7 == 0:    # K_RESUME_NONE
+                    kind = meta & 7
+                    if kind == 0:        # K_RESUME_NONE
                         p = meta >> 3
                         value = None
+                    elif kind == 6:      # K_FLAT
+                        self._flat_wake(meta >> 3)
+                        continue
                     else:                # K_CALL
                         action = payload[row]
                         payload[row] = None
@@ -590,9 +753,12 @@ class SoaSimulator(Simulator):
                     elif tag == _R_ZERO:
                         p = e >> 3
                         value = 0
-                    else:                # _R_VAL
+                    elif tag == _R_VAL:
                         p = (e >> 3) & PROC_MASK
                         value = e >> VAL_SHIFT
+                    else:                # _R_FLAT
+                        self._flat_step(e >> 3)
+                        continue
                 else:
                     # Payload row.  The row is returned to the free
                     # list before dispatch -- everything it held is
@@ -724,6 +890,8 @@ class SoaSimulator(Simulator):
         payload = self._payload
         if kind == 0:
             self._advance(meta >> 3, None, None)
+        elif kind == 6:
+            self._flat_wake(meta >> 3)
         elif kind == 3:
             ev = payload[row]
             payload[row] = None
@@ -745,8 +913,10 @@ class SoaSimulator(Simulator):
                 self._advance(e >> 3, None, None)
             elif tag == _R_ZERO:
                 self._advance(e >> 3, 0, None)
-            else:
+            elif tag == _R_VAL:
                 self._advance((e >> 3) & PROC_MASK, e >> VAL_SHIFT, None)
+            else:
+                self._flat_step(e >> 3)
         else:
             row = e >> 1
             self._free.append(row)

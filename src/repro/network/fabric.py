@@ -352,6 +352,26 @@ class Fabric:
         self.total_latency_ns += transmit_ns
         self.total_contention_ns += circuit_done - start
 
+    def post_fast(self, src: int, dst: int, nbytes: int,
+                  name: str = "post"):
+        """Fire-and-forget ``transmit_fast`` (plain fabric only).
+
+        On a flat-capable kernel the transfer is posted as a *flat op*
+        -- a tag-dispatched table entry the kernel steps through with
+        no generator frame (see ``SoaSimulator.flat_transmit``); on the
+        object kernel it spawns the generator twin.  Both produce the
+        identical event sequence and accounting.  Returns the joinable
+        shell event.
+        """
+        sim = self.sim
+        if sim._flat_capable and src != dst:
+            path = self._route_links[src * self._nprocs + dst]
+            if path is None:
+                path = self._route(src, dst)
+            tx = nbytes * self.ns_per_byte
+            return sim.flat_transmit(self, ((path, nbytes, tx),), value=tx)
+        return sim.spawn(self.transmit_fast(src, dst, nbytes), name=name)
+
     def post(self, message: Message, name: Optional[str] = None):
         """Fire-and-forget transmit (used for evicted-block writebacks).
 

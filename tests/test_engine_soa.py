@@ -16,6 +16,7 @@ import pytest
 from repro.core.accounting import RunResult
 from repro.core.runner import simulate_spec
 from repro.engine import make_simulator, resolve_kernel
+from repro.engine.compiled import HAVE_EXTENSION, CompiledSimulator
 from repro.engine.core import TURN, Simulator
 from repro.engine.resource import Resource
 from repro.engine.soa import SoaSimulator
@@ -216,10 +217,14 @@ def test_env_var_forces_object_fallback(monkeypatch, quick_spec):
     assert result.engine["kernel"] == "object"
 
 
-def test_auto_resolves_to_soa_without_env(monkeypatch):
+def test_auto_prefers_compiled_else_soa(monkeypatch):
     monkeypatch.delenv("REPRO_ENGINE", raising=False)
-    assert resolve_kernel("auto") == "soa"
-    assert type(make_simulator()) is SoaSimulator
+    if HAVE_EXTENSION:
+        assert resolve_kernel("auto") == "compiled"
+        assert type(make_simulator()) is CompiledSimulator
+    else:
+        assert resolve_kernel("auto") == "soa"
+        assert type(make_simulator()) is SoaSimulator
 
 
 def test_explicit_knob_beats_env(monkeypatch):
@@ -263,7 +268,8 @@ def test_engine_profile_keys():
     sim.run(until=30)
     profile = sim.engine_profile()
     for key in ("kernel", "events_executed", "heap_pops", "ring_pops",
-                "rows_recycled", "compactions", "row_capacity", "rows_live"):
+                "rows_recycled", "compactions", "flat_posts",
+                "row_capacity", "rows_live"):
         assert key in profile, key
     assert profile["kernel"] == "soa"
     assert profile["instrumented"] == 0
