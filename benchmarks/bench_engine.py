@@ -210,6 +210,39 @@ def measure_dispatch(kernels, alternations: int = 3) -> Dict[str, Dict]:
     }
 
 
+def _dispatch_speedup(dispatch: Dict[str, Dict],
+                      primary: str) -> Dict[str, float]:
+    """Pure-dispatch delta: how much faster the primary tier retires
+    the resume-word treadmill than each other measured tier (their
+    wall seconds over the primary's)."""
+    fast = dispatch[primary]["wall_seconds"]
+    return {
+        kernel: round(r["wall_seconds"] / fast, 2)
+        for kernel, r in dispatch.items()
+        if kernel != primary
+    }
+
+
+def normalize_entries(entries: list) -> bool:
+    """Backfill derived fields that older entries predate (idempotent).
+
+    ``dispatch_speedup`` summarizes the pure-dispatch microbench as a
+    per-kernel ratio against the entry's shipping tier; entries
+    recorded before the field existed carry the raw per-kernel numbers
+    it derives from, so it can be reconstructed here.  Returns True if
+    anything changed (callers re-save the file).
+    """
+    changed = False
+    for entry in entries:
+        dispatch = entry.get("dispatch_microbench")
+        primary = entry.get("kernel")
+        if (dispatch and primary in dispatch
+                and "dispatch_speedup" not in entry):
+            entry["dispatch_speedup"] = _dispatch_speedup(dispatch, primary)
+            changed = True
+    return changed
+
+
 def load_entries() -> list:
     if not BENCH_FILE.exists():
         return []
@@ -302,10 +335,12 @@ def cmd_record_ab(label: str) -> int:
         "runs": {m: sides[primary] for m, sides in ab.items()},
         "ab_object_runs": {m: sides["object"] for m, sides in ab.items()},
         "dispatch_microbench": dispatch,
+        "dispatch_speedup": _dispatch_speedup(dispatch, primary),
     }
     if primary != "soa":
         entry["ab_soa_runs"] = {m: sides["soa"] for m, sides in ab.items()}
     entries = [e for e in load_entries() if e["label"] != label]
+    normalize_entries(entries)
     entries.append(entry)
     save_entries(entries)
     _print_runs(f"{label} ({primary})", entry["runs"])
@@ -325,6 +360,8 @@ def cmd_record_ab(label: str) -> int:
     for kernel, r in dispatch.items():
         print(f"  {kernel:9s} {r['wall_seconds']:.3f}s  "
               f"{r['events_per_sec']:>12.1f} ev/s")
+    for kernel, ratio in entry["dispatch_speedup"].items():
+        print(f"  {primary} vs {kernel} pure dispatch: {ratio:.2f}x")
     print(f"recorded entry {label!r} in {BENCH_FILE.name}")
     return 0
 
@@ -334,14 +371,20 @@ def cmd_ab_smoke() -> int:
 
     No file writes; the value is the hard invariant check inside
     ``measure_ab``/``measure_dispatch`` -- the tiers must agree on
-    sim_events / messages / sim_time, or this exits nonzero.
+    sim_events / messages / sim_time, or this exits nonzero.  The
+    ``target`` machine rides along specifically to drive the flat
+    memory-transaction ops (request leg, home-lock, directory plan,
+    invalidation rounds); the abstract machines never build them, so
+    without it a transaction-op divergence would slip through.
     """
     kernels = ab_kernels()
-    ab = measure_ab(machines=("clogp",), alternations=1, rounds=1,
+    machines = ("clogp", "target")
+    ab = measure_ab(machines=machines, alternations=1, rounds=1,
                     kernels=kernels)
-    for kernel, run in ab["clogp"].items():
-        print(f"  clogp   {kernel:9s} {run['wall_seconds']:.3f}s  "
-              f"{run['sim_events']:>8d} events")
+    for machine in machines:
+        for kernel, run in ab[machine].items():
+            print(f"  {machine:7s} {kernel:9s} {run['wall_seconds']:.3f}s  "
+                  f"{run['sim_events']:>8d} events")
     dispatch = measure_dispatch(kernels, alternations=1)
     for kernel, r in dispatch.items():
         print(f"  dispatch {kernel:9s} {r['wall_seconds']:.3f}s  "

@@ -114,6 +114,15 @@ class Machine(ABC):
     #: Registry name, e.g. ``"target"``.
     name: str = "abstract"
 
+    #: Flat-compiled twin of :meth:`transact`, or None.  Machines that
+    #: can compile a miss into a kernel-stepped flat program (currently
+    #: the target machine on a plain fabric under a flat-capable
+    #: kernel) set this to a callable ``(pid, addr, is_write)``
+    #: returning the FLAT_TX sentinel; the caller ``yield``\ s it and
+    #: is resumed with the same ``(latency_ns, service_ns)`` pair the
+    #: generator form returns, after the identical event sequence.
+    transact_flat = None
+
     def __init__(self, config: SystemConfig):
         self.config = config
         self.nprocs = config.processors
@@ -262,6 +271,7 @@ class Machine(ABC):
         addr = lock.addr
         sim = self.sim
         transact = self.transact
+        transact_flat = self.transact_flat
         retry_pending = self._retry_pending
         pid = proc.pid
         buckets = proc.buckets
@@ -290,9 +300,19 @@ class Machine(ABC):
                         proc._pending_ns = 0
                         yield pending
                     started = sim._now
-                    latency_ns, service_ns = yield from transact(
-                        pid, addr, is_write
-                    )
+                    if transact_flat is None:
+                        latency_ns, service_ns = yield from transact(
+                            pid, addr, is_write
+                        )
+                    else:
+                        # Flat-compiled transaction: one yield instead
+                        # of delegating into a generator -- the kernel
+                        # makes the deferred call (natively on the
+                        # compiled tier) and steps the whole miss
+                        # round.
+                        latency_ns, service_ns = yield (
+                            transact_flat, pid, addr, is_write
+                        )
                     elapsed = sim._now - started
                     if latency_ns + service_ns > elapsed:
                         latency_ns = max(0, elapsed - service_ns)
@@ -584,9 +604,18 @@ class Processor:
             self._pending_ns = 0
             yield pending
         started = sim._now
-        latency_ns, service_ns = yield from machine.transact(
-            self.pid, addr, is_write
-        )
+        transact_flat = machine.transact_flat
+        if transact_flat is None:
+            latency_ns, service_ns = yield from machine.transact(
+                self.pid, addr, is_write
+            )
+        else:
+            # Flat-compiled transaction (see Machine.transact_flat):
+            # the request tuple defers the call to the kernel, which
+            # on the compiled tier builds the op natively.
+            latency_ns, service_ns = yield (
+                transact_flat, self.pid, addr, is_write
+            )
         elapsed = sim._now - started
         # Contention-free time cannot exceed the observed window: when a
         # parallel leg (e.g. the target's invalidation round) overlaps
@@ -664,6 +693,7 @@ class Processor:
         sim = machine.sim
         try_fast = machine.try_fast
         transact = machine.transact
+        transact_flat = machine.transact_flat
         retry_pending = machine._retry_pending
         cycle_ns = machine.config.cpu_cycle_ns
         buckets = self.buckets
@@ -695,9 +725,19 @@ class Processor:
                         self._pending_ns = 0
                         yield pending
                     started = sim._now
-                    latency_ns, service_ns = yield from transact(
-                        pid, op.addr, is_write
-                    )
+                    if transact_flat is None:
+                        latency_ns, service_ns = yield from transact(
+                            pid, op.addr, is_write
+                        )
+                    else:
+                        # Flat-compiled transaction: one yield instead
+                        # of delegating into a generator -- the kernel
+                        # makes the deferred call (natively on the
+                        # compiled tier) and steps the whole miss
+                        # round.
+                        latency_ns, service_ns = yield (
+                            transact_flat, pid, op.addr, is_write
+                        )
                     elapsed = sim._now - started
                     if latency_ns + service_ns > elapsed:
                         latency_ns = max(0, elapsed - service_ns)

@@ -101,6 +101,7 @@ def simulate_full(
         "ring_pops": profile["ring_pops"],
         "rows_recycled": profile.get("rows_recycled", 0),
         "flat_posts": profile.get("flat_posts", 0),
+        "flat_tx": profile.get("flat_tx", 0),
         "extension_loaded": profile.get("extension_loaded", 0),
     }
     return (

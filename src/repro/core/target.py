@@ -88,9 +88,46 @@ class TargetMachine(Machine):
             self._write_tx = self._write_transaction_fast
             self._inv_round = self._invalidation_round_fast
             # On a flat-capable kernel, invalidation rounds post as
-            # flat ops (same event sequence, no generator frame).
+            # flat ops (same event sequence, no generator frame), and
+            # whole directory transactions run as tag-dispatched flat
+            # programs (see SoaSimulator.flat_transact): the kernel
+            # steps request leg -> home lock -> plan callout -> service
+            # sleep -> data/forward legs with no generator frame at
+            # all.
             if self.sim._flat_capable:
                 self._spawn_inv = self._spawn_inv_flat
+                self._flat_ctx = (
+                    self.fabric,
+                    self.fabric._route_links,
+                    self.fabric._nprocs,
+                    self._ctrl,
+                    self._data,
+                    self._ctrl_ns,
+                    self._data_ns,
+                    self._mem_ns,
+                    self._hit_ns,
+                    self._inv_round_latency,
+                    self.memory.plan_read,
+                    self.memory.plan_write,
+                    self,
+                )
+                # Bind once: the C loop recognizes deferred-call
+                # tuples by identity of this exact callable (each
+                # ``self._transact_flat`` access would make a fresh
+                # bound method), and builds the op natively --
+                # block/home/lock resolved through the same memo
+                # dicts, with the method-form fallbacks for cold
+                # blocks.
+                self.transact_flat = self._transact_flat
+                self.sim._flat_mctx = (
+                    self.transact_flat,
+                    self._block_bytes,
+                    self.space._home_cache,
+                    self.space.home_of_block,
+                    self._home_locks,
+                    self._home_lock,
+                    self._flat_ctx,
+                )
             else:
                 self._spawn_inv = self._spawn_inv_gen
         else:
@@ -168,6 +205,23 @@ class TargetMachine(Machine):
         if is_write:
             return self._write_tx(pid, block)
         return self._read_tx(pid, block)
+
+    def _transact_flat(self, pid: int, addr: int, is_write: bool):
+        """One directory transaction as a flat op (plain fabric,
+        flat-capable kernel).
+
+        Compiles the miss round into a kernel-stepped table program
+        instead of a generator; the caller yields the returned FLAT_TX
+        sentinel and is resumed with the same ``(latency, service)``
+        pair, after the identical event sequence, as the generator
+        twins above (the parity tests pin this).
+        """
+        block = addr // self._block_bytes
+        return self.sim.flat_transact(
+            self._flat_ctx, pid, block,
+            self.space.home_of_block(block),
+            self._home_lock(block), is_write,
+        )
 
     def _post_writeback(self, pid: int, writeback) -> None:
         """Launch an evicted victim's writeback message, if any."""
@@ -335,11 +389,7 @@ class TargetMachine(Machine):
         routes = fabric._route_links
         nprocs = fabric._nprocs
         out = routes[home * nprocs + node]
-        if out is None:
-            out = fabric._route(home, node)
         back = routes[node * nprocs + home]
-        if back is None:
-            back = fabric._route(node, home)
         ctrl = self._ctrl
         tx = self._ctrl_ns
         return self.sim.flat_transmit(
@@ -372,8 +422,6 @@ class TargetMachine(Machine):
         if pid != home:
             start = sim._now                       # read_req ->
             path = routes[pid * nprocs + home]
-            if path is None:
-                path = fabric._route(pid, home)
             for link in path:
                 yield link
             circuit = sim._now
@@ -399,8 +447,6 @@ class TargetMachine(Machine):
             if home != pid:
                 start = sim._now                   # data ->
                 path = routes[home * nprocs + pid]
-                if path is None:
-                    path = fabric._route(home, pid)
                 for link in path:
                     yield link
                 circuit = sim._now
@@ -414,8 +460,6 @@ class TargetMachine(Machine):
             if home != source:
                 start = sim._now                   # fwd ->
                 path = routes[home * nprocs + source]
-                if path is None:
-                    path = fabric._route(home, source)
                 for link in path:
                     yield link
                 circuit = sim._now
@@ -431,8 +475,6 @@ class TargetMachine(Machine):
             yield self._hit_ns
             start = sim._now                       # data ->
             path = routes[source * nprocs + pid]
-            if path is None:
-                path = fabric._route(source, pid)
             for link in path:
                 yield link
             circuit = sim._now
@@ -460,8 +502,6 @@ class TargetMachine(Machine):
         if pid != home:
             start = sim._now                       # write_req ->
             path = routes[pid * nprocs + home]
-            if path is None:
-                path = fabric._route(pid, home)
             for link in path:
                 yield link
             circuit = sim._now
@@ -490,8 +530,6 @@ class TargetMachine(Machine):
             if home != source:
                 start = sim._now                   # fwd ->
                 path = routes[home * nprocs + source]
-                if path is None:
-                    path = fabric._route(home, source)
                 for link in path:
                     yield link
                 circuit = sim._now
@@ -514,8 +552,6 @@ class TargetMachine(Machine):
             if pid != home:
                 start = sim._now                   # grant ->
                 path = routes[home * nprocs + pid]
-                if path is None:
-                    path = fabric._route(home, pid)
                 for link in path:
                     yield link
                 circuit = sim._now
@@ -527,8 +563,6 @@ class TargetMachine(Machine):
             if home != pid:
                 start = sim._now                   # data ->
                 path = routes[home * nprocs + pid]
-                if path is None:
-                    path = fabric._route(home, pid)
                 for link in path:
                     yield link
                 circuit = sim._now
@@ -542,8 +576,6 @@ class TargetMachine(Machine):
             yield self._hit_ns
             start = sim._now                       # data ->
             path = routes[source * nprocs + pid]
-            if path is None:
-                path = fabric._route(source, pid)
             for link in path:
                 yield link
             circuit = sim._now
@@ -568,8 +600,6 @@ class TargetMachine(Machine):
         tx = self._ctrl_ns
         start = sim._now                           # inv ->
         path = routes[home * nprocs + node]
-        if path is None:
-            path = fabric._route(home, node)
         for link in path:
             yield link
         circuit = sim._now
@@ -577,8 +607,6 @@ class TargetMachine(Machine):
         settle(path, ctrl, tx, start, circuit, sim._now)
         start = sim._now                           # ack ->
         path = routes[node * nprocs + home]
-        if path is None:
-            path = fabric._route(node, home)
         for link in path:
             yield link
         circuit = sim._now

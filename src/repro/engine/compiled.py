@@ -33,7 +33,7 @@ import os
 from typing import Any, Dict
 
 from ..errors import DeadlockError, SimulationError
-from .core import TURN, Acquirable, Event
+from .core import FLAT_TX, TURN, Acquirable, Event
 from .soa import SoaSimulator
 
 
@@ -50,7 +50,7 @@ if _extension_enabled():
     except ImportError:
         _csoa = None
     else:
-        _csoa.configure(Acquirable, Event, TURN, SimulationError)
+        _csoa.configure(Acquirable, Event, TURN, SimulationError, FLAT_TX)
 
 #: True when the C hot loop is importable and enabled.  Evaluated once
 #: at import (kernel selection is an import-time decision); tests that

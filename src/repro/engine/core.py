@@ -99,6 +99,30 @@ class _Turn:
 TURN = _Turn()
 
 
+class _FlatTx:
+    """Sentinel yielded by a caller whose memory transaction runs as a
+    flat op.
+
+    On a flat-capable kernel a machine may compile a whole directory
+    transaction into a tag-dispatched table entry
+    (:meth:`repro.engine.soa.SoaSimulator.flat_transact`).  The caller
+    then yields this sentinel instead of delegating to the transaction
+    generator; the kernel parks the process on the op and resumes it
+    with the transaction's ``(latency_ns, service_ns)`` tuple when the
+    op completes -- at the exact event the generator form's ``return``
+    would have resumed it, so the executed event sequence is identical.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "FLAT_TX"
+
+
+#: The singleton yielded after ``flat_transact`` (see :class:`_FlatTx`).
+FLAT_TX = _FlatTx()
+
+
 class Acquirable:
     """Marker base for counted FIFO resources a process may ``yield``.
 
@@ -185,10 +209,20 @@ class Event:
         if callbacks:
             for callback in callbacks:
                 # Under the SoA kernel a waiting process is parked as a
-                # plain int (its process index); the object kernel only
-                # ever registers callables, so this branch is dead there.
+                # plain int (its process index), and a flat transaction
+                # op waiting on its invalidation join is parked as the
+                # complement ``~opidx`` (negative, so it cannot collide
+                # with a process index); the object kernel only ever
+                # registers callables, so both branches are dead there.
                 if callback.__class__ is int:
-                    self.sim._advance(callback, self.value, self._exception)
+                    if callback >= 0:
+                        self.sim._advance(
+                            callback, self.value, self._exception
+                        )
+                    else:
+                        self.sim._flat_resume(
+                            ~callback, self.value, self._exception
+                        )
                 else:
                     callback(self)
 
@@ -460,6 +494,7 @@ class Simulator:
             "rows_recycled": 0,
             "compactions": 0,
             "flat_posts": 0,
+            "flat_tx": 0,
             "timeouts_issued": self._timeouts_issued,
             "timeouts_pooled": self._timeouts_pooled,
             "timeout_pool_size": len(self._timeout_pool),

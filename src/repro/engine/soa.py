@@ -89,6 +89,7 @@ from typing import Any, Dict, List, Optional
 
 from ..errors import DeadlockError, ReproError, SimulationError, WatchdogError
 from .core import (
+    FLAT_TX,
     PROC_BITS,
     PROC_MASK,
     TURN,
@@ -96,6 +97,7 @@ from .core import (
     Event,
     ProcessGenerator,
     Simulator,
+    all_of,
 )
 
 # Row kinds, stored in the metadata column's low 3 bits.
@@ -119,6 +121,30 @@ _R_ZERO = 3        #: ring word tag for K_RESUME_ZERO
 _R_VAL = 5         #: ring word tag for K_RESUME_VAL
 _R_FLAT = 7        #: flat-op step word: ``(opidx << 3) | 7`` (no value)
 VAL_SHIFT = 3 + PROC_BITS
+
+# Flat-op program tags, stored in op slot 11 (see the flat-op section
+# of SoaSimulator).  F_XMIT is the fire-and-forget transmit program;
+# the rest are the states of the compiled memory-transaction programs
+# (flat_transact), named <phase the op is currently in>.  A _R_FLAT
+# ring word means "next leg link granted" for leg tags and "home lock
+# granted, run the directory plan" for the two LOCK tags; a K_FLAT
+# heap row means "transmission done, settle" for leg tags and "service
+# sleep done" for the MEM/HIT tags.
+F_XMIT = 0       #: fire-and-forget transmit (flat_transmit)
+F_RD_REQ = 1     #: read: request leg pid -> home in flight
+F_RD_LOCK = 2    #: read: waiting on / granted the home lock
+F_RD_MEM = 3     #: read: home memory service sleep
+F_RD_FWD = 4     #: read: forward leg home -> owner in flight
+F_RD_HIT = 5     #: read: owner cache service sleep
+F_RD_DATA = 6    #: read: data leg source -> pid in flight
+F_WR_REQ = 7     #: write: request leg pid -> home in flight
+F_WR_LOCK = 8    #: write: waiting on / granted the home lock
+F_WR_MEM = 9     #: write: home memory service sleep
+F_WR_FWD = 10    #: write: forward leg home -> owner in flight
+F_WR_WAIT = 11   #: write: parked on the invalidation-round join
+F_WR_GRANT = 12  #: write: ownership-grant leg home -> pid in flight
+F_WR_DATA = 13   #: write: data leg home/source -> pid in flight
+F_WR_HIT = 14    #: write: owner cache service sleep
 
 #: Fixed width of the row field in a packed heap key.  A constant --
 #: rather than one derived from the current capacity -- means the
@@ -205,11 +231,25 @@ class SoaSimulator(Simulator):
         self._sends: List[Any] = []
         self._procs: List[Optional[SoaProcess]] = []
         self._pfree: List[int] = []
-        # Flat-op table: tag-dispatched leaf transmits the kernel
-        # executes without a generator frame (see flat_transmit).
+        # Flat-op table: tag-dispatched leaf programs the kernel
+        # executes without a generator frame (see flat_transmit and
+        # flat_transact).
         self._flat_ops: List[Optional[list]] = []
         self._flat_free: List[int] = []
         self._flat_posts = 0
+        #: Memory transactions compiled into flat ops (profiling).
+        self.flat_tx = 0
+        # Handoff slot between flat_transact and the FLAT_TX yield
+        # dispatch: the op index whose caller is about to park.
+        self._pending_flat_op = -1
+        # Compiled-tier acceleration registration (see target.py):
+        # ``(transact_flat, block_bytes, home_cache, home_of_block,
+        # home_locks, home_lock, flat_ctx)``.  When the C loop sees a
+        # deferred-call tuple whose callable is entry 0, it builds the
+        # transaction op natively from the remaining entries instead
+        # of calling into the interpreter; every other kernel (and the
+        # C loop for any other callable) just makes the call.
+        self._flat_mctx: Optional[tuple] = None
         # Event.succeed / timeouts / late callbacks schedule through
         # these entry points; shadow the object-kernel pair installed by
         # Simulator.__init__ with row pushes.
@@ -286,36 +326,59 @@ class SoaSimulator(Simulator):
 
     # -- flat ops ------------------------------------------------------------
     #
-    # A *flat op* replaces the highest-frequency spawned generators --
+    # A *flat op* replaces the highest-frequency generators with a table
+    # entry the kernel steps through directly.  Two op programs exist:
     # fire-and-forget link transmits on the plain fabric (writebacks,
-    # sharing writebacks, invalidation+ack rounds) -- with a table entry
-    # the kernel steps through directly.  Each op is a plain list with
-    # fixed slots:
+    # sharing writebacks, invalidation+ack rounds; ``flat_transmit``)
+    # and whole plain-fabric directory transactions of the target
+    # machine (``flat_transact``).  Each op is a plain list with fixed
+    # slots; slots 0-10 are the transmit program's state (3-8 double as
+    # the current-leg state of a transaction's in-flight message), 11 is
+    # the program tag, and 12+ exist only on transaction ops:
     #
-    #   0 shell    joinable Event, succeeded when the op finishes
+    #   0 shell    joinable Event, succeeded when a transmit finishes
     #   1 fabric   the Fabric charged at settle time
-    #   2 legs     tuple of (path, nbytes, transmit_ns) legs
+    #   2 legs     tuple of (path, nbytes, transmit_ns) legs (transmit)
     #   3 path     current leg's tuple of Links
     #   4 nbytes   current leg's payload size
     #   5 tx_ns    current leg's contention-free transmission time
     #   6 i        links of the current leg acquired so far
     #   7 start    simulated time the current leg started
     #   8 circuit  simulated time the current leg's circuit completed
-    #   9 value    the shell's success value
-    #  10 legidx   index of the current leg
+    #   9 value    the shell's success value (transmit)
+    #  10 legidx   index of the current leg (transmit)
+    #  11 tag      program state (F_XMIT, or a transaction F_* tag)
+    #  12 waiter   process index of the parked caller (-1 until parked)
+    #  13 ctx      machine context tuple (see flat_transact)
+    #  14 pid      requesting processor
+    #  15 block    block number of the access
+    #  16 home     the block's home node
+    #  17 lock     the block's home-lock Resource
+    #  18 plan     directory plan (set by the LOCK step)
+    #  19 latency  accumulated contention-free latency_ns
+    #  20 service  accumulated memory/owner service_ns
+    #  21 invs     spawned invalidation-round shells, or None
+    #  22 hri      1 when any invalidation target was remote
     #
-    # The op's timeline mirrors the generator it replaces *step for
-    # step*: the spawn word doubles as the first link-acquire attempt,
-    # every link grant is one ring word (``(opidx << 3) | _R_FLAT``
-    # here, ``_R_ZERO``/``_R_VAL`` there), the transmission sleep is a
-    # fresh monotone heap row (kind ``K_FLAT``), and the settle step
-    # applies the same per-link/fabric accounting before succeeding the
-    # shell -- whose ``K_EVENT`` dispatch is the same trailing event a
-    # finished process produces.  Event counts, queue positions, and all
+    # An op's timeline mirrors the generator it replaces *step for
+    # step*: the start word doubles as the first acquire attempt,
+    # every link (and home-lock) grant is one ring word
+    # (``(opidx << 3) | _R_FLAT`` here, ``_R_ZERO``/``_R_VAL`` there),
+    # every transmission or service sleep is a fresh monotone heap row
+    # (kind ``K_FLAT``), and the settle step applies the same
+    # per-link/fabric accounting at the same event.  A transmit op ends
+    # by succeeding its shell (the ``K_EVENT`` dispatch a finished
+    # process produces); a transaction op ends by resuming its parked
+    # caller with ``(latency_ns, service_ns)`` inside the final wake --
+    # exactly where the generator form's ``return`` resumes the
+    # ``yield from`` caller.  Event counts, queue positions, and all
     # statistics are therefore identical to the generator form, which
-    # the cross-kernel parity tests pin.  Busy links park the op as the
-    # complement-packed *negative* int ``~((now << PROC_BITS) | opidx)``
-    # so ``Resource.release`` can tell it from a process waiter.
+    # the cross-kernel parity tests pin.  Busy links or home locks park
+    # the op as the complement-packed *negative* int
+    # ``~((now << PROC_BITS) | opidx)`` so ``Resource.release`` can
+    # tell it from a process waiter, and a transaction waiting on its
+    # invalidation join parks ``~opidx`` in the join event's callbacks
+    # (see ``Event._dispatch``).
 
     def flat_transmit(self, fabric, legs, value: Any = None) -> Event:
         """Post a flattened fire-and-forget transmit; returns the shell.
@@ -328,7 +391,7 @@ class SoaSimulator(Simulator):
         shell = Event(self)
         path, nbytes, tx = legs[0]
         op = [shell, fabric, legs, path, nbytes, tx, 0, self._now, 0,
-              value, 0]
+              value, 0, F_XMIT]
         free = self._flat_free
         if free:
             opidx = free.pop()
@@ -349,9 +412,64 @@ class SoaSimulator(Simulator):
         self._ring.append((opidx << 3) | _R_FLAT)
         return shell
 
+    def flat_transact(self, ctx, pid: int, block: int, home: int,
+                      lock, is_write: bool):
+        """Start a compiled memory transaction; returns ``FLAT_TX``.
+
+        Called by a machine's ``transact_flat`` from inside the
+        requesting process's own resumption.  ``ctx`` is the machine
+        context tuple ``(fabric, routes, nprocs, ctrl_bytes,
+        data_bytes, ctrl_ns, data_ns, mem_ns, hit_ns,
+        inv_round_latency, plan_read, plan_write, machine)``.  This
+        only builds the op; the first step -- the request leg's first
+        link acquire, or the home-lock attempt on a home-local miss
+        (``op[3] is None`` distinguishes the two) -- runs in the
+        kernel's ``FLAT_TX`` yield branch, which executes immediately
+        after this returns (the caller must ``yield FLAT_TX`` next).
+        That is the exact position the generator twin's first
+        ``yield`` is handled, and it lets the compiled tier run the
+        step natively.  The op resumes the caller with the
+        ``(latency_ns, service_ns)`` split when the transaction
+        completes.
+        """
+        op = [None, ctx[0], None, None, 0, 0, 0, 0, 0, None, 0,
+              0, -1, ctx, pid, block, home, lock, None, 0, 0, None, 0]
+        free = self._flat_free
+        if free:
+            opidx = free.pop()
+            self._flat_ops[opidx] = op
+        else:
+            opidx = len(self._flat_ops)
+            if opidx >= (1 << PROC_BITS):  # pragma: no cover - ~1M live
+                raise SimulationError(
+                    f"too many live flat ops ({opidx}); see PROC_BITS "
+                    "in repro.engine.core"
+                )
+            self._flat_ops.append(op)
+        self._flat_posts += 1
+        self.flat_tx += 1
+        self._pending_flat_op = opidx
+        if pid != home:
+            # Request leg pid -> home (control message).
+            op[3] = ctx[1][pid * ctx[2] + home]
+            op[4] = ctx[3]
+            op[5] = ctx[5]
+            op[7] = self._now
+            op[11] = F_WR_REQ if is_write else F_RD_REQ
+        else:
+            op[11] = F_WR_LOCK if is_write else F_RD_LOCK
+        return FLAT_TX
+
     def _flat_step(self, opidx: int) -> None:
         """One acquire-or-transmit step of a flat op (ring word pop)."""
         op = self._flat_ops[opidx]
+        tag = op[11]
+        if tag == F_RD_LOCK:
+            self._flat_rd_plan(opidx, op)
+            return
+        if tag == F_WR_LOCK:
+            self._flat_wr_plan(opidx, op)
+            return
         path = op[3]
         i = op[6]
         if i < len(path):
@@ -375,22 +493,138 @@ class SoaSimulator(Simulator):
         self._heap_row(self._now + op[5], K_FLAT, opidx)
 
     def _flat_grant(self, opidx: int) -> None:
-        """A parked flat op was granted its link (Resource.release)."""
-        # The grant transferred the unit, so the op now holds the link;
-        # the step word lands at the exact ring position the generator's
-        # ``_R_VAL`` resume word would have taken.
-        self._flat_ops[opidx][6] += 1
+        """A parked flat op was granted its resource (Resource.release)."""
+        # The grant transferred the unit, so the op now holds the link
+        # (or home lock); the step word lands at the exact ring position
+        # the generator's ``_R_VAL`` resume word would have taken.
+        op = self._flat_ops[opidx]
+        tag = op[11]
+        if tag != F_RD_LOCK and tag != F_WR_LOCK:
+            op[6] += 1
         self._ring_scheduled += 1
         self._ring.append((opidx << 3) | _R_FLAT)
 
     def _flat_wake(self, opidx: int) -> None:
-        """Settle step of a flat op (transmission heap row popped)."""
+        """Wake step of a flat op (K_FLAT heap row popped).
+
+        For leg tags this is the settle step of a finished
+        transmission; for the service tags (MEM/HIT sleeps) it is the
+        end of the directory's memory or owner-cache service time, with
+        no message to settle.  Transitions run inside this wake event,
+        exactly as the generator's resumption runs on to its next
+        ``yield``.
+        """
         op = self._flat_ops[opidx]
+        tag = op[11]
+        now = self._now
+        if tag == F_XMIT:
+            fabric = op[1]
+            path = op[3]
+            nbytes = op[4]
+            tx = op[5]
+            circuit = op[8]
+            held_ns = now - circuit
+            for link in path:
+                link.messages += 1
+                link.bytes_carried += nbytes
+                link.busy_ns += held_ns
+                if link._waiters:
+                    link.release()
+                else:
+                    # Uncontended release inlined (this op holds the
+                    # link, so in_use >= 1) -- same as
+                    # Fabric.settle_fast.
+                    link.in_use -= 1
+            fabric.messages += 1
+            fabric.bytes_transported += nbytes
+            fabric.total_latency_ns += tx
+            fabric.total_contention_ns += circuit - op[7]
+            legs = op[2]
+            legidx = op[10] + 1
+            if legidx < len(legs):
+                # Next leg starts inside this settle step, exactly as
+                # the generator's wake resumption runs on to its next
+                # ``yield link``.
+                path, nbytes, tx = legs[legidx]
+                op[3] = path
+                op[4] = nbytes
+                op[5] = tx
+                op[6] = 0
+                op[7] = now
+                op[10] = legidx
+                self._flat_step(opidx)
+                return
+            # Done: mirror ``_finish`` -- unblock, recycle, succeed the
+            # shell (its K_EVENT dispatch is the trailing parity event).
+            self._blocked -= 1
+            shell = op[0]
+            value = op[9]
+            self._flat_ops[opidx] = None
+            self._flat_free.append(opidx)
+            shell.succeed(value)
+            return
+        # -- transaction wakes --------------------------------------------
+        ctx = op[13]
+        if tag == F_RD_REQ or tag == F_WR_REQ:
+            self._flat_settle(op, now)
+            self._flat_lock(opidx, op,
+                            F_RD_LOCK if tag == F_RD_REQ else F_WR_LOCK)
+            return
+        if tag == F_RD_MEM:
+            # Memory read served: release the directory, then the data
+            # reply (unless the requester is the home node).
+            self._flat_unlock(op)
+            if op[16] != op[14]:
+                self._flat_leg(opidx, op, op[16], op[14], True, F_RD_DATA)
+                return
+            self._flat_done(opidx, op)
+            return
+        if tag == F_RD_FWD:
+            # Forward delivered to the owner: directory released, owner
+            # cache service begins.
+            self._flat_settle(op, now)
+            self._flat_unlock(op)
+            op[20] += ctx[8]
+            op[11] = F_RD_HIT
+            self._heap_row(now + ctx[8], K_FLAT, opidx)
+            return
+        if tag == F_RD_HIT:
+            self._flat_leg(opidx, op, op[18].source, op[14], True,
+                           F_RD_DATA)
+            return
+        if tag == F_RD_DATA:
+            self._flat_settle(op, now)
+            plan = op[18]
+            if (not plan.from_memory and plan.sharing_writeback
+                    and plan.source != op[16]):
+                # Illinois: the dirty owner's data also returns to the
+                # home -- real traffic, off the critical path.
+                op[1].post_fast(plan.source, op[16], ctx[4], name="shwb")
+            self._flat_done(opidx, op)
+            return
+        if tag == F_WR_MEM:
+            self._flat_wr_join(opidx, op)
+            return
+        if tag == F_WR_FWD:
+            self._flat_settle(op, now)
+            self._flat_wr_join(opidx, op)
+            return
+        if tag == F_WR_HIT:
+            self._flat_leg(opidx, op, op[18].source, op[14], True,
+                           F_WR_DATA)
+            return
+        # F_WR_GRANT / F_WR_DATA: final leg of a write.
+        self._flat_settle(op, now)
+        self._flat_done(opidx, op)
+
+    # -- flat transaction helpers -----------------------------------------
+
+    def _flat_settle(self, op: list, now: int) -> None:
+        """Book one completed transaction leg (Fabric.settle_fast twin)."""
         fabric = op[1]
         path = op[3]
         nbytes = op[4]
         tx = op[5]
-        now = self._now
         circuit = op[8]
         held_ns = now - circuit
         for link in path:
@@ -400,36 +634,212 @@ class SoaSimulator(Simulator):
             if link._waiters:
                 link.release()
             else:
-                # Uncontended release inlined (this op holds the link,
-                # so in_use >= 1) -- same as Fabric.settle_fast.
                 link.in_use -= 1
         fabric.messages += 1
         fabric.bytes_transported += nbytes
         fabric.total_latency_ns += tx
         fabric.total_contention_ns += circuit - op[7]
-        legs = op[2]
-        legidx = op[10] + 1
-        if legidx < len(legs):
-            # Next leg starts inside this settle step, exactly as the
-            # generator's wake resumption runs on to its next
-            # ``yield link``.
-            path, nbytes, tx = legs[legidx]
-            op[3] = path
-            op[4] = nbytes
-            op[5] = tx
-            op[6] = 0
-            op[7] = now
-            op[10] = legidx
-            self._flat_step(opidx)
-            return
-        # Done: mirror ``_finish`` -- unblock, recycle, succeed the
-        # shell (its K_EVENT dispatch is the trailing parity event).
-        self._blocked -= 1
-        shell = op[0]
-        value = op[9]
+        op[19] += tx
+
+    def _flat_leg(self, opidx: int, op: list, src: int, dst: int,
+                  data: bool, tag: int) -> None:
+        """Start a message leg and attempt its first link inline."""
+        ctx = op[13]
+        op[3] = ctx[1][src * ctx[2] + dst]
+        if data:
+            op[4] = ctx[4]
+            op[5] = ctx[6]
+        else:
+            op[4] = ctx[3]
+            op[5] = ctx[5]
+        op[6] = 0
+        op[7] = self._now
+        op[11] = tag
+        self._flat_step(opidx)
+
+    def _flat_lock(self, opidx: int, op: list, tag: int) -> None:
+        """Attempt the home lock (FIFO; parks complement-packed)."""
+        op[11] = tag
+        lock = op[17]
+        if lock.in_use < lock.capacity and not lock._waiters:
+            lock.in_use += 1
+            lock.grants += 1
+            self._ring_scheduled += 1
+            self._ring.append((opidx << 3) | _R_FLAT)
+        else:
+            lock._waiters.append(~((self._now << PROC_BITS) | opidx))
+
+    def _flat_unlock(self, op: list) -> None:
+        """Release the home lock (uncontended release inlined)."""
+        lock = op[17]
+        if lock._waiters:
+            lock.release()
+        else:
+            lock.in_use -= 1
+
+    def _flat_done(self, opidx: int, op: list) -> None:
+        """Complete a transaction: writeback, recycle, resume caller."""
+        plan = op[18]
+        op[13][12]._post_writeback(op[14], plan.writeback)
+        p = op[12]
+        result = (op[19], op[20])
         self._flat_ops[opidx] = None
         self._flat_free.append(opidx)
-        shell.succeed(value)
+        # The caller resumes inside this wake event -- the position the
+        # generator form's ``return`` hands control back to the
+        # ``yield from`` caller.
+        self._advance(p, result, None)
+
+    def _flat_done_early(self, opidx: int, op: list) -> None:
+        """Raced-with-ourselves exit: ``return 0, hit_ns`` twin."""
+        self._flat_unlock(op)
+        p = op[12]
+        result = (0, op[13][8])
+        self._flat_ops[opidx] = None
+        self._flat_free.append(opidx)
+        self._advance(p, result, None)
+
+    def _flat_fail(self, opidx: int, op: list,
+                   exc: BaseException) -> None:
+        """A plan callout raised: propagate into the parked caller.
+
+        Mirrors the generator form, where the exception unwinds the
+        ``yield from`` chain into the caller's frame.
+        """
+        p = op[12]
+        self._flat_ops[opidx] = None
+        self._flat_free.append(opidx)
+        self._throw(p, exc)
+
+    def _flat_rd_plan(self, opidx: int, op: list) -> None:
+        """Home-lock granted on a read: run the directory plan."""
+        ctx = op[13]
+        try:
+            plan = ctx[10](op[14], op[15])
+        except BaseException as exc:
+            self._flat_fail(opidx, op, exc)
+            return
+        op[18] = plan
+        if plan.hit:  # raced with ourselves; cannot normally happen
+            self._flat_done_early(opidx, op)
+            return
+        if plan.from_memory:
+            op[20] += ctx[7]
+            op[11] = F_RD_MEM
+            self._heap_row(self._now + ctx[7], K_FLAT, opidx)
+            return
+        # Owned by a remote cache: home forwards, owner supplies.
+        source = plan.source
+        home = op[16]
+        if home != source:
+            self._flat_leg(opidx, op, home, source, False, F_RD_FWD)
+            return
+        self._flat_unlock(op)
+        op[20] += ctx[8]
+        op[11] = F_RD_HIT
+        self._heap_row(self._now + ctx[8], K_FLAT, opidx)
+
+    def _flat_wr_plan(self, opidx: int, op: list) -> None:
+        """Home-lock granted on a write: plan, launch invalidations."""
+        ctx = op[13]
+        try:
+            plan = ctx[11](op[14], op[15])
+        except BaseException as exc:
+            self._flat_fail(opidx, op, exc)
+            return
+        op[18] = plan
+        if plan.fast:  # raced with ourselves; cannot normally happen
+            self._flat_done_early(opidx, op)
+            return
+        if plan.invalidated:
+            self._flat_wr_invs(op, plan)
+        source = plan.source
+        home = op[16]
+        if not plan.had_data:
+            if plan.from_memory:
+                op[20] += ctx[7]
+                op[11] = F_WR_MEM
+                self._heap_row(self._now + ctx[7], K_FLAT, opidx)
+                return
+            if home != source:
+                self._flat_leg(opidx, op, home, source, False, F_WR_FWD)
+                return
+        self._flat_wr_join(opidx, op)
+
+    def _flat_wr_invs(self, op: list, plan) -> None:
+        """Launch a write's invalidation rounds (plan-time spawn).
+
+        Invalidations go out in parallel with the home-side work.  The
+        previous owner (when it supplies the data) is invalidated by
+        the forwarded request itself, so it is filtered out here.
+        Shared between the Python plan step and the C port, which
+        calls it only when ``plan.invalidated`` is non-empty.
+        """
+        source = plan.source
+        inv_targets = [s for s in plan.invalidated if s != source]
+        if inv_targets:
+            home = op[16]
+            machine = op[13][12]
+            pid = op[14]
+            op[21] = [
+                machine._spawn_inv(pid, home, node) for node in inv_targets
+            ]
+            for node in inv_targets:
+                if node != home:
+                    op[22] = 1
+                    break
+
+    def _flat_wr_join(self, opidx: int, op: list) -> None:
+        """Home-side work done: wait for the invalidation rounds."""
+        invs = op[21]
+        if invs:
+            # Sequential consistency: the home releases the block only
+            # after every stale copy is gone.  The join event is built
+            # here -- not at plan time -- exactly where the generator
+            # form evaluates ``all_of``; the op parks in its callbacks
+            # as the complement ``~opidx`` (see Event._dispatch).
+            op[21] = None
+            op[11] = F_WR_WAIT
+            all_of(self, invs)._callbacks.append(~opidx)
+            return
+        self._flat_wr_unlock(opidx, op)
+
+    def _flat_resume(self, opidx: int, value: Any,
+                     exc: Optional[BaseException]) -> None:
+        """The invalidation join dispatched: resume the write program."""
+        op = self._flat_ops[opidx]
+        if exc is not None:
+            self._flat_fail(opidx, op, exc)
+            return
+        if op[22]:
+            # Contention-free the rounds overlap, so one round's worth
+            # of transmission time is genuine latency; queuing beyond
+            # that surfaces as contention.
+            op[19] += op[13][9]
+        self._flat_wr_unlock(opidx, op)
+
+    def _flat_wr_unlock(self, opidx: int, op: list) -> None:
+        """Release the directory and launch the write's final leg."""
+        self._flat_unlock(op)
+        plan = op[18]
+        ctx = op[13]
+        pid = op[14]
+        home = op[16]
+        if plan.had_data:
+            # Ownership upgrade: permission only, granted by the home.
+            if pid != home:
+                self._flat_leg(opidx, op, home, pid, False, F_WR_GRANT)
+                return
+        elif plan.from_memory:
+            if home != pid:
+                self._flat_leg(opidx, op, home, pid, True, F_WR_DATA)
+                return
+        else:
+            op[20] += ctx[8]
+            op[11] = F_WR_HIT
+            self._heap_row(self._now + ctx[8], K_FLAT, opidx)
+            return
+        self._flat_done(opidx, op)
 
     def _compact(self) -> None:
         """Renumber live rows into a fresh epoch (see module docstring).
@@ -571,6 +981,32 @@ class SoaSimulator(Simulator):
                     f"delay {y}"
                 )
             return
+        if cls is tuple:
+            # ``yield (transact_flat, pid, addr, is_write)``: a
+            # deferred flat-transaction request.  The kernel makes the
+            # call itself -- the compiled tier recognizes the
+            # registered callable (see ``_flat_mctx``) and builds the
+            # op natively without entering the interpreter.
+            if y[0](y[1], y[2], y[3]) is not FLAT_TX:
+                self._blocked -= 1
+                raise SimulationError(
+                    f"process {self._procs[p].name!r} yielded a tuple "
+                    "whose call did not start a flat transaction"
+                )
+            y = FLAT_TX
+        if y is FLAT_TX:
+            # Record the caller so completion can resume it (see
+            # _flat_done), then run the op's first step -- the request
+            # leg's first link, or the home-lock attempt on a
+            # home-local miss.
+            opidx = self._pending_flat_op
+            op = self._flat_ops[opidx]
+            op[12] = p
+            if op[3] is None:
+                self._flat_lock(opidx, op, op[11])
+            else:
+                self._flat_step(opidx)
+            return
         if isinstance(y, Acquirable):
             # Inlined try_acquire (the Acquirable attribute contract).
             if y.in_use < y.capacity and not y._waiters:
@@ -642,6 +1078,7 @@ class SoaSimulator(Simulator):
         profile["rows_recycled"] = self._rows_recycled
         profile["compactions"] = self._compactions
         profile["flat_posts"] = self._flat_posts
+        profile["flat_tx"] = self.flat_tx
         profile["row_capacity"] = self._cap
         profile["rows_live"] = len(self._heap) + sum(
             1 for word in self._ring if not word & 1
@@ -774,6 +1211,7 @@ class SoaSimulator(Simulator):
                         if (callbacks is not None
                                 and len(callbacks) == 1
                                 and callbacks[0].__class__ is int
+                                and callbacks[0] >= 0
                                 and ev._exception is None):
                             # Sole waiter is a process: resume it
                             # directly, inside this dispatch event
@@ -831,6 +1269,33 @@ class SoaSimulator(Simulator):
                     # ring, as a packed word.
                     ring_append((p << 3) | _R_NONE)
                     ring_scheduled += 1
+                    continue
+                if ycls is tuple:
+                    # ``yield (transact_flat, pid, addr, is_write)``:
+                    # a deferred flat-transaction request.  The kernel
+                    # makes the call itself -- the compiled tier
+                    # recognizes the registered callable (see
+                    # ``_flat_mctx``) and builds the op natively
+                    # without entering the interpreter.
+                    if y[0](y[1], y[2], y[3]) is not FLAT_TX:
+                        self._blocked -= 1
+                        raise SimulationError(
+                            f"process {self._procs[p].name!r} yielded "
+                            "a tuple whose call did not start a flat "
+                            "transaction"
+                        )
+                    y = FLAT_TX
+                if y is FLAT_TX:
+                    # ``yield machine.transact_flat(...)``: record the
+                    # caller so completion can resume it (see
+                    # _flat_done), then run the op's first step.
+                    opidx = self._pending_flat_op
+                    op = self._flat_ops[opidx]
+                    op[12] = p
+                    if op[3] is None:
+                        self._flat_lock(opidx, op, op[11])
+                    else:
+                        self._flat_step(opidx)
                     continue
                 if isinstance(y, Acquirable):
                     # ``yield resource``: inlined try_acquire, else park

@@ -101,13 +101,27 @@ class Fabric:
         self._links: Dict[LinkId, Link] = {
             link_id: Link(sim, *link_id) for link_id in topology.links()
         }
-        #: Deterministic routes resolved to Link tuples, filled lazily.
-        #: A flat ``src * nprocs + dst`` table: the per-message lookup
-        #: is a list index instead of a tuple-keyed dict probe.
+        #: Deterministic routes resolved to Link tuples, pre-filled for
+        #: every (src, dst) pair at construction.  A flat
+        #: ``src * nprocs + dst`` table: the per-message lookup is a
+        #: list index instead of a tuple-keyed dict probe, and the hot
+        #: paths (including the C flat-op stepper) index it with no
+        #: None check.  The diagonal stays None -- every caller handles
+        #: src == dst before routing.
         self._nprocs = topology.nprocs
+        nprocs = self._nprocs
+        links = self._links
         self._route_links: List[Optional[Tuple[Link, ...]]] = (
-            [None] * (self._nprocs * self._nprocs)
+            [None] * (nprocs * nprocs)
         )
+        for src in range(nprocs):
+            base = src * nprocs
+            for dst in range(nprocs):
+                if src != dst:
+                    self._route_links[base + dst] = tuple(
+                        links[link_id]
+                        for link_id in topology.route(src, dst)
+                    )
         if injector is not None:
             for window in injector.fault.link_failures:
                 link = self._links.get((window.src, window.dst))
@@ -236,16 +250,8 @@ class Fabric:
         )
 
     def _route(self, src: int, dst: int) -> Tuple[Link, ...]:
-        """The deterministic route as a cached tuple of Link objects."""
-        key = src * self._nprocs + dst
-        path = self._route_links[key]
-        if path is None:
-            path = tuple(
-                self._links[link_id]
-                for link_id in self.topology.route(src, dst)
-            )
-            self._route_links[key] = path
-        return path
+        """The deterministic route as a pre-resolved tuple of Links."""
+        return self._route_links[src * self._nprocs + dst]
 
     def _transmit_plain(self, message: Message):
         """Generator: ``transmit`` specialized for the fault-free,
@@ -264,8 +270,6 @@ class Fabric:
         sim = self.sim
         start = sim._now
         path = self._route_links[src * self._nprocs + dst]
-        if path is None:
-            path = self._route(src, dst)
         for link in path:
             # Kernel-resolved grant: the engine inlines try_acquire on
             # the free case and parks a packed int waiter on the busy
@@ -305,8 +309,6 @@ class Fabric:
         sim = self.sim
         start = sim._now
         path = self._route_links[src * self._nprocs + dst]
-        if path is None:
-            path = self._route(src, dst)
         for link in path:
             # Kernel-resolved grant (see Resource): no Event allocation
             # on the SoA kernel, free or busy.
@@ -366,8 +368,6 @@ class Fabric:
         sim = self.sim
         if sim._flat_capable and src != dst:
             path = self._route_links[src * self._nprocs + dst]
-            if path is None:
-                path = self._route(src, dst)
             tx = nbytes * self.ns_per_byte
             return sim.flat_transmit(self, ((path, nbytes, tx),), value=tx)
         return sim.spawn(self.transmit_fast(src, dst, nbytes), name=name)

@@ -171,6 +171,157 @@ def test_flat_op_slots_recycle(cls):
     assert sim.engine_profile()["flat_posts"] == 4
 
 
+# -- flat memory-transaction mechanics ----------------------------------------
+#
+# The transaction program (request leg -> home lock -> directory plan
+# -> service sleep -> data leg) is pinned end to end by the cross-
+# kernel simulation parity tests; here we pin the contended paths
+# directly with a stub directory, where grant order is observable.
+
+
+class _Plan:
+    """Directory plan stub: a home-local read served from memory."""
+
+    hit = False
+    fast = False
+    from_memory = True
+    source = None
+    invalidated = ()
+    had_data = False
+    sharing_writeback = False
+    writeback = None
+
+
+class _FakeMachine:
+    def __init__(self):
+        self.writebacks = []
+
+    def _post_writeback(self, pid, writeback):
+        self.writebacks.append((pid, writeback))
+
+
+#: Memory service time used by the stub plans below.
+_MEM_NS = 100
+
+
+def _home_ctx(sim, calls):
+    """Machine context tuple for home-local read transactions.
+
+    Home-local ops never touch routes or message legs, so those
+    entries can stay empty; the plan callout records its arguments.
+    """
+    fabric = _FakeFabric()
+
+    def plan_read(pid, block):
+        calls.append((pid, block))
+        return _Plan()
+
+    def plan_write(pid, block):  # pragma: no cover - read-only stubs
+        raise AssertionError("read-only scenario planned a write")
+
+    return (fabric, [], 1, 8, 64, 30, 120, _MEM_NS, 60, 0,
+            plan_read, plan_write, _FakeMachine())
+
+
+@pytest.mark.parametrize("cls", FLAT_KERNELS)
+def test_home_lock_fifo_with_mixed_flat_and_generator_waiters(cls):
+    # Three waiters queue on a held home lock in arrival order: a flat
+    # transaction, a plain generator (`yield lock`), another flat
+    # transaction.  Resource.release must grant strictly FIFO across
+    # the two waiter encodings (complement-packed flat words vs plain
+    # process ints) -- a LIFO or kind-segregated grant would reorder
+    # the completion log.
+    sim = cls()
+    calls = []
+    ctx = _home_ctx(sim, calls)
+    from repro.engine import Resource
+
+    lock = Resource(sim, capacity=1, name="dir5")
+    log = []
+
+    def holder():
+        yield lock
+        yield 50
+        lock.release()
+
+    def flat_requester(tag, arrive):
+        yield arrive
+        result = yield sim.flat_transact(ctx, 0, 5, 0, lock, False)
+        log.append((tag, sim.now, result))
+
+    def generator_waiter():
+        yield 20
+        yield lock
+        log.append(("gen", sim.now, None))
+        lock.release()
+
+    sim.spawn(holder(), name="holder")
+    sim.spawn(flat_requester("flatA", 10), name="flatA")
+    sim.spawn(generator_waiter(), name="gen")
+    sim.spawn(flat_requester("flatB", 30), name="flatB")
+    sim.run()
+    assert log == [
+        ("flatA", 50 + _MEM_NS, (0, _MEM_NS)),
+        ("gen", 50 + _MEM_NS, None),
+        ("flatB", 50 + 2 * _MEM_NS, (0, _MEM_NS)),
+    ]
+    assert calls == [(0, 5), (0, 5)]
+    assert lock.in_use == 0 and not lock._waiters
+    assert lock.grants == 4
+
+
+@needs_extension
+@pytest.mark.parametrize(
+    "splits",
+    [(25,), (25, 60)],
+    ids=["python-parks-c-grants", "python-grants-c-wakes"],
+)
+def test_parked_flat_op_wakes_across_kernel_boundary(splits):
+    # Guarded runs (`until=`) use the Python word loop even on the
+    # compiled tier, so splitting one run pins the handoff contract:
+    # an op parked (and possibly granted) by the Python loop must be
+    # granted/woken by the C loop from the same kernel state, and the
+    # whole splice must be event-identical to an unsplit SoA run.
+    from repro.engine import Resource
+
+    def scenario(sim):
+        calls = []
+        ctx = _home_ctx(sim, calls)
+        lock = Resource(sim, capacity=1, name="dir5")
+        log = []
+
+        def holder():
+            yield lock
+            yield 50
+            lock.release()
+
+        def requester():
+            yield 10
+            result = yield sim.flat_transact(ctx, 0, 5, 0, lock, False)
+            log.append((sim.now, result))
+
+        sim.spawn(holder(), name="holder")
+        sim.spawn(requester(), name="req")
+        return log, lock
+
+    ref = SoaSimulator()
+    ref_log, _ = scenario(ref)
+    ref.run()
+
+    sim = CompiledSimulator()
+    log, lock = scenario(sim)
+    sim.run(until=splits[0])
+    assert sim.now == splits[0] and not log
+    assert lock.in_use == 1 and len(lock._waiters) == 1
+    for t in splits[1:]:
+        sim.run(until=t)
+    sim.run()
+    assert log == ref_log == [(50 + _MEM_NS, (0, _MEM_NS))]
+    assert sim.now == ref.now
+    assert sim.events_executed == ref.events_executed
+    assert lock.in_use == 0 and not lock._waiters
+
+
 # -- compiled tier: parity ----------------------------------------------------
 
 
@@ -346,6 +497,39 @@ def test_repro_engine_compiled_env_on_bare_host_still_runs():
     )
     assert proc.returncode == 0, proc.stderr
     assert proc.stdout.strip() == "ok"
+
+
+def test_csoa_disabled_flat_transactions_match_spec():
+    # REPRO_CSOA=0 pins the pure-Python SoA flat-transaction path as
+    # the specification: a full target-machine run in a fresh
+    # interpreter with the extension disabled must reproduce the same
+    # simulation invariants as this process's kernel (whichever tier
+    # selection picked here), and must actually have taken the flat
+    # path rather than the generator twins.
+    proc = _run_py(
+        "from repro.runspec import RunSpec\n"
+        "from repro.core.runner import simulate_spec\n"
+        "spec = RunSpec.build('jacobi', 'target', 4, 'mesh',\n"
+        "                     preset='quick', seed=7, check='off')\n"
+        "r = simulate_spec(spec)\n"
+        "print(r.engine['kernel'], r.engine['extension_loaded'],\n"
+        "      r.sim_events, r.messages, r.total_ns,\n"
+        "      r.engine['flat_tx'], r.engine['flat_posts'])\n",
+        REPRO_CSOA="0", REPRO_ENGINE="",
+    )
+    assert proc.returncode == 0, proc.stderr
+    kernel, loaded, events, messages, total_ns, flat_tx, flat_posts = (
+        proc.stdout.split()
+    )
+    assert kernel == "soa" and loaded == "0"
+    assert int(flat_tx) > 0 and int(flat_posts) > 0
+
+    spec = RunSpec.build("jacobi", "target", 4, "mesh",
+                         preset="quick", seed=7, check="off")
+    ref = simulate_spec(spec)
+    assert (int(events), int(messages), int(total_ns)) == (
+        ref.sim_events, ref.messages, ref.total_ns
+    )
 
 
 def test_broken_extension_import_falls_back():
